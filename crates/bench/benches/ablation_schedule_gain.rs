@@ -1,0 +1,62 @@
+//! Ablation: freshness gain of optimal vs uniform vs proportional
+//! scheduling across budget levels (the §4.3 10-23% claim).
+//!
+//! Also *prints* the gain table once so `cargo bench` output records the
+//! reproduced numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use webevo::prelude::*;
+use webevo_bench::paper_rate_mixture;
+
+fn print_gain_table() {
+    let rates = paper_rate_mixture(2, 200);
+    println!("\n[ablation_schedule_gain] optimal-vs-uniform freshness gain:");
+    for cycle in [5.0, 10.0, 30.0, 60.0] {
+        let budget = rates.len() as f64 / cycle;
+        let f_uni =
+            evaluate_allocation(&rates, &uniform_allocation(&rates, budget).unwrap());
+        let f_opt = evaluate_allocation(
+            &rates,
+            &optimal_allocation(&rates, budget).unwrap().allocation,
+        );
+        println!(
+            "  cycle {cycle:>4.0}d: uniform {f_uni:.3} optimal {f_opt:.3} gain {:+.1}%",
+            (f_opt / f_uni - 1.0) * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_gain_table();
+    let rates = paper_rate_mixture(2, 200);
+    let mut g = c.benchmark_group("schedule_gain");
+    for cycle in [5.0f64, 30.0] {
+        let budget = rates.len() as f64 / cycle;
+        g.bench_with_input(
+            BenchmarkId::new("evaluate_all_policies", cycle as u64),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let u = evaluate_allocation(
+                        &rates,
+                        &uniform_allocation(&rates, budget).unwrap(),
+                    );
+                    let p = evaluate_allocation(
+                        &rates,
+                        &proportional_allocation(&rates, budget).unwrap(),
+                    );
+                    let o = evaluate_allocation(
+                        &rates,
+                        &optimal_allocation(&rates, budget).unwrap().allocation,
+                    );
+                    black_box((u, p, o))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

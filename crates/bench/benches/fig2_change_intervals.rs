@@ -1,0 +1,30 @@
+//! Figure 2: the daily monitor plus change-interval histogram pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webevo::experiment::change_interval_histograms;
+use webevo::prelude::*;
+use webevo_bench::bench_universe;
+
+fn bench(c: &mut Criterion) {
+    let universe = bench_universe();
+    let sites: Vec<SiteId> = universe.sites().iter().map(|s| s.id).collect();
+    let monitor = DailyMonitor::new(MonitorConfig {
+        days: 60,
+        failure_rate: 0.0,
+        time_of_day: 0.0,
+    });
+    let data = monitor.run(&universe, &sites);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("daily_monitor_60d", |b| {
+        b.iter(|| black_box(monitor.run(&universe, &sites).page_count()))
+    });
+    g.bench_function("interval_histograms", |b| {
+        b.iter(|| black_box(change_interval_histograms(black_box(&data))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

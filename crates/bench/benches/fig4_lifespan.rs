@@ -1,0 +1,29 @@
+//! Figure 4: visible-lifespan histograms (Methods 1 and 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webevo::experiment::{lifespan_histograms, LifespanMethod};
+use webevo::prelude::*;
+use webevo_bench::bench_universe;
+
+fn bench(c: &mut Criterion) {
+    let universe = bench_universe();
+    let sites: Vec<SiteId> = universe.sites().iter().map(|s| s.id).collect();
+    let data = DailyMonitor::new(MonitorConfig {
+        days: 90,
+        failure_rate: 0.0,
+        time_of_day: 0.0,
+    })
+    .run(&universe, &sites);
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("lifespan_method1", |b| {
+        b.iter(|| black_box(lifespan_histograms(black_box(&data), LifespanMethod::Method1)))
+    });
+    g.bench_function("lifespan_method2", |b| {
+        b.iter(|| black_box(lifespan_histograms(black_box(&data), LifespanMethod::Method2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

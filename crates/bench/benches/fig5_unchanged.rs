@@ -1,0 +1,29 @@
+//! Figure 5: fraction-unchanged survival curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webevo::experiment::unchanged_curves;
+use webevo::prelude::*;
+use webevo_bench::bench_universe;
+
+fn bench(c: &mut Criterion) {
+    let universe = bench_universe();
+    let sites: Vec<SiteId> = universe.sites().iter().map(|s| s.id).collect();
+    let data = DailyMonitor::new(MonitorConfig {
+        days: 120,
+        failure_rate: 0.0,
+        time_of_day: 0.0,
+    })
+    .run(&universe, &sites);
+    let mut g = c.benchmark_group("fig5");
+    g.bench_function("unchanged_curves", |b| {
+        b.iter(|| {
+            let (overall, by_domain) = unchanged_curves(black_box(&data));
+            black_box((overall.half_life_days(), by_domain))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 6: Poisson-model verification (interval grouping + GoF tests).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webevo::experiment::poisson_fit_for_interval;
+use webevo::prelude::*;
+use webevo::stats::gof::{chi_square_geometric_fit, ks_test_exponential};
+use webevo_bench::bench_universe;
+
+fn bench(c: &mut Criterion) {
+    let universe = bench_universe();
+    let sites: Vec<SiteId> = universe.sites().iter().map(|s| s.id).collect();
+    let data = DailyMonitor::new(MonitorConfig {
+        days: 120,
+        failure_rate: 0.0,
+        time_of_day: 0.0,
+    })
+    .run(&universe, &sites);
+    let mut g = c.benchmark_group("fig6");
+    g.bench_function("fit_10day_group", |b| {
+        b.iter(|| black_box(poisson_fit_for_interval(black_box(&data), 10.0, 0.3)))
+    });
+    // GoF micro-benches on synthetic exponential samples.
+    let mut rng = SimRng::seed_from_u64(1);
+    let sample: Vec<f64> = (0..5000)
+        .map(|_| webevo::stats::dist::sample_exponential(&mut rng, 0.1).ceil())
+        .collect();
+    g.bench_function("chi_square_geometric_5k", |b| {
+        b.iter(|| black_box(chi_square_geometric_fit(black_box(&sample))))
+    });
+    g.bench_function("ks_exponential_5k", |b| {
+        b.iter(|| black_box(ks_test_exponential(black_box(&sample))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

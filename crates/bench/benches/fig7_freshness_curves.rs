@@ -1,0 +1,25 @@
+//! Figure 7: instantaneous freshness curves for batch vs steady crawlers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webevo::freshness::curves::{inplace_freshness_at, policy_curves};
+use webevo::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.bench_function("pointwise_eval", |b| {
+        b.iter(|| black_box(inplace_freshness_at(black_box(0.2), 30.0, 7.0, 17.3)))
+    });
+    g.bench_function("full_curve_2cycles_x100", |b| {
+        let policy = CrawlPolicy {
+            mode: CrawlMode::Batch { window_days: 7.0 },
+            update: UpdateMode::InPlace,
+            cycle_days: 30.0,
+        };
+        b.iter(|| black_box(policy_curves(black_box(&policy), 0.2, 2, 100)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

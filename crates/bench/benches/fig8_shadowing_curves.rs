@@ -1,0 +1,26 @@
+//! Figure 8: shadowing curves (crawler's vs current collection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webevo::freshness::curves::policy_curves;
+use webevo::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    for (label, mode) in [
+        ("steady_shadow", CrawlMode::Steady),
+        ("batch_shadow", CrawlMode::Batch { window_days: 7.0 }),
+    ] {
+        let policy = CrawlPolicy { mode, update: UpdateMode::Shadow, cycle_days: 30.0 };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let curves = policy_curves(black_box(&policy), 0.2, 2, 100);
+                black_box((curves.crawlers.time_average(), curves.current.time_average()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

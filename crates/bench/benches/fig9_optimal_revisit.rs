@@ -1,0 +1,23 @@
+//! Figure 9: the optimal revisit-frequency solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use webevo::prelude::*;
+use webevo_bench::paper_rate_mixture;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.bench_function("frequency_curve_80pts", |b| {
+        b.iter(|| black_box(optimal_frequency_curve(0.001, 10.0, 80, 25.0).unwrap()))
+    });
+    for n in [100usize, 1000, 10_000] {
+        let rates = paper_rate_mixture(1, n / 4);
+        g.bench_with_input(BenchmarkId::new("optimal_allocation", n), &rates, |b, rates| {
+            b.iter(|| black_box(optimal_allocation(rates, rates.len() as f64 / 30.0).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

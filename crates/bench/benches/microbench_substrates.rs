@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the hot substrate paths: PageRank, Poisson
+//! schedules, estimators, queue operations, fetches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use webevo::prelude::*;
+use webevo_bench::bench_universe;
+
+fn bench(c: &mut Criterion) {
+    let universe = bench_universe();
+    let mut g = c.benchmark_group("substrates");
+
+    // PageRank on the live snapshot.
+    let graph = universe.snapshot_graph(0.0);
+    g.bench_function("pagerank_snapshot", |b| {
+        b.iter(|| black_box(pagerank(&graph, &PageRankConfig::conventional()).unwrap()))
+    });
+    g.bench_function("hits_snapshot", |b| {
+        b.iter(|| black_box(webevo::graph::hits(&graph, &Default::default()).unwrap()))
+    });
+
+    // Poisson process generation + queries.
+    g.bench_function("poisson_generate_1k_events", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| black_box(PoissonProcess::generate(&mut rng, 10.0, 100.0)))
+    });
+    let mut rng = SimRng::seed_from_u64(2);
+    let process = PoissonProcess::generate(&mut rng, 5.0, 1000.0);
+    g.bench_function("poisson_count_in", |b| {
+        b.iter(|| black_box(process.count_in(black_box(100.0), black_box(500.0))))
+    });
+
+    // Estimators.
+    let mut history = ChangeHistory::new(300);
+    let mut hr = SimRng::seed_from_u64(3);
+    let hp = PoissonProcess::generate(&mut hr, 0.1, 300.0);
+    for day in 0..300 {
+        history.record_visit(day as f64, Checksum::of_version(1, hp.version_at(day as f64)));
+    }
+    g.bench_function("ep_estimate", |b| {
+        b.iter(|| black_box(estimate_ep(black_box(&history), 0.95).unwrap()))
+    });
+    g.bench_function("irregular_mle", |b| {
+        b.iter(|| black_box(estimate_irregular_mle(black_box(&history)).unwrap()))
+    });
+    let mut bayes =
+        BayesianEstimator::uniform_prior(BayesianEstimator::paper_classes()).unwrap();
+    g.bench_function("eb_observe", |b| {
+        b.iter(|| {
+            bayes.observe(1.0, black_box(false));
+            black_box(bayes.posterior_mean_rate())
+        })
+    });
+
+    // Revisit queue throughput.
+    for n in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("queue_push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = webevo::schedule::RevisitQueue::new();
+                for i in 0..n {
+                    q.push(Url::new(SiteId(0), PageId(i as u64)), (i % 97) as f64);
+                }
+                while let Some(v) = q.pop() {
+                    black_box(v);
+                }
+            })
+        });
+    }
+
+    // Simulated fetch path.
+    let root = universe.sites()[0].slots[0][0];
+    let url = universe.url_of(root);
+    g.bench_function("sim_fetch", |b| {
+        let mut fetcher = SimFetcher::new(&universe);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 0.001;
+            black_box(webevo::sim::Fetcher::fetch(&mut fetcher, url, t))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 1: site selection by site-level PageRank over a snapshot graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webevo::prelude::*;
+use webevo_bench::bench_universe;
+
+fn bench(c: &mut Criterion) {
+    let universe = bench_universe();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+    g.bench_function("snapshot_graph", |b| {
+        b.iter(|| black_box(universe.snapshot_graph(0.0)))
+    });
+    g.bench_function("site_selection", |b| {
+        b.iter(|| {
+            let sel = select_sites(black_box(&universe), 0.0, 8, 6);
+            black_box(sel.total())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 2 + §4 sensitivity: analytic freshness for the four policy
+//! combinations, and the Monte Carlo cross-check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webevo::freshness::montecarlo::simulate_policy;
+use webevo::prelude::*;
+use webevo_bench::TABLE2_LAMBDA;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.bench_function("analytic_four_entries", |b| {
+        b.iter(|| {
+            let l = black_box(TABLE2_LAMBDA);
+            black_box((
+                freshness_steady_inplace(l, 30.0),
+                freshness_batch_inplace(l, 30.0, 7.0),
+                freshness_steady_shadow(l, 30.0),
+                freshness_batch_shadow(l, 30.0, 7.0),
+            ))
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("montecarlo_cross_check", |b| {
+        let policy = CrawlPolicy::table2_policies()[3];
+        b.iter(|| {
+            black_box(simulate_policy(&policy, TABLE2_LAMBDA, 100, 2, 20, 42).current_avg)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

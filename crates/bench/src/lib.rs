@@ -1,0 +1,48 @@
+//! Shared fixtures for the benchmark suite and the `repro` binary.
+
+#![forbid(unsafe_code)]
+
+use webevo::prelude::*;
+
+/// The standard reproduction universe: medium scale (Table 1 domain
+/// ratio, 100-page windows), fixed seed.
+pub fn repro_universe() -> WebUniverse {
+    WebUniverse::generate(UniverseConfig::medium_scale(1999))
+}
+
+/// A small universe for fast micro-benchmarks.
+pub fn bench_universe() -> WebUniverse {
+    WebUniverse::generate(UniverseConfig::test_scale(7))
+}
+
+/// The paper's Table 2 rate: one change per four months.
+pub const TABLE2_LAMBDA: f64 = 1.0 / 120.0;
+
+/// The paper-calibrated change-rate mixture used by scheduling
+/// experiments: `per_domain` pages per Table 1 domain class.
+pub fn paper_rate_mixture(seed: u64, per_domain: usize) -> Vec<ChangeRate> {
+    use webevo::sim::DomainProfile;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut rates = Vec::with_capacity(per_domain * 4);
+    for domain in Domain::ALL {
+        let profile = DomainProfile::calibrated(domain);
+        for _ in 0..per_domain {
+            rates.push(profile.sample_rate(&mut rng));
+        }
+    }
+    rates
+}
+
+/// Run the full §2–3 experiment on the repro universe (128 monitored
+/// days). Expensive — cache the result when calling repeatedly.
+pub fn repro_experiment() -> ExperimentReport {
+    let universe = repro_universe();
+    let candidates = universe.site_count();
+    let permitted = candidates * 270 / 400;
+    run_full_experiment(
+        &universe,
+        &MonitorConfig { days: 128, failure_rate: 0.0, time_of_day: 0.0 },
+        candidates,
+        permitted,
+    )
+}

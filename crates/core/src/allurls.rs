@@ -1,0 +1,164 @@
+//! `AllUrls`: every URL the crawler has ever discovered (Figure 12).
+//!
+//! Besides membership, the structure keeps the evidence the RankingModule
+//! needs for its refinement decision: which collection pages link to each
+//! discovered URL (footnote 2: PageRank of an uncrawled page is estimated
+//! "based on how many pages in the Collection have a link to p"), and
+//! whether the URL has been observed dead.
+
+use std::collections::{HashMap, HashSet};
+use webevo_types::{PageId, Url};
+
+/// Metadata for one discovered URL.
+#[derive(Clone, Debug, Default)]
+pub struct UrlInfo {
+    /// Collection pages known to link here (bounded; enough for importance
+    /// estimation).
+    pub in_link_sources: HashSet<PageId>,
+    /// Simulated day the URL was first discovered.
+    pub discovered: f64,
+    /// The URL returned NotFound at this time (dead pages are not
+    /// candidates).
+    pub dead_since: Option<f64>,
+}
+
+/// The set of all discovered URLs.
+#[derive(Clone, Debug, Default)]
+pub struct AllUrls {
+    urls: HashMap<Url, UrlInfo>,
+    /// Cap on tracked in-link sources per URL (evidence saturates quickly).
+    max_sources: usize,
+}
+
+impl AllUrls {
+    /// An empty set tracking up to 32 in-link sources per URL.
+    pub fn new() -> AllUrls {
+        AllUrls { urls: HashMap::new(), max_sources: 32 }
+    }
+
+    /// Number of URLs discovered.
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// True if nothing has been discovered yet.
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+
+    /// True if the URL is known.
+    pub fn contains(&self, url: Url) -> bool {
+        self.urls.contains_key(&url)
+    }
+
+    /// Register a URL discovered at time `t` (idempotent).
+    pub fn discover(&mut self, url: Url, t: f64) {
+        self.urls.entry(url).or_insert_with(|| UrlInfo {
+            in_link_sources: HashSet::new(),
+            discovered: t,
+            dead_since: None,
+        });
+    }
+
+    /// Register that collection page `source` links to `url` (discovering
+    /// the URL if needed).
+    pub fn add_in_link(&mut self, url: Url, source: PageId, t: f64) {
+        let info = self.urls.entry(url).or_insert_with(|| UrlInfo {
+            in_link_sources: HashSet::new(),
+            discovered: t,
+            dead_since: None,
+        });
+        if info.in_link_sources.len() < self.max_sources {
+            info.in_link_sources.insert(source);
+        }
+    }
+
+    /// Mark a URL dead (fetch returned NotFound) at time `t`.
+    pub fn mark_dead(&mut self, url: Url, t: f64) {
+        if let Some(info) = self.urls.get_mut(&url) {
+            info.dead_since.get_or_insert(t);
+        }
+    }
+
+    /// Metadata for a URL.
+    pub fn info(&self, url: Url) -> Option<&UrlInfo> {
+        self.urls.get(&url)
+    }
+
+    /// Candidate URLs for admission: known, not dead, not satisfying
+    /// `exclude`, with at least one recorded in-link.
+    pub fn candidates<'a>(
+        &'a self,
+        exclude: &'a dyn Fn(Url) -> bool,
+    ) -> impl Iterator<Item = (Url, &'a UrlInfo)> + 'a {
+        self.urls.iter().filter_map(move |(&url, info)| {
+            if info.dead_since.is_none()
+                && !info.in_link_sources.is_empty()
+                && !exclude(url)
+            {
+                Some((url, info))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webevo_types::SiteId;
+
+    fn url(i: u64) -> Url {
+        Url::new(SiteId(0), PageId(i))
+    }
+
+    #[test]
+    fn discover_is_idempotent() {
+        let mut a = AllUrls::new();
+        a.discover(url(1), 1.0);
+        a.discover(url(1), 9.0);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.info(url(1)).unwrap().discovered, 1.0);
+    }
+
+    #[test]
+    fn in_links_accumulate_and_dedup() {
+        let mut a = AllUrls::new();
+        a.add_in_link(url(1), PageId(10), 0.0);
+        a.add_in_link(url(1), PageId(10), 1.0);
+        a.add_in_link(url(1), PageId(11), 2.0);
+        assert_eq!(a.info(url(1)).unwrap().in_link_sources.len(), 2);
+    }
+
+    #[test]
+    fn dead_urls_are_not_candidates() {
+        let mut a = AllUrls::new();
+        a.add_in_link(url(1), PageId(10), 0.0);
+        a.add_in_link(url(2), PageId(10), 0.0);
+        a.mark_dead(url(1), 3.0);
+        let never = |_| false;
+        let cands: Vec<Url> = a.candidates(&never).map(|(u, _)| u).collect();
+        assert_eq!(cands, vec![url(2)]);
+    }
+
+    #[test]
+    fn candidates_require_inlinks_and_respect_exclusion() {
+        let mut a = AllUrls::new();
+        a.discover(url(1), 0.0); // no in-links: not a candidate
+        a.add_in_link(url(2), PageId(10), 0.0);
+        a.add_in_link(url(3), PageId(10), 0.0);
+        let exclude = |u: Url| u == url(3);
+        let cands: Vec<Url> = a.candidates(&exclude).map(|(u, _)| u).collect();
+        assert_eq!(cands, vec![url(2)]);
+    }
+
+    #[test]
+    fn source_cap_bounds_memory() {
+        let mut a = AllUrls::new();
+        for i in 0..100 {
+            a.add_in_link(url(1), PageId(i), 0.0);
+        }
+        assert_eq!(a.info(url(1)).unwrap().in_link_sources.len(), 32);
+    }
+}

@@ -1,0 +1,484 @@
+//! The single-threaded incremental crawler engine — Algorithm 5.1 /
+//! Figure 11 made concrete, deterministic, and instrumented.
+//!
+//! The engine is a discrete-event loop over *fetch slots*: a steady crawler
+//! with budget `crawl_rate_per_day` performs one fetch every
+//! `1/crawl_rate_per_day` days, continuously (§4's steady mode — low peak
+//! load). Each slot:
+//!
+//! 1. runs the RankingModule and the UpdateModule's global reallocation if
+//!    their period elapsed (the periodic, off-hot-path refinement of §5.3),
+//! 2. pops the head of `CollUrls` (the most urgent URL),
+//! 3. crawls it, updates the Collection / AllUrls, estimates its change
+//!    rate, and pushes it back with its next due time.
+//!
+//! Ground truth (`WebUniverse`) is used **only** by the metrics sampler;
+//! every crawl decision flows from checksums and link observations, as in
+//! a real deployment.
+
+use crate::allurls::AllUrls;
+use crate::collection::Collection;
+use crate::metrics::CrawlMetrics;
+use crate::modules::{
+    CrawlModule, EstimatorKind, RankingConfig, RankingModule, RevisitStrategy, UpdateModule,
+};
+use std::collections::HashSet;
+use webevo_schedule::RevisitQueue;
+use webevo_sim::{FetchError, Fetcher, WebUniverse};
+use webevo_types::{PageId, Url};
+
+/// Configuration of the incremental crawler.
+#[derive(Clone, Debug)]
+pub struct IncrementalConfig {
+    /// Collection capacity in pages (§5.2's fixed size).
+    pub capacity: usize,
+    /// Crawl budget in fetches per day (steady).
+    pub crawl_rate_per_day: f64,
+    /// Period of the RankingModule pass and the revisit reallocation.
+    pub ranking_interval_days: f64,
+    /// Revisit strategy (the §4.3 design axis).
+    pub revisit: RevisitStrategy,
+    /// Change-frequency estimator (§5.3).
+    pub estimator: EstimatorKind,
+    /// Observations retained per page history.
+    pub history_window: usize,
+    /// Metrics sampling period in days.
+    pub sample_interval_days: f64,
+    /// RankingModule tuning.
+    pub ranking: RankingConfig,
+}
+
+impl IncrementalConfig {
+    /// A reasonable default for a collection of `capacity` pages revisited
+    /// roughly monthly: budget = capacity/30 fetches/day, daily ranking.
+    pub fn monthly(capacity: usize) -> IncrementalConfig {
+        IncrementalConfig {
+            capacity,
+            crawl_rate_per_day: capacity as f64 / 30.0,
+            ranking_interval_days: 1.0,
+            revisit: RevisitStrategy::Optimal,
+            estimator: EstimatorKind::Ep,
+            history_window: 200,
+            sample_interval_days: 1.0,
+            ranking: RankingConfig::default(),
+        }
+    }
+}
+
+/// The incremental crawler (left-hand column of Figure 10).
+pub struct IncrementalCrawler {
+    config: IncrementalConfig,
+    collection: Collection,
+    all_urls: AllUrls,
+    queue: RevisitQueue,
+    queued: HashSet<PageId>,
+    /// Pages the RankingModule proposed for admission; the eviction they
+    /// pay for happens only when their crawl *succeeds* (Algorithm 5.1
+    /// discards at crawl time, steps [7]-[9] — evicting at proposal time
+    /// would leak slots whenever a candidate turns out dead).
+    admissions: HashSet<PageId>,
+    update: UpdateModule,
+    ranking: RankingModule,
+    crawl: CrawlModule,
+    metrics: CrawlMetrics,
+    run_start: f64,
+}
+
+impl IncrementalCrawler {
+    /// Create a crawler.
+    pub fn new(config: IncrementalConfig) -> IncrementalCrawler {
+        assert!(config.crawl_rate_per_day > 0.0);
+        assert!(config.ranking_interval_days > 0.0);
+        assert!(config.sample_interval_days > 0.0);
+        let default_interval = config.capacity as f64 / config.crawl_rate_per_day;
+        IncrementalCrawler {
+            collection: Collection::new(config.capacity, config.history_window),
+            all_urls: AllUrls::new(),
+            queue: RevisitQueue::new(),
+            queued: HashSet::new(),
+            admissions: HashSet::new(),
+            update: UpdateModule::new(config.revisit, config.estimator, default_interval),
+            ranking: RankingModule::new(config.ranking.clone()),
+            crawl: CrawlModule::new(),
+            metrics: CrawlMetrics::default(),
+            run_start: 0.0,
+            config,
+        }
+    }
+
+    /// The collection (for inspection).
+    pub fn collection(&self) -> &Collection {
+        &self.collection
+    }
+
+    /// All discovered URLs (for inspection).
+    pub fn all_urls(&self) -> &AllUrls {
+        &self.all_urls
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &CrawlMetrics {
+        &self.metrics
+    }
+
+    /// Ranking passes completed.
+    pub fn ranking_runs(&self) -> u64 {
+        self.ranking.runs()
+    }
+
+    fn enqueue(&mut self, url: Url, due: f64) {
+        if self.queued.insert(url.page) {
+            self.queue.push(url, due);
+        }
+    }
+
+    fn enqueue_front(&mut self, url: Url) {
+        if self.queued.insert(url.page) {
+            self.queue.push_front(url);
+        }
+    }
+
+    /// Run against `universe` (metrics ground truth) and `fetcher` (the
+    /// crawler's only view of the web) from `start` to `end` days.
+    pub fn run(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        start: f64,
+        end: f64,
+    ) -> &CrawlMetrics {
+        assert!(end > start);
+        self.run_start = start;
+        // Seed URLs: the site roots (§1's "initial set of URLs, called
+        // seed URLs").
+        for site in universe.sites() {
+            if let Some(root) = universe.occupant(site.id, 0, start) {
+                let url = Url::new(site.id, root);
+                self.all_urls.discover(url, start);
+                self.enqueue(url, start);
+            }
+        }
+        let step = 1.0 / self.config.crawl_rate_per_day;
+        let mut t = start;
+        let mut next_ranking = start + self.config.ranking_interval_days;
+        let mut next_sample = start;
+        self.metrics.observe_speed(self.config.crawl_rate_per_day);
+        while t < end {
+            if t >= next_sample {
+                self.sample_metrics(universe, t);
+                next_sample += self.config.sample_interval_days;
+            }
+            if t >= next_ranking {
+                self.run_ranking(t);
+                next_ranking += self.config.ranking_interval_days;
+            }
+            let Some(visit) = self.queue.pop() else {
+                // Nothing to crawl yet (collection empty and no
+                // discoveries): burn the slot.
+                t += step;
+                continue;
+            };
+            self.queued.remove(&visit.url.page);
+            self.crawl_one(universe, fetcher, visit.url, t);
+            t += step;
+        }
+        self.sample_metrics(universe, end);
+        &self.metrics
+    }
+
+    /// One fetch slot: crawl `url` at `t` and apply the result.
+    fn crawl_one(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        url: Url,
+        t: f64,
+    ) {
+        match self.crawl.crawl(fetcher, url, t) {
+            Ok(outcome) => {
+                self.metrics.record_fetch(true);
+                let in_collection = self.collection.contains(url.page);
+                if in_collection {
+                    self.collection.update(url.page, outcome.checksum, outcome.links.clone(), t);
+                } else {
+                    let admitted = self.admissions.remove(&url.page);
+                    if self.collection.is_full() {
+                        if !admitted {
+                            // A stale growth-phase entry: the collection
+                            // filled up since it was queued. Drop it; the
+                            // RankingModule decides admissions now.
+                            return;
+                        }
+                        // Algorithm 5.1 steps [7]-[8]: make room by
+                        // discarding the least-important page, now that the
+                        // replacement is in hand.
+                        if let Some(victim) = self.collection.least_important() {
+                            if let Some(stored) = self.collection.discard(victim) {
+                                self.queue.remove(stored.url);
+                                self.queued.remove(&victim);
+                                self.update.forget(victim);
+                            }
+                        }
+                    }
+                    self.collection.save(url, outcome.checksum, outcome.links.clone(), t);
+                    let birth = universe.page(url.page).birth;
+                    if birth >= self.run_start {
+                        // Only pages born during the run measure "how fast
+                        // do *new* pages reach users"; initial-fill pages
+                        // would just measure the warm-up.
+                        self.metrics.record_admission_latency(t - birth);
+                        let found = self
+                            .all_urls
+                            .info(url)
+                            .map(|i| i.discovered)
+                            .unwrap_or(t);
+                        self.metrics.record_discovery_latency(t - found);
+                    }
+                }
+                // Forward discovered URLs to AllUrls (Algorithm 5.1 steps
+                // [11]-[12]) with in-link evidence.
+                for link in &outcome.links {
+                    let first_sighting = !self.all_urls.contains(*link);
+                    self.all_urls.add_in_link(*link, url.page, t);
+                    // While the collection has room, brand-new URLs jump
+                    // the queue (§5.3: the new page "is placed on the top
+                    // of CollUrls, so that the UpdateModule can crawl the
+                    // page immediately"). Once full, admission is the
+                    // RankingModule's call.
+                    if !self.collection.is_full() && !self.collection.contains(link.page) {
+                        if first_sighting {
+                            self.enqueue_front(*link);
+                        } else {
+                            self.enqueue(*link, t);
+                        }
+                    }
+                }
+                self.enqueue(url, self.update.next_due(url.page, t));
+            }
+            Err(FetchError::NotFound) => {
+                self.metrics.record_fetch(false);
+                self.all_urls.mark_dead(url, t);
+                self.admissions.remove(&url.page);
+                if self.collection.discard(url.page).is_some() {
+                    self.update.forget(url.page);
+                }
+                // The freed slot is refilled by the next ranking pass.
+            }
+            Err(FetchError::Transient) => {
+                self.metrics.record_fetch(false);
+                // Retry with a small backoff.
+                self.enqueue(url, t + 0.25);
+            }
+            Err(FetchError::RateLimited { retry_at }) => {
+                self.enqueue(url, retry_at.max(t + 0.01));
+            }
+        }
+    }
+
+    /// Periodic refinement: ranking pass + revisit reallocation.
+    ///
+    /// Replacement proposals only *schedule* the candidate (at the queue
+    /// front, per §5.3); the matching eviction happens when the candidate's
+    /// crawl succeeds, so dead candidates never cost a slot.
+    fn run_ranking(&mut self, _t: f64) {
+        let outcome = self.ranking.run(&mut self.collection, &self.all_urls);
+        for (_victim, admit) in outcome.replacements {
+            self.admissions.insert(admit.page);
+            self.enqueue_front(admit);
+        }
+        self.update
+            .reallocate(&self.collection, self.config.crawl_rate_per_day);
+    }
+
+    /// Evaluation-only: freshness and mean age of the collection against
+    /// ground truth.
+    fn sample_metrics(&mut self, universe: &WebUniverse, t: f64) {
+        if self.collection.is_empty() {
+            self.metrics.sample(t, 0.0, 0.0);
+            return;
+        }
+        let mut fresh = 0usize;
+        let mut age_sum = 0.0;
+        let n = self.collection.len();
+        for (&p, stored) in self.collection.iter() {
+            if universe.copy_is_fresh(p, stored.last_crawl, t) {
+                fresh += 1;
+            } else {
+                let page = universe.page(p);
+                let staled_at = page
+                    .process
+                    .first_event_after(stored.last_crawl)
+                    .unwrap_or(page.death)
+                    .min(page.death);
+                age_sum += (t - staled_at).max(0.0);
+            }
+        }
+        self.metrics.sample(t, fresh as f64 / n as f64, age_sum / n as f64);
+    }
+
+    /// Evaluation-only: the collection's quality (§5.1 goal 2) as the mean
+    /// ground-truth PageRank of its pages at time `t`, normalized by the
+    /// best achievable mean with the same capacity. 1.0 = the collection
+    /// holds exactly the top-capacity pages.
+    pub fn quality(&self, universe: &WebUniverse, t: f64) -> f64 {
+        use webevo_graph::pagerank::{pagerank, PageRankConfig};
+        let graph = universe.snapshot_graph(t);
+        let Ok(scores) = pagerank(&graph, &PageRankConfig::conventional()) else {
+            return 0.0;
+        };
+        let mut all: Vec<f64> = scores.iter().map(|(_, s)| s).collect();
+        all.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+        let k = self.collection.len().min(all.len());
+        if k == 0 {
+            return 0.0;
+        }
+        let ideal: f64 = all[..k].iter().sum::<f64>() / k as f64;
+        let actual: f64 = self
+            .collection
+            .iter()
+            .map(|(&p, _)| scores.get(p))
+            .sum::<f64>()
+            / k as f64;
+        if ideal > 0.0 {
+            actual / ideal
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webevo_sim::{SimFetcher, UniverseConfig, WebUniverse};
+
+    fn universe() -> WebUniverse {
+        WebUniverse::generate(UniverseConfig::test_scale(77))
+    }
+
+    fn config(capacity: usize) -> IncrementalConfig {
+        IncrementalConfig {
+            capacity,
+            crawl_rate_per_day: capacity as f64 / 5.0, // 5-day cycles: fast tests
+            ranking_interval_days: 2.0,
+            revisit: RevisitStrategy::Uniform,
+            estimator: EstimatorKind::Ep,
+            history_window: 100,
+            sample_interval_days: 1.0,
+            ranking: RankingConfig::default(),
+        }
+    }
+
+    #[test]
+    fn fills_collection_and_stays_fresh() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = IncrementalCrawler::new(config(60));
+        crawler.run(&u, &mut fetcher, 0.0, 60.0);
+        assert!(
+            crawler.collection().len() >= 55,
+            "collection should fill: {}",
+            crawler.collection().len()
+        );
+        let f = crawler.metrics().average_freshness_from(20.0);
+        assert!(f > 0.5, "steady-state freshness too low: {f}");
+        assert!(crawler.ranking_runs() >= 20);
+    }
+
+    #[test]
+    fn discovers_beyond_seeds() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = IncrementalCrawler::new(config(40));
+        crawler.run(&u, &mut fetcher, 0.0, 30.0);
+        assert!(
+            crawler.all_urls().len() > u.site_count(),
+            "link extraction should discover non-seed URLs"
+        );
+    }
+
+    #[test]
+    fn dead_pages_are_evicted_and_replaced() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = IncrementalCrawler::new(config(50));
+        crawler.run(&u, &mut fetcher, 0.0, 100.0);
+        // After 100 days of churn, every stored page must still be alive
+        // recently (dead ones evicted on NotFound).
+        let mut stale_dead = 0;
+        for (&p, stored) in crawler.collection().iter() {
+            if !u.alive(p, 100.0) && (100.0 - stored.last_crawl) > 10.0 {
+                stale_dead += 1;
+            }
+        }
+        assert!(
+            stale_dead <= crawler.collection().len() / 5,
+            "too many dead pages lingering: {stale_dead}"
+        );
+    }
+
+    #[test]
+    fn new_page_latency_is_recorded() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = IncrementalCrawler::new(config(50));
+        crawler.run(&u, &mut fetcher, 0.0, 60.0);
+        assert!(crawler.metrics().new_page_latency.count() > 10);
+        assert!(crawler.metrics().new_page_latency.mean() >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let u = universe();
+        let run = || {
+            let mut fetcher = SimFetcher::new(&u);
+            let mut crawler = IncrementalCrawler::new(config(40));
+            crawler.run(&u, &mut fetcher, 0.0, 40.0);
+            (
+                crawler.collection().len(),
+                crawler.metrics().fetches,
+                crawler.metrics().freshness.values().to_vec(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn survives_transient_failures() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u).with_failure_rate(0.2);
+        let mut crawler = IncrementalCrawler::new(config(50));
+        crawler.run(&u, &mut fetcher, 0.0, 60.0);
+        assert!(crawler.metrics().failed_fetches > 0);
+        assert!(
+            crawler.collection().len() >= 40,
+            "collection should still fill under failures: {}",
+            crawler.collection().len()
+        );
+        let f = crawler.metrics().average_freshness_from(30.0);
+        assert!(f > 0.4, "freshness under failures: {f}");
+    }
+
+    #[test]
+    fn quality_is_meaningful() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = IncrementalCrawler::new(config(30));
+        crawler.run(&u, &mut fetcher, 0.0, 60.0);
+        let q = crawler.quality(&u, 60.0);
+        assert!(q > 0.2 && q <= 1.0 + 1e-9, "quality={q}");
+    }
+
+    #[test]
+    fn optimal_strategy_runs_end_to_end() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut cfg = config(50);
+        cfg.revisit = RevisitStrategy::Optimal;
+        cfg.estimator = EstimatorKind::Eb;
+        let mut crawler = IncrementalCrawler::new(cfg);
+        crawler.run(&u, &mut fetcher, 0.0, 80.0);
+        let f = crawler.metrics().average_freshness_from(40.0);
+        assert!(f > 0.5, "optimal steady-state freshness: {f}");
+    }
+}

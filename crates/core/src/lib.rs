@@ -1,0 +1,52 @@
+//! The incremental crawler architecture of §5 — the paper's primary
+//! contribution — together with the periodic (batch + shadowing) baseline
+//! it argues against.
+//!
+//! The architecture follows Figure 12:
+//!
+//! ```text
+//!   AllUrls ──scan──▶ RankingModule ──add/remove──▶ CollUrls (priority queue)
+//!      ▲                   │ discard                     │ pop / pushback
+//!      │ addUrls           ▼                             ▼
+//!   CrawlModule ◀──crawl── UpdateModule ◀──checksum── Collection
+//! ```
+//!
+//! * [`allurls`] — every URL ever discovered, with the in-link evidence the
+//!   RankingModule uses to estimate the importance of uncrawled pages.
+//! * [`collection`] — the local page store: checksums, links, change
+//!   histories, importance scores.
+//! * [`modules`] — the three modules as separable units: `CrawlModule`
+//!   (fetch + link extraction), `UpdateModule` (update decision: what to
+//!   refresh, when), `RankingModule` (refinement decision: what to keep).
+//! * [`incremental`] — the single-threaded deterministic engine combining
+//!   them (Algorithm 5.1 / Figure 11 made concrete).
+//! * [`threaded`] — the same architecture with real concurrency: crawl
+//!   workers behind crossbeam channels, shared state behind parking_lot
+//!   locks, the RankingModule decoupled from the crawl hot path exactly as
+//!   §5.3 prescribes ("Separating the update decision from the refinement
+//!   decision is crucial").
+//! * [`periodic`] — the batch-mode, shadowing, fixed-frequency baseline
+//!   (the right-hand column of Figure 10).
+//! * [`metrics`] — freshness/age/new-page-latency instrumentation against
+//!   simulator ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allurls;
+pub mod collection;
+pub mod incremental;
+pub mod metrics;
+pub mod modules;
+pub mod periodic;
+pub mod threaded;
+
+pub use allurls::AllUrls;
+pub use collection::{Collection, StoredPage};
+pub use incremental::{IncrementalConfig, IncrementalCrawler};
+pub use metrics::CrawlMetrics;
+pub use modules::{
+    CrawlModule, EstimatorKind, RankingConfig, RankingModule, RevisitStrategy, UpdateModule,
+};
+pub use periodic::{PeriodicConfig, PeriodicCrawler};
+pub use threaded::ThreadedCrawler;

@@ -1,0 +1,146 @@
+//! Crawl-quality instrumentation against simulator ground truth.
+//!
+//! The evaluation layer — *not* part of the crawler (a real crawler cannot
+//! measure its own freshness; §4 needs the Poisson model for exactly that
+//! reason). The engines call [`CrawlMetrics::sample`] on a fixed cadence
+//! and record admission events; the summaries feed Figure 10's comparison
+//! and the crawler-architecture benches.
+
+use webevo_freshness::FreshnessSeries;
+use webevo_stats::Summary;
+
+/// Metrics collected over one crawler run.
+#[derive(Clone, Debug, Default)]
+pub struct CrawlMetrics {
+    /// Freshness of the user-visible collection over time.
+    pub freshness: FreshnessSeries,
+    /// Mean age (days) of the user-visible collection over time.
+    pub age: FreshnessSeriesLike,
+    /// Latency from page birth to first availability in the user-visible
+    /// collection, per admitted page (dominated by discovery physics:
+    /// how soon some crawled page links to the newcomer).
+    pub new_page_latency: Summary,
+    /// Latency from *discovery* (URL first seen by the crawler) to first
+    /// availability — the paper's §1 claim is about exactly this: "the
+    /// incremental crawler may immediately index the new page, right
+    /// after it is found", while the periodic crawler sits on found pages
+    /// until the swap.
+    pub discovery_latency: Summary,
+    /// Total fetches issued.
+    pub fetches: u64,
+    /// Fetches that failed (NotFound or Transient).
+    pub failed_fetches: u64,
+    /// Peak crawl speed observed (fetches/day, over the sampling interval).
+    pub peak_speed: f64,
+}
+
+/// A time series like [`FreshnessSeries`] but without the `[0,1]` bound
+/// (ages are unbounded).
+#[derive(Clone, Debug, Default)]
+pub struct FreshnessSeriesLike {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl FreshnessSeriesLike {
+    /// Append a sample (times must be non-decreasing).
+    pub fn push(&mut self, t: f64, v: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "samples must be time-ordered");
+        }
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// Trapezoidal time average.
+    pub fn time_average(&self) -> f64 {
+        if self.times.len() < 2 {
+            return self.values.first().copied().unwrap_or(0.0);
+        }
+        let mut area = 0.0;
+        for i in 1..self.times.len() {
+            area += (self.times[i] - self.times[i - 1])
+                * (self.values[i] + self.values[i - 1])
+                / 2.0;
+        }
+        let span = self.times.last().unwrap() - self.times.first().unwrap();
+        if span > 0.0 {
+            area / span
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Raw rows.
+    pub fn rows(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+}
+
+impl CrawlMetrics {
+    /// Record one sampling instant: collection freshness and mean age.
+    pub fn sample(&mut self, t: f64, freshness: f64, mean_age: f64) {
+        self.freshness.push(t, freshness);
+        self.age.push(t, mean_age);
+    }
+
+    /// Record a page becoming visible to users `latency` days after its
+    /// birth.
+    pub fn record_admission_latency(&mut self, latency: f64) {
+        // Pages born before the run started would report negative latency;
+        // clamp at zero (they were available "immediately" relative to
+        // their discoverable life).
+        self.new_page_latency.record(latency.max(0.0));
+    }
+
+    /// Record a page becoming visible `latency` days after the crawler
+    /// first learned of its URL.
+    pub fn record_discovery_latency(&mut self, latency: f64) {
+        self.discovery_latency.record(latency.max(0.0));
+    }
+
+    /// Record fetch accounting.
+    pub fn record_fetch(&mut self, ok: bool) {
+        self.fetches += 1;
+        if !ok {
+            self.failed_fetches += 1;
+        }
+    }
+
+    /// Update the observed peak speed.
+    pub fn observe_speed(&mut self, fetches_per_day: f64) {
+        if fetches_per_day > self.peak_speed {
+            self.peak_speed = fetches_per_day;
+        }
+    }
+
+    /// Time-averaged freshness after `start` (skip warm-up).
+    pub fn average_freshness_from(&self, start: f64) -> f64 {
+        self.freshness.time_average_from(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut m = CrawlMetrics::default();
+        m.sample(0.0, 0.5, 1.0);
+        m.sample(10.0, 0.9, 0.5);
+        m.record_fetch(true);
+        m.record_fetch(false);
+        m.record_admission_latency(3.0);
+        m.record_admission_latency(-2.0);
+        m.observe_speed(40.0);
+        m.observe_speed(10.0);
+        assert_eq!(m.fetches, 2);
+        assert_eq!(m.failed_fetches, 1);
+        assert_eq!(m.peak_speed, 40.0);
+        assert!((m.freshness.time_average() - 0.7).abs() < 1e-12);
+        assert!((m.age.time_average() - 0.75).abs() < 1e-12);
+        assert_eq!(m.new_page_latency.count(), 2);
+        assert_eq!(m.new_page_latency.min(), 0.0, "negative latency clamped");
+    }
+}

@@ -1,0 +1,346 @@
+//! The periodic crawler baseline — batch-mode, shadowing, fixed frequency
+//! (the right-hand column of Figure 10).
+//!
+//! Every cycle the crawler rebuilds a **brand new** collection from the
+//! seed URLs: breadth-first crawling into a shadow space during the batch
+//! window, then an atomic swap replaces the current collection (§1's
+//! description of the traditional crawler, §4's shadowing semantics).
+//! Between windows the crawler idles — which is exactly what gives it the
+//! high peak speed §4 warns about (peak = cycle/window × the steady rate).
+
+use crate::metrics::CrawlMetrics;
+use std::collections::{HashMap, HashSet, VecDeque};
+use webevo_sim::{FetchError, Fetcher, WebUniverse};
+use webevo_types::{Checksum, PageId, Url};
+
+/// Configuration of the periodic crawler.
+#[derive(Clone, Debug)]
+pub struct PeriodicConfig {
+    /// Collection capacity in pages.
+    pub capacity: usize,
+    /// Cycle length in days (the paper's "once a month").
+    pub cycle_days: f64,
+    /// Batch window: the crawl must finish within this many days (the
+    /// paper's "finishes a crawl in a week").
+    pub window_days: f64,
+    /// Metrics sampling period in days.
+    pub sample_interval_days: f64,
+}
+
+impl PeriodicConfig {
+    /// The paper's Table 2 shape: monthly cycle, one-week window.
+    pub fn monthly(capacity: usize) -> PeriodicConfig {
+        PeriodicConfig {
+            capacity,
+            cycle_days: 30.0,
+            window_days: 7.0,
+            sample_interval_days: 1.0,
+        }
+    }
+
+    /// Average crawl speed (fetches/day amortized over the cycle).
+    pub fn average_speed(&self) -> f64 {
+        self.capacity as f64 / self.cycle_days
+    }
+
+    /// Peak crawl speed (fetches/day during the window) — the §4 cost of
+    /// batch crawling.
+    pub fn peak_speed(&self) -> f64 {
+        self.capacity as f64 / self.window_days
+    }
+}
+
+/// A snapshot entry in the current (user-visible) collection.
+#[derive(Clone, Debug)]
+struct SnapshotPage {
+    crawl_time: f64,
+    #[allow(dead_code)]
+    checksum: Checksum,
+}
+
+/// The periodic crawler.
+pub struct PeriodicCrawler {
+    config: PeriodicConfig,
+    /// The user-visible collection (page → crawl info).
+    current: HashMap<PageId, SnapshotPage>,
+    /// When each page first became visible to users (for latency metrics).
+    first_visible: HashMap<PageId, f64>,
+    metrics: CrawlMetrics,
+    cycles: u64,
+}
+
+impl PeriodicCrawler {
+    /// Create a crawler.
+    pub fn new(config: PeriodicConfig) -> PeriodicCrawler {
+        assert!(config.capacity > 0);
+        assert!(config.window_days > 0.0 && config.window_days <= config.cycle_days);
+        PeriodicCrawler {
+            config,
+            current: HashMap::new(),
+            first_visible: HashMap::new(),
+            metrics: CrawlMetrics::default(),
+            cycles: 0,
+        }
+    }
+
+    /// Completed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Pages currently visible to users.
+    pub fn current_size(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &CrawlMetrics {
+        &self.metrics
+    }
+
+    /// Run from `start` to `end` days.
+    pub fn run(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        start: f64,
+        end: f64,
+    ) -> &CrawlMetrics {
+        assert!(end > start);
+        self.metrics.observe_speed(self.config.peak_speed());
+        let mut next_sample = start;
+        let mut cycle_start = start;
+        while cycle_start < end {
+            // --- Batch window: build the shadow collection. ---
+            let shadow = self.batch_crawl(
+                universe,
+                fetcher,
+                cycle_start,
+                &mut next_sample,
+                end,
+            );
+            let swap_time = (cycle_start + self.config.window_days).min(end);
+            // --- Swap: the shadow becomes the current collection. ---
+            if swap_time <= end {
+                for (&p, snap) in shadow.iter() {
+                    if !self.first_visible.contains_key(&p) {
+                        self.first_visible.insert(p, swap_time);
+                        let birth = universe.page(p).birth;
+                        if birth >= start {
+                            self.metrics.record_admission_latency(swap_time - birth);
+                            // The page was "found" when the batch crawl
+                            // fetched it; it sat invisible until the swap.
+                            self.metrics
+                                .record_discovery_latency(swap_time - snap.crawl_time);
+                        }
+                    }
+                }
+                self.current = shadow;
+                self.cycles += 1;
+            }
+            // --- Idle until the next cycle, sampling metrics. ---
+            let cycle_end = (cycle_start + self.config.cycle_days).min(end);
+            while next_sample <= cycle_end {
+                if next_sample >= swap_time {
+                    self.sample_metrics(universe, next_sample);
+                    next_sample += self.config.sample_interval_days;
+                } else {
+                    self.sample_metrics(universe, next_sample);
+                    next_sample += self.config.sample_interval_days;
+                }
+            }
+            cycle_start += self.config.cycle_days;
+        }
+        &self.metrics
+    }
+
+    /// One batch crawl: BFS from the seed roots into a fresh shadow,
+    /// paced so `capacity` fetches fill `window_days`.
+    fn batch_crawl(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        cycle_start: f64,
+        next_sample: &mut f64,
+        end: f64,
+    ) -> HashMap<PageId, SnapshotPage> {
+        let step = self.config.window_days / self.config.capacity as f64;
+        let mut shadow: HashMap<PageId, SnapshotPage> = HashMap::new();
+        let mut frontier: VecDeque<Url> = VecDeque::new();
+        let mut seen: HashSet<PageId> = HashSet::new();
+        for site in universe.sites() {
+            if let Some(root) = universe.occupant(site.id, 0, cycle_start) {
+                let url = Url::new(site.id, root);
+                if seen.insert(url.page) {
+                    frontier.push_back(url);
+                }
+            }
+        }
+        let mut t = cycle_start;
+        while shadow.len() < self.config.capacity && t < end {
+            // Sampling continues during the crawl: users still query the
+            // *current* collection while the shadow builds (§4).
+            while *next_sample <= t {
+                self.sample_metrics(universe, *next_sample);
+                *next_sample += self.config.sample_interval_days;
+            }
+            let Some(url) = frontier.pop_front() else {
+                break; // frontier exhausted before capacity
+            };
+            match fetcher.fetch(url, t) {
+                Ok(outcome) => {
+                    self.metrics.record_fetch(true);
+                    shadow.insert(
+                        url.page,
+                        SnapshotPage { crawl_time: t, checksum: outcome.checksum },
+                    );
+                    for link in outcome.links {
+                        if seen.insert(link.page) {
+                            frontier.push_back(link);
+                        }
+                    }
+                }
+                Err(FetchError::NotFound) | Err(FetchError::Transient) => {
+                    self.metrics.record_fetch(false);
+                }
+                Err(FetchError::RateLimited { .. }) => {
+                    // Batch crawlers just retry later in the window.
+                    frontier.push_back(url);
+                }
+            }
+            t += step;
+        }
+        shadow
+    }
+
+    /// Evaluation-only freshness/age sampling of the current collection.
+    fn sample_metrics(&mut self, universe: &WebUniverse, t: f64) {
+        if self.current.is_empty() {
+            self.metrics.sample(t, 0.0, 0.0);
+            return;
+        }
+        let mut fresh = 0usize;
+        let mut age_sum = 0.0;
+        let n = self.current.len();
+        for (&p, snap) in &self.current {
+            if universe.copy_is_fresh(p, snap.crawl_time, t) {
+                fresh += 1;
+            } else {
+                let page = universe.page(p);
+                let staled_at = page
+                    .process
+                    .first_event_after(snap.crawl_time)
+                    .unwrap_or(page.death)
+                    .min(page.death);
+                age_sum += (t - staled_at).max(0.0);
+            }
+        }
+        self.metrics.sample(t, fresh as f64 / n as f64, age_sum / n as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webevo_sim::{SimFetcher, UniverseConfig, WebUniverse};
+
+    fn universe() -> WebUniverse {
+        WebUniverse::generate(UniverseConfig::test_scale(88))
+    }
+
+    fn config() -> PeriodicConfig {
+        PeriodicConfig {
+            capacity: 60,
+            cycle_days: 10.0,
+            window_days: 2.5,
+            sample_interval_days: 0.5,
+        }
+    }
+
+    #[test]
+    fn cycles_and_swaps() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = PeriodicCrawler::new(config());
+        crawler.run(&u, &mut fetcher, 0.0, 40.0);
+        assert_eq!(crawler.cycles(), 4);
+        assert!(crawler.current_size() > 40, "size={}", crawler.current_size());
+    }
+
+    #[test]
+    fn collection_is_empty_before_first_swap() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = PeriodicCrawler::new(config());
+        crawler.run(&u, &mut fetcher, 0.0, 40.0);
+        // The first samples (before day 2.5) must show freshness 0 — no
+        // current collection exists yet.
+        let rows: Vec<(f64, f64)> = crawler.metrics().freshness.rows().collect();
+        for &(t, f) in rows.iter().take(4) {
+            if t < 2.5 {
+                assert_eq!(f, 0.0, "no user-visible collection before the first swap");
+            }
+        }
+        // After warm-up, freshness is positive.
+        assert!(crawler.metrics().average_freshness_from(10.0) > 0.3);
+    }
+
+    #[test]
+    fn peak_speed_exceeds_average() {
+        let c = config();
+        assert!(c.peak_speed() > c.average_speed() * 3.9);
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = PeriodicCrawler::new(c);
+        crawler.run(&u, &mut fetcher, 0.0, 20.0);
+        assert!((crawler.metrics().peak_speed - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freshness_sawtooth_decays_between_swaps() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = PeriodicCrawler::new(config());
+        crawler.run(&u, &mut fetcher, 0.0, 40.0);
+        let rows: Vec<(f64, f64)> = crawler.metrics().freshness.rows().collect();
+        // Find freshness right after the second swap (t≈12.5) and right
+        // before the third (t≈22.5): it must decay.
+        let f_after = rows
+            .iter()
+            .find(|(t, _)| *t >= 13.0)
+            .map(|&(_, f)| f)
+            .unwrap();
+        let f_before = rows
+            .iter()
+            .find(|(t, _)| *t >= 22.0)
+            .map(|&(_, f)| f)
+            .unwrap();
+        assert!(
+            f_after > f_before,
+            "sawtooth: after swap {f_after} should beat end of cycle {f_before}"
+        );
+    }
+
+    #[test]
+    fn new_pages_wait_for_next_swap() {
+        // Admission latency for the periodic crawler is bounded below by
+        // the batch mechanics: nothing becomes visible between swaps.
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = PeriodicCrawler::new(config());
+        crawler.run(&u, &mut fetcher, 0.0, 40.0);
+        assert!(crawler.metrics().new_page_latency.count() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let u = universe();
+        let run = || {
+            let mut fetcher = SimFetcher::new(&u);
+            let mut crawler = PeriodicCrawler::new(config());
+            crawler.run(&u, &mut fetcher, 0.0, 30.0);
+            (crawler.current_size(), crawler.metrics().fetches)
+        };
+        assert_eq!(run(), run());
+    }
+}

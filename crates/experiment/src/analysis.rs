@@ -1,0 +1,205 @@
+//! Figures 2, 4 and 5: change intervals, lifespans, fraction unchanged.
+
+use crate::monitor::MonitoringData;
+use webevo_stats::{IntervalBin, IntervalHistogram, LifespanHistogram, SurvivalCurve};
+use webevo_types::domain::PerDomain;
+
+/// Figure 2: classify every observed page by its §3.1 average change
+/// interval. Pages never seen to change land in the `>4months` bin — the
+/// paper's crude approximation for its fifth bar ("we do not know exactly
+/// how often a page changes when its change interval is out of this
+/// range").
+pub fn change_interval_histograms(
+    data: &MonitoringData,
+) -> (IntervalHistogram, PerDomain<IntervalHistogram>) {
+    let mut overall = IntervalHistogram::default();
+    let mut by_domain: PerDomain<IntervalHistogram> = PerDomain::default();
+    for rec in &data.records {
+        let bin = match rec.mean_change_interval() {
+            Some(interval) => IntervalBin::classify(interval),
+            None => IntervalBin::OverFourMonths,
+        };
+        overall.record_bin(bin);
+        by_domain.get_mut(rec.domain).record_bin(bin);
+    }
+    (overall, by_domain)
+}
+
+/// Which Figure 3 correction to apply when estimating lifespans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifespanMethod {
+    /// Method 1: use the observed span `s` as the lifespan for every page.
+    Method1,
+    /// Method 2: use `2s` for pages censored at either end of the
+    /// experiment (Figure 3 cases (a), (c), (d)); `s` for fully observed
+    /// pages (case (b)).
+    Method2,
+}
+
+/// Figure 4: visible-lifespan histograms under the chosen method.
+///
+/// The visible lifespan of a fully observed page is its in-window span
+/// plus one day (a page seen on exactly one day was visible for a day, not
+/// zero).
+pub fn lifespan_histograms(
+    data: &MonitoringData,
+    method: LifespanMethod,
+) -> (LifespanHistogram, PerDomain<LifespanHistogram>) {
+    let mut overall = LifespanHistogram::default();
+    let mut by_domain: PerDomain<LifespanHistogram> = PerDomain::default();
+    for rec in &data.records {
+        let s = (rec.span_days() + 1) as f64;
+        let (left, right) = rec.censoring(data.days);
+        let lifespan = match method {
+            LifespanMethod::Method1 => s,
+            LifespanMethod::Method2 => {
+                if left || right {
+                    2.0 * s
+                } else {
+                    s
+                }
+            }
+        };
+        overall.record(lifespan);
+        by_domain.get_mut(rec.domain).record(lifespan);
+    }
+    (overall, by_domain)
+}
+
+/// Figure 5: for the pages present at the start of the experiment, the
+/// fraction that had neither changed nor disappeared by each day.
+///
+/// A page counts as "surviving" on day `d` if it was still being observed
+/// (`last_seen ≥ d`) and no change had been detected at or before `d`.
+pub fn unchanged_curves(data: &MonitoringData) -> (SurvivalCurve, PerDomain<SurvivalCurve>) {
+    let initial: Vec<&crate::monitor::PageRecord> =
+        data.records.iter().filter(|r| r.first_seen == 0).collect();
+    let curve_for = |filter: &dyn Fn(&crate::monitor::PageRecord) -> bool| -> SurvivalCurve {
+        let cohort: Vec<_> = initial.iter().filter(|r| filter(r)).collect();
+        let n = cohort.len();
+        let mut values = Vec::with_capacity(data.days);
+        for day in 0..data.days as u32 {
+            if n == 0 {
+                values.push(1.0);
+                continue;
+            }
+            let surviving = cohort
+                .iter()
+                .filter(|r| {
+                    r.last_seen >= day
+                        && r.first_change_day().map(|c| c > day).unwrap_or(true)
+                })
+                .count();
+            values.push(surviving as f64 / n as f64);
+        }
+        SurvivalCurve::new(values)
+    };
+    let overall = curve_for(&|_| true);
+    let by_domain = PerDomain::from_fn(|d| curve_for(&move |r| r.domain == d));
+    (overall, by_domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{DailyMonitor, MonitorConfig, MonitoringData, PageRecord};
+    use webevo_sim::{UniverseConfig, WebUniverse};
+    use webevo_stats::LifespanBin;
+    use webevo_types::{Domain, PageId, SiteId};
+
+    fn rec(domain: Domain, first: u32, last: u32, changes: Vec<u32>) -> PageRecord {
+        // Distinct page ids per fixture row (first/last/changes make them
+        // unique enough for these tests).
+        let id = first as u64 * 100_000
+            + last as u64 * 100
+            + changes.len() as u64
+            + changes.first().copied().unwrap_or(0) as u64 * 7;
+        PageRecord::synthetic(PageId(id), SiteId(0), domain, first, last, changes)
+    }
+
+    fn data(records: Vec<PageRecord>, days: usize) -> MonitoringData {
+        MonitoringData::from_records(days, records)
+    }
+
+    #[test]
+    fn interval_classification() {
+        let d = data(
+            vec![
+                rec(Domain::Com, 0, 50, (1..=50).collect()), // every day → ≤1day
+                rec(Domain::Com, 0, 50, vec![10, 20, 30, 40, 50]), // 10 days
+                rec(Domain::Edu, 0, 120, vec![]),            // never → >4months
+            ],
+            128,
+        );
+        let (overall, by_domain) = change_interval_histograms(&d);
+        assert_eq!(overall.total(), 3);
+        assert_eq!(overall.count(IntervalBin::UpToDay), 1);
+        assert_eq!(overall.count(IntervalBin::WeekToMonth), 1);
+        assert_eq!(overall.count(IntervalBin::OverFourMonths), 1);
+        assert_eq!(by_domain.get(Domain::Edu).total(), 1);
+    }
+
+    #[test]
+    fn lifespan_methods_differ_only_for_censored() {
+        let d = data(
+            vec![
+                rec(Domain::Com, 5, 24, vec![]),  // fully observed: s = 20
+                rec(Domain::Com, 0, 24, vec![]),  // left-censored: s = 25
+            ],
+            128,
+        );
+        let (m1, _) = lifespan_histograms(&d, LifespanMethod::Method1);
+        let (m2, _) = lifespan_histograms(&d, LifespanMethod::Method2);
+        // Method 1: both pages in the 1w–1m bin.
+        assert_eq!(m1.count(LifespanBin::WeekToMonth), 2);
+        // Method 2: censored page doubles to 50 days → 1m–4m bin.
+        assert_eq!(m2.count(LifespanBin::WeekToMonth), 1);
+        assert_eq!(m2.count(LifespanBin::MonthToFourMonths), 1);
+    }
+
+    #[test]
+    fn unchanged_curve_drops_on_change_and_disappearance() {
+        let d = data(
+            vec![
+                rec(Domain::Com, 0, 9, vec![5]),  // changes day 5
+                rec(Domain::Com, 0, 3, vec![]),   // disappears after day 3
+                rec(Domain::Com, 0, 9, vec![]),   // survives
+                rec(Domain::Com, 2, 9, vec![]),   // joined late: not in cohort
+            ],
+            10,
+        );
+        let (curve, _) = unchanged_curves(&d);
+        assert_eq!(curve.at_day(0), 1.0);
+        assert!((curve.at_day(3) - 1.0).abs() < 1e-12);
+        assert!((curve.at_day(4) - 2.0 / 3.0).abs() < 1e-12, "one page gone");
+        assert!((curve.at_day(5) - 1.0 / 3.0).abs() < 1e-12, "one changed too");
+        assert!((curve.at_day(9) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_shapes_match_paper() {
+        // A real monitored run at test scale must reproduce the paper's
+        // qualitative orderings.
+        let u = WebUniverse::generate(UniverseConfig::test_scale(21));
+        let sites: Vec<SiteId> = u.sites().iter().map(|s| s.id).collect();
+        let monitor = DailyMonitor::new(MonitorConfig { days: 128, failure_rate: 0.0, time_of_day: 0.0 });
+        let data = monitor.run(&u, &sites);
+
+        let (_, fig2) = change_interval_histograms(&data);
+        let com_daily = fig2.get(Domain::Com).fraction(IntervalBin::UpToDay);
+        let gov_daily = fig2.get(Domain::Gov).fraction(IntervalBin::UpToDay);
+        assert!(
+            com_daily > gov_daily,
+            "com daily {com_daily} must exceed gov {gov_daily}"
+        );
+
+        let (fig5, fig5_dom) = unchanged_curves(&data);
+        let com_half = fig5_dom.get(Domain::Com).half_life_days();
+        let overall_half = fig5.half_life_days();
+        if let (Some(c), Some(o)) = (com_half, overall_half) {
+            assert!(c <= o, "com changes faster than the web overall");
+        } else {
+            assert!(com_half.is_some(), "com should reach 50% within 128 days");
+        }
+    }
+}

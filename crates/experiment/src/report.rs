@@ -1,0 +1,192 @@
+//! Plain-text rendering of the paper's tables and figures.
+//!
+//! Each renderer prints the same rows/series the paper reports, so a
+//! reproduction run can be compared against the published numbers line by
+//! line (EXPERIMENTS.md records that comparison).
+
+use crate::ExperimentReport;
+use std::fmt::Write as _;
+use webevo_stats::{IntervalBin, IntervalHistogram, LifespanBin, LifespanHistogram, SurvivalCurve};
+use webevo_types::domain::PerDomain;
+use webevo_types::Domain;
+
+/// Render Table 1 (sites per domain).
+pub fn render_table1(counts: &PerDomain<usize>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: Number of sites within a domain");
+    let _ = writeln!(out, "{:<8} {:>6}", "domain", "sites");
+    let mut total = 0;
+    for d in Domain::ALL {
+        let c = *counts.get(d);
+        total += c;
+        let _ = writeln!(out, "{:<8} {:>6}", d.label(), c);
+    }
+    let _ = writeln!(out, "{:<8} {:>6}", "total", total);
+    out
+}
+
+/// Render a Figure 2-style histogram row set (fractions per interval bin).
+pub fn render_fig2(overall: &IntervalHistogram, by_domain: &PerDomain<IntervalHistogram>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 2: Fraction of pages with given average interval of change");
+    let _ = write!(out, "{:<22}", "bin");
+    let _ = write!(out, "{:>9}", "all");
+    for d in Domain::ALL {
+        let _ = write!(out, "{:>9}", d.label());
+    }
+    let _ = writeln!(out);
+    for bin in IntervalBin::ALL {
+        let _ = write!(out, "{:<22}{:>9.3}", bin.label(), overall.fraction(bin));
+        for d in Domain::ALL {
+            let _ = write!(out, "{:>9.3}", by_domain.get(d).fraction(bin));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render Figure 4 (lifespan histograms, both methods overall + per-domain
+/// Method 1).
+pub fn render_fig4(
+    method1: &LifespanHistogram,
+    method2: &LifespanHistogram,
+    by_domain: &PerDomain<LifespanHistogram>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 4: Percentage of pages with given visible lifespan");
+    let _ = write!(out, "{:<22}{:>9}{:>9}", "bin", "method1", "method2");
+    for d in Domain::ALL {
+        let _ = write!(out, "{:>9}", d.label());
+    }
+    let _ = writeln!(out);
+    for bin in LifespanBin::ALL {
+        let _ = write!(
+            out,
+            "{:<22}{:>9.3}{:>9.3}",
+            bin.label(),
+            method1.fraction(bin),
+            method2.fraction(bin)
+        );
+        for d in Domain::ALL {
+            let _ = write!(out, "{:>9.3}", by_domain.get(d).fraction(bin));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render Figure 5 as a day-sampled table plus the 50% crossing summary.
+pub fn render_fig5(
+    overall: &SurvivalCurve,
+    by_domain: &PerDomain<SurvivalCurve>,
+    sample_every: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 5: Fraction of pages unchanged (and present) by day");
+    let _ = write!(out, "{:<6}{:>9}", "day", "all");
+    for d in Domain::ALL {
+        let _ = write!(out, "{:>9}", d.label());
+    }
+    let _ = writeln!(out);
+    let days = overall.days();
+    let mut day = 0;
+    while day < days {
+        let _ = write!(out, "{:<6}{:>9.3}", day, overall.at_day(day));
+        for d in Domain::ALL {
+            let _ = write!(out, "{:>9.3}", by_domain.get(d).at_day(day));
+        }
+        let _ = writeln!(out);
+        day += sample_every.max(1);
+    }
+    let _ = writeln!(out);
+    let show_half = |label: &str, c: &SurvivalCurve, out: &mut String| {
+        let _ = match c.half_life_days() {
+            Some(d) => writeln!(out, "50% of {label} changed/replaced by day {d}"),
+            None => writeln!(out, "{label}: 50% threshold not reached in {days} days"),
+        };
+    };
+    show_half("all pages", overall, &mut out);
+    for d in Domain::ALL {
+        show_half(d.label(), by_domain.get(d), &mut out);
+    }
+    out
+}
+
+/// Render a Figure 6 report (observed vs Poisson-predicted fractions).
+pub fn render_fig6(report: &crate::PoissonFitReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 6: Change intervals of pages with ~{:.0}-day mean interval ({} pages, {} intervals)",
+        report.target_interval_days, report.pages_in_group, report.samples
+    );
+    let _ = writeln!(out, "{:<16}{:>12}{:>12}", "interval(days)", "observed", "poisson");
+    for &(center, obs, pred) in &report.series {
+        let _ = writeln!(out, "{:<16.1}{:>12.4}{:>12.4}", center, obs, pred);
+    }
+    let _ = writeln!(
+        out,
+        "chi-square fit: statistic={:.2}, p={:.3} ({})",
+        report.chi_square.statistic,
+        report.chi_square.p_value,
+        if report.chi_square.rejects_at(0.01) { "REJECTED" } else { "consistent with Poisson" }
+    );
+    out
+}
+
+/// Render the complete experiment report.
+pub fn render_full(report: &ExperimentReport) -> String {
+    let mut out = String::new();
+    out.push_str(&render_table1(&report.selection.domain_counts));
+    out.push('\n');
+    out.push_str(&render_fig2(&report.fig2_overall, &report.fig2_by_domain));
+    out.push('\n');
+    out.push_str(&render_fig4(
+        &report.fig4_method1,
+        &report.fig4_method2,
+        &report.fig4_by_domain,
+    ));
+    out.push('\n');
+    out.push_str(&render_fig5(&report.fig5_overall, &report.fig5_by_domain, 10));
+    out.push('\n');
+    for fig6 in &report.fig6 {
+        out.push_str(&render_fig6(fig6));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_paper_counts() {
+        let counts = PerDomain::from_fn(|d| d.paper_site_count());
+        let s = render_table1(&counts);
+        assert!(s.contains("com         132"));
+        assert!(s.contains("edu          78"));
+        assert!(s.contains("total       270"));
+    }
+
+    #[test]
+    fn fig2_renders_all_bins() {
+        let mut h = IntervalHistogram::default();
+        h.record(0.5);
+        h.record(45.0);
+        let by_domain: PerDomain<IntervalHistogram> = PerDomain::default();
+        let s = render_fig2(&h, &by_domain);
+        for bin in IntervalBin::ALL {
+            assert!(s.contains(bin.label()), "missing {}", bin.label());
+        }
+        assert!(s.contains("0.500"));
+    }
+
+    #[test]
+    fn fig5_reports_half_life() {
+        let c = SurvivalCurve::new(vec![1.0, 0.8, 0.6, 0.45, 0.3]);
+        let by_domain = PerDomain::from_fn(|_| c.clone());
+        let s = render_fig5(&c, &by_domain, 2);
+        assert!(s.contains("50% of all pages changed/replaced by day 3"));
+    }
+}

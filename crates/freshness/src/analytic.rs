@@ -1,0 +1,265 @@
+//! Closed-form time-averaged freshness under the Poisson change model.
+//!
+//! Setting: a page changes as a Poisson process with rate `λ` (per day).
+//! A crawl synchronizes the stored copy exactly (the copy is fresh at the
+//! instant of crawling) and the copy stays fresh until the page's next
+//! change. The expected probability that the copy is fresh a time `u` after
+//! its last crawl is `e^{−λu}` (Theorem 1).
+//!
+//! Each formula below averages that probability over the crawl pattern and
+//! over time; the derivations the paper omits ("We do not show the
+//! derivation here due to space constraints") are reproduced in the doc
+//! comments.
+
+use crate::policy::{CrawlMode, CrawlPolicy, UpdateMode};
+
+/// Numerically robust `(1 − e^{−x}) / x`, continuous at `x = 0` (value 1).
+#[inline]
+pub(crate) fn one_minus_exp_over(x: f64) -> f64 {
+    debug_assert!(x >= 0.0);
+    if x < 1e-8 {
+        // Second-order Taylor keeps 1e-16 accuracy here.
+        1.0 - x / 2.0 + x * x / 6.0
+    } else {
+        -(-x).exp_m1() / x
+    }
+}
+
+/// Time-averaged freshness of a single page with change rate `lambda`
+/// (per day) re-crawled **in place** every `interval_days`:
+///
+/// ```text
+/// F̄ = (1 − e^{−λI}) / (λI)
+/// ```
+///
+/// *Derivation.* The copy is synced at multiples of `I`. At offset
+/// `u ∈ [0, I)` past a sync it is fresh with probability `e^{−λu}`.
+/// Averaging: `(1/I)·∫₀^I e^{−λu} du = (1 − e^{−λI})/(λI)`.
+///
+/// `interval_days = ∞` (or `lambda` with no crawling) gives 0; `λ = 0`
+/// gives 1. This is also the per-page building block of the Figure 9
+/// optimizer (there parameterized by frequency `f = 1/I`).
+pub fn freshness_periodic(lambda: f64, interval_days: f64) -> f64 {
+    assert!(lambda >= 0.0, "rate must be non-negative");
+    assert!(interval_days > 0.0, "interval must be positive");
+    if lambda == 0.0 {
+        return 1.0;
+    }
+    if interval_days.is_infinite() {
+        return 0.0;
+    }
+    one_minus_exp_over(lambda * interval_days)
+}
+
+/// Time-averaged freshness: **steady crawler, in-place updates**, cycle
+/// `cycle_days` (Table 2 top-left).
+///
+/// Every page is revisited once per cycle, so this is
+/// [`freshness_periodic`] with `I = cycle`. With the paper's parameters
+/// (λ = 1/120 days, cycle = 30 days): `(1 − e^{−0.25})/0.25 ≈ 0.885` —
+/// Table 2's **0.88**.
+pub fn freshness_steady_inplace(lambda: f64, cycle_days: f64) -> f64 {
+    freshness_periodic(lambda, cycle_days)
+}
+
+/// Time-averaged freshness: **batch-mode crawler, in-place updates**
+/// (Table 2 top-right).
+///
+/// *Derivation.* A page crawled at offset `τ` inside the burst is re-crawled
+/// at `τ + T` in the next cycle — its sync interval is exactly the cycle
+/// `T` regardless of the burst width — so the time-average equals the
+/// steady in-place value. This is the paper's §4 claim that steady and
+/// batch crawlers "yield the same average freshness if they visit pages at
+/// the same average speed". The burst width only changes *when* freshness
+/// peaks (see [`crate::curves`]), not its time average.
+pub fn freshness_batch_inplace(lambda: f64, cycle_days: f64, window_days: f64) -> f64 {
+    assert!(
+        window_days > 0.0 && window_days <= cycle_days,
+        "batch window must lie within the cycle"
+    );
+    freshness_periodic(lambda, cycle_days)
+}
+
+/// Time-averaged freshness of the **current collection**: *steady crawler
+/// with shadowing* (Table 2 bottom-left).
+///
+/// *Derivation.* The crawler rebuilds a shadow collection from scratch over
+/// each cycle `[0, T)`, crawling pages uniformly; the shadow replaces the
+/// current collection at `T` and serves during `[T, 2T)`. A page crawled at
+/// `τ` is fresh at serving time `t` with probability `e^{−λ(t−τ)}`:
+///
+/// ```text
+/// F̄ = (1/T²) ∫₀^T ∫_T^{2T} e^{−λ(t−τ)} dt dτ = [(1 − e^{−λT})/(λT)]²
+/// ```
+///
+/// With the paper's parameters: `0.885² ≈ 0.78` — Table 2 prints **0.77**
+/// (the square of the rounded 0.88 entry; our value matches to the
+/// rounding the paper applied).
+pub fn freshness_steady_shadow(lambda: f64, cycle_days: f64) -> f64 {
+    let f = freshness_periodic(lambda, cycle_days);
+    f * f
+}
+
+/// Time-averaged freshness of the **current collection**: *batch-mode
+/// crawler with shadowing* (Table 2 bottom-right).
+///
+/// *Derivation.* Pages are crawled uniformly during the burst `[0, w)`; the
+/// swap happens at `w` and the collection serves until the next swap at
+/// `T + w`:
+///
+/// ```text
+/// F̄ = (1/(wT)) ∫₀^w ∫_w^{T+w} e^{−λ(t−τ)} dt dτ
+///    = (1 − e^{−λw})(1 − e^{−λT}) / (λ²wT)
+/// ```
+///
+/// With the paper's parameters (λ = 1/120, T = 30, w = 7):
+/// `0.0567·0.2212/(0.0583·0.25) ≈ 0.860` — Table 2's **0.86**. With the §4
+/// sensitivity scenario (λ = 1/30, T = 30, w = 15) it gives ≈ 0.497, the
+/// paper's **0.50**, versus 0.63 for in-place.
+pub fn freshness_batch_shadow(lambda: f64, cycle_days: f64, window_days: f64) -> f64 {
+    assert!(
+        window_days > 0.0 && window_days <= cycle_days,
+        "batch window must lie within the cycle"
+    );
+    assert!(lambda >= 0.0, "rate must be non-negative");
+    if lambda == 0.0 {
+        return 1.0;
+    }
+    one_minus_exp_over(lambda * window_days) * one_minus_exp_over(lambda * cycle_days)
+}
+
+/// Evaluate the time-averaged current-collection freshness of any policy
+/// point — the generator of Table 2.
+pub fn table2_entry(policy: &CrawlPolicy, lambda: f64) -> f64 {
+    match (policy.mode, policy.update) {
+        (CrawlMode::Steady, UpdateMode::InPlace) => {
+            freshness_steady_inplace(lambda, policy.cycle_days)
+        }
+        (CrawlMode::Batch { window_days }, UpdateMode::InPlace) => {
+            freshness_batch_inplace(lambda, policy.cycle_days, window_days)
+        }
+        (CrawlMode::Steady, UpdateMode::Shadow) => {
+            freshness_steady_shadow(lambda, policy.cycle_days)
+        }
+        (CrawlMode::Batch { window_days }, UpdateMode::Shadow) => {
+            freshness_batch_shadow(lambda, policy.cycle_days, window_days)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webevo_types::time::{FOUR_MONTHS, MONTH, WEEK};
+
+    /// The paper's Table 2 rate: "all pages change with an average 4 month
+    /// interval".
+    const LAMBDA: f64 = 1.0 / FOUR_MONTHS;
+
+    #[test]
+    fn table2_steady_inplace_is_088() {
+        let f = freshness_steady_inplace(LAMBDA, MONTH);
+        assert!((f - 0.88).abs() < 0.01, "f={f}");
+    }
+
+    #[test]
+    fn table2_batch_inplace_is_088() {
+        let f = freshness_batch_inplace(LAMBDA, MONTH, WEEK);
+        assert!((f - 0.88).abs() < 0.01, "f={f}");
+        // …and exactly equals steady in-place (the paper's equal-average
+        // claim).
+        assert_eq!(f, freshness_steady_inplace(LAMBDA, MONTH));
+    }
+
+    #[test]
+    fn table2_steady_shadow_is_077() {
+        let f = freshness_steady_shadow(LAMBDA, MONTH);
+        assert!((f - 0.78).abs() < 0.012, "f={f}"); // 0.885² = 0.783
+        // The paper's printed 0.77 is the square of the rounded 0.88.
+        assert!((0.88f64 * 0.88 - 0.77).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_batch_shadow_is_086() {
+        let f = freshness_batch_shadow(LAMBDA, MONTH, WEEK);
+        assert!((f - 0.86).abs() < 0.01, "f={f}");
+    }
+
+    #[test]
+    fn sensitivity_scenario_063_vs_050() {
+        // §4: "web pages change every month, and a batch crawler operates
+        // for the first two weeks of every month" → 0.63 in-place, 0.50
+        // shadowing.
+        let lambda = 1.0 / MONTH;
+        let inplace = freshness_batch_inplace(lambda, MONTH, 15.0);
+        let shadow = freshness_batch_shadow(lambda, MONTH, 15.0);
+        assert!((inplace - 0.63).abs() < 0.005, "inplace={inplace}");
+        assert!((shadow - 0.50).abs() < 0.005, "shadow={shadow}");
+    }
+
+    #[test]
+    fn shadowing_never_beats_inplace() {
+        for &lambda in &[0.001, 0.01, 0.1, 1.0] {
+            for &cycle in &[7.0, 30.0, 120.0] {
+                for &w in &[1.0, cycle / 2.0, cycle] {
+                    let ip = freshness_batch_inplace(lambda, cycle, w);
+                    let sh = freshness_batch_shadow(lambda, cycle, w);
+                    assert!(
+                        sh <= ip + 1e-12,
+                        "λ={lambda} T={cycle} w={w}: shadow {sh} > inplace {ip}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_pages_always_fresh() {
+        assert_eq!(freshness_periodic(0.0, 30.0), 1.0);
+        assert_eq!(freshness_steady_shadow(0.0, 30.0), 1.0);
+        assert_eq!(freshness_batch_shadow(0.0, 30.0, 7.0), 1.0);
+    }
+
+    #[test]
+    fn freshness_decreases_with_rate_and_interval() {
+        let mut prev = 1.0;
+        for &lambda in &[0.001, 0.01, 0.1, 1.0, 10.0] {
+            let f = freshness_periodic(lambda, 10.0);
+            assert!(f < prev);
+            prev = f;
+        }
+        let mut prev = 1.0;
+        for &interval in &[1.0, 5.0, 25.0, 125.0] {
+            let f = freshness_periodic(0.05, interval);
+            assert!(f < prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn never_crawling_gives_zero() {
+        assert_eq!(freshness_periodic(0.1, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn robust_small_x() {
+        // Both branches must agree with the Taylor value 1 − x/2 + x²/6 at
+        // points just below and above the series switch at 1e-8.
+        for &x in &[9.9e-9, 1.01e-8] {
+            let expect = 1.0 - x / 2.0 + x * x / 6.0;
+            assert!((one_minus_exp_over(x) - expect).abs() < 1e-12, "x={x}");
+        }
+        assert!((one_minus_exp_over(0.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn table2_entry_dispatches() {
+        use crate::policy::CrawlPolicy;
+        let policies = CrawlPolicy::table2_policies();
+        let values: Vec<f64> = policies.iter().map(|p| table2_entry(p, LAMBDA)).collect();
+        assert!((values[0] - 0.885).abs() < 0.005); // steady/in-place
+        assert!((values[1] - 0.885).abs() < 0.005); // batch/in-place
+        assert!((values[2] - 0.783).abs() < 0.005); // steady/shadow
+        assert!((values[3] - 0.860).abs() < 0.005); // batch/shadow
+    }
+}

@@ -1,0 +1,30 @@
+//! Web-graph substrate for the `webevo` workspace.
+//!
+//! Three pieces of the paper need a link graph:
+//!
+//! * **Site selection** (§2.2): the 270 monitored sites were the most
+//!   "popular" sites of a 25M-page snapshot, ranked by a *site-level*
+//!   PageRank over the hypergraph whose nodes are sites ([`sitegraph`]).
+//! * **The RankingModule** (§5.3): the incremental crawler constantly
+//!   reevaluates page importance — PageRank [CGMP98, PB98] or Hub &
+//!   Authority [Kle98] — over the link structure captured in the
+//!   Collection ([`pagerank`], [`hits`]), including estimating the rank of
+//!   pages *not yet crawled* from the in-links the Collection has seen
+//!   (footnote 2 of the paper).
+//! * **The simulator** generates realistic link structure to drive both.
+//!
+//! The [`PageGraph`] is mutable (pages and links appear and disappear as the
+//! web evolves) and all ranking algorithms run on a point-in-time view.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hits;
+pub mod pagegraph;
+pub mod pagerank;
+pub mod sitegraph;
+
+pub use hits::{hits, HitsConfig, HitsScores};
+pub use pagegraph::PageGraph;
+pub use pagerank::{pagerank, estimate_uncrawled, PageRankConfig, PageRankScores};
+pub use sitegraph::{site_pagerank, SiteGraph};

@@ -1,0 +1,184 @@
+//! Importance-weighted optimal scheduling (§5.3 extension).
+//!
+//! *"the UpdateModule may need to consult the 'importance' of a page in
+//! deciding on revisit frequency. If a certain page is 'highly important'
+//! and the page needs to be always up-to-date, the UpdateModule may revisit
+//! the page much more often than other pages with similar change
+//! frequency."*
+//!
+//! Formally: maximize `Σᵢ wᵢ F(λᵢ, fᵢ)` under the same budget. The KKT
+//! threshold becomes `wᵢ/λᵢ ≤ μ → fᵢ = 0`, and active pages solve
+//! `wᵢ·∂F/∂fᵢ = μ` — the same water-filling with the marginal gain scaled
+//! by importance.
+
+use crate::policy::{Allocation, RevisitPolicy};
+use webevo_types::{ChangeRate, Error, Result};
+
+fn marginal_gain(lambda: f64, f: f64) -> f64 {
+    if f <= 0.0 {
+        return 1.0 / lambda;
+    }
+    let x = lambda / f;
+    if x > 700.0 {
+        return 1.0 / lambda;
+    }
+    (1.0 - (-x).exp() * (1.0 + x)) / lambda
+}
+
+fn solve_frequency(lambda: f64, weight: f64, mu: f64) -> f64 {
+    debug_assert!(mu > 0.0 && mu < weight / lambda);
+    let mut lo = 0.0;
+    let mut hi = lambda.max(1.0);
+    while weight * marginal_gain(lambda, hi) > mu {
+        hi *= 2.0;
+        if hi > 1e18 {
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if weight * marginal_gain(lambda, mid) > mu {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-14 * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Weighted-optimal allocation: importance weights scale each page's claim
+/// on the crawl budget. `weights` must align with `rates`; weights must be
+/// positive (use a tiny weight rather than zero to express "unimportant").
+pub fn weighted_optimal_allocation(
+    rates: &[ChangeRate],
+    weights: &[f64],
+    budget_per_day: f64,
+) -> Result<Allocation> {
+    if rates.is_empty() {
+        return Err(Error::invalid("allocation needs at least one page"));
+    }
+    if rates.len() != weights.len() {
+        return Err(Error::invalid("weights must align with rates"));
+    }
+    if !(budget_per_day > 0.0) || !budget_per_day.is_finite() {
+        return Err(Error::invalid("budget must be positive and finite"));
+    }
+    if weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
+        return Err(Error::invalid("weights must be positive and finite"));
+    }
+    if rates.iter().any(|r| !r.is_valid()) {
+        return Err(Error::invalid("change rates must be finite and non-negative"));
+    }
+    let active: Vec<(usize, f64, f64)> = rates
+        .iter()
+        .zip(weights.iter())
+        .enumerate()
+        .filter(|(_, (r, _))| r.per_day() > 0.0)
+        .map(|(i, (r, &w))| (i, r.per_day(), w))
+        .collect();
+    let mut frequencies = vec![0.0; rates.len()];
+    if active.is_empty() {
+        return Ok(Allocation { frequencies, policy: RevisitPolicy::Optimal });
+    }
+    let mu_max = active
+        .iter()
+        .map(|&(_, l, w)| w / l)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let total_at = |mu: f64| -> f64 {
+        active
+            .iter()
+            .map(|&(_, l, w)| if mu >= w / l { 0.0 } else { solve_frequency(l, w, mu) })
+            .sum()
+    };
+    let mut mu_lo = 0.0;
+    let mut mu_hi = mu_max;
+    let mut mu = 0.0;
+    for _ in 0..200 {
+        mu = 0.5 * (mu_lo + mu_hi);
+        if total_at(mu) > budget_per_day {
+            mu_lo = mu;
+        } else {
+            mu_hi = mu;
+        }
+        if (mu_hi - mu_lo) < 1e-15 * mu_max {
+            break;
+        }
+    }
+    for &(i, l, w) in &active {
+        if mu < w / l {
+            frequencies[i] = solve_frequency(l, w, mu);
+        }
+    }
+    let total: f64 = frequencies.iter().sum();
+    if total > 0.0 {
+        let scale = budget_per_day / total;
+        for f in &mut frequencies {
+            *f *= scale;
+        }
+    }
+    Ok(Allocation { frequencies, policy: RevisitPolicy::Optimal })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::optimal_allocation;
+
+    fn rates(v: &[f64]) -> Vec<ChangeRate> {
+        v.iter().map(|&x| ChangeRate(x)).collect()
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted() {
+        let rs = rates(&[0.01, 0.1, 1.0]);
+        let w = vec![1.0; 3];
+        let weighted = weighted_optimal_allocation(&rs, &w, 2.0).unwrap();
+        let unweighted = optimal_allocation(&rs, 2.0).unwrap().allocation;
+        for (a, b) in weighted.frequencies.iter().zip(unweighted.frequencies.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn important_page_visited_more() {
+        // Same change rate, different importance.
+        let rs = rates(&[0.1, 0.1]);
+        let a = weighted_optimal_allocation(&rs, &[10.0, 1.0], 1.0).unwrap();
+        assert!(
+            a.frequencies[0] > a.frequencies[1],
+            "important page should be revisited more: {:?}",
+            a.frequencies
+        );
+    }
+
+    #[test]
+    fn importance_rescues_hot_page() {
+        // A hot page abandoned under equal weights survives with a large
+        // enough weight.
+        let rs = rates(&[0.05, 20.0]);
+        let budget = 0.2;
+        let equal = weighted_optimal_allocation(&rs, &[1.0, 1.0], budget).unwrap();
+        assert_eq!(equal.frequencies[1], 0.0);
+        let boosted = weighted_optimal_allocation(&rs, &[1.0, 10_000.0], budget).unwrap();
+        assert!(boosted.frequencies[1] > 0.0);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let rs = rates(&[0.1, 0.5, 2.0]);
+        let a = weighted_optimal_allocation(&rs, &[1.0, 2.0, 3.0], 5.0).unwrap();
+        assert!((a.total_budget() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        let rs = rates(&[0.1]);
+        assert!(weighted_optimal_allocation(&rs, &[1.0, 2.0], 1.0).is_err());
+        assert!(weighted_optimal_allocation(&rs, &[0.0], 1.0).is_err());
+        assert!(weighted_optimal_allocation(&rs, &[1.0], 0.0).is_err());
+        assert!(weighted_optimal_allocation(&[], &[], 1.0).is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! The crawler-facing fetch interface.
+//!
+//! Crawlers never touch universe ground truth; they see exactly what a real
+//! crawler sees: fetch a URL, get back a checksum, extracted links and an
+//! optional last-modified date — or a failure. [`SimFetcher`] implements
+//! the trait over a [`WebUniverse`], with the politeness constraints §2.3
+//! describes (the paper waited ≥10 s between requests to a site and crawled
+//! only at night) and optional transient-failure injection for robustness
+//! testing.
+
+use crate::universe::WebUniverse;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use webevo_types::{Checksum, SiteId, Url};
+
+/// Why a fetch failed.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FetchError {
+    /// The URL does not resolve (page deleted, or not yet created).
+    NotFound,
+    /// The per-site politeness constraint forbids fetching right now;
+    /// retry at or after the given time (days).
+    RateLimited {
+        /// Earliest permissible retry time.
+        retry_at: f64,
+    },
+    /// A transient network/server failure; retrying later may succeed.
+    Transient,
+}
+
+/// A successful fetch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FetchOutcome {
+    /// Digest of the page content (the UpdateModule's change signal).
+    pub checksum: Checksum,
+    /// URLs extracted from the page (the CrawlModule forwards these to
+    /// AllUrls).
+    pub links: Vec<Url>,
+    /// Server-reported last-modified time (days), when available.
+    pub last_modified: Option<f64>,
+}
+
+/// Anything a crawler can fetch from.
+pub trait Fetcher {
+    /// Fetch `url` at simulated time `t`.
+    fn fetch(&mut self, url: Url, t: f64) -> Result<FetchOutcome, FetchError>;
+}
+
+/// Politeness constraints, mirroring §2.3.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Politeness {
+    /// Minimum delay between requests to one site, in days (the paper's
+    /// 10 s ≈ 1.157e-4 days).
+    pub min_delay_days: f64,
+    /// Crawling allowed only within this window of each day, as day
+    /// fractions `[start, end)` — the paper crawled 9PM–6AM PST, i.e.
+    /// roughly `(0.875, 1.0)` ∪ `(0.0, 0.25)`; we model a single window
+    /// and `None` means "any time".
+    pub night_window: Option<(f64, f64)>,
+}
+
+impl Politeness {
+    /// The paper's setup: ≥10 seconds between requests, nightly crawling.
+    /// With these limits a site yields at most ~3,240 pages per night —
+    /// the origin of the 3,000-page window (§2.3).
+    pub fn paper() -> Politeness {
+        Politeness {
+            min_delay_days: 10.0 / 86_400.0,
+            night_window: Some((0.875, 0.25)), // wraps midnight
+        }
+    }
+
+    /// No constraints (simulation-speed crawling).
+    pub fn unrestricted() -> Politeness {
+        Politeness { min_delay_days: 0.0, night_window: None }
+    }
+
+    /// Is crawling allowed at day-fraction `frac`?
+    pub fn allows_time_of_day(&self, frac: f64) -> bool {
+        match self.night_window {
+            None => true,
+            Some((start, end)) if start <= end => frac >= start && frac < end,
+            // Window wrapping midnight, e.g. (0.875, 0.25).
+            Some((start, end)) => frac >= start || frac < end,
+        }
+    }
+
+    /// Maximum pages fetchable from one site per day under these limits.
+    pub fn max_pages_per_site_per_day(&self) -> f64 {
+        let window_len = match self.night_window {
+            None => 1.0,
+            Some((s, e)) if s <= e => e - s,
+            Some((s, e)) => (1.0 - s) + e,
+        };
+        if self.min_delay_days <= 0.0 {
+            f64::INFINITY
+        } else {
+            window_len / self.min_delay_days
+        }
+    }
+}
+
+/// Counters a fetcher keeps (useful for the peak-speed arguments of §4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FetchStats {
+    /// Successful fetches.
+    pub ok: u64,
+    /// Pages that were gone / never existed.
+    pub not_found: u64,
+    /// Politeness rejections.
+    pub rate_limited: u64,
+    /// Injected transient failures.
+    pub transient: u64,
+}
+
+impl FetchStats {
+    /// Total fetch attempts.
+    pub fn attempts(&self) -> u64 {
+        self.ok + self.not_found + self.rate_limited + self.transient
+    }
+}
+
+/// A [`Fetcher`] over a [`WebUniverse`].
+pub struct SimFetcher<'a> {
+    universe: &'a WebUniverse,
+    politeness: Politeness,
+    /// Probability a fetch fails transiently (deterministic per
+    /// `(page, attempt)` so runs are reproducible).
+    failure_rate: f64,
+    last_site_access: HashMap<SiteId, f64>,
+    attempt_counter: u64,
+    stats: FetchStats,
+    /// Whether to expose last-modified dates (real servers often do not;
+    /// §5.3's checksum design assumes they may be absent).
+    report_last_modified: bool,
+}
+
+impl<'a> SimFetcher<'a> {
+    /// A fetcher with no politeness limits and no failures.
+    pub fn new(universe: &'a WebUniverse) -> SimFetcher<'a> {
+        SimFetcher {
+            universe,
+            politeness: Politeness::unrestricted(),
+            failure_rate: 0.0,
+            last_site_access: HashMap::new(),
+            attempt_counter: 0,
+            stats: FetchStats::default(),
+            report_last_modified: false,
+        }
+    }
+
+    /// Set politeness constraints.
+    pub fn with_politeness(mut self, politeness: Politeness) -> SimFetcher<'a> {
+        self.politeness = politeness;
+        self
+    }
+
+    /// Inject transient failures with the given probability.
+    pub fn with_failure_rate(mut self, rate: f64) -> SimFetcher<'a> {
+        assert!((0.0..=1.0).contains(&rate));
+        self.failure_rate = rate;
+        self
+    }
+
+    /// Report last-modified dates on success.
+    pub fn with_last_modified(mut self) -> SimFetcher<'a> {
+        self.report_last_modified = true;
+        self
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> FetchStats {
+        self.stats
+    }
+
+    fn transient_failure(&mut self, url: Url) -> bool {
+        if self.failure_rate == 0.0 {
+            return false;
+        }
+        // Deterministic hash of (page, attempt#).
+        let mut z = url.page.0 ^ self.attempt_counter.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) < self.failure_rate
+    }
+}
+
+impl Fetcher for SimFetcher<'_> {
+    fn fetch(&mut self, url: Url, t: f64) -> Result<FetchOutcome, FetchError> {
+        self.attempt_counter += 1;
+        // Politeness: time-of-day window.
+        let day_frac = t - t.floor();
+        if !self.politeness.allows_time_of_day(day_frac) {
+            self.stats.rate_limited += 1;
+            let retry_at = t.floor()
+                + self
+                    .politeness
+                    .night_window
+                    .map(|(s, _)| if day_frac < s { s } else { s + 1.0 })
+                    .unwrap_or(0.0);
+            return Err(FetchError::RateLimited { retry_at });
+        }
+        // Politeness: per-site spacing.
+        if let Some(&last) = self.last_site_access.get(&url.site) {
+            let earliest = last + self.politeness.min_delay_days;
+            if t < earliest {
+                self.stats.rate_limited += 1;
+                return Err(FetchError::RateLimited { retry_at: earliest });
+            }
+        }
+        if self.transient_failure(url) {
+            self.stats.transient += 1;
+            return Err(FetchError::Transient);
+        }
+        self.last_site_access.insert(url.site, t);
+        if url.page.index() >= self.universe.page_count()
+            || !self.universe.alive(url.page, t)
+        {
+            self.stats.not_found += 1;
+            return Err(FetchError::NotFound);
+        }
+        self.stats.ok += 1;
+        let page = self.universe.page(url.page);
+        Ok(FetchOutcome {
+            checksum: self.universe.checksum_at(url.page, t),
+            links: self.universe.out_links(url.page, t),
+            last_modified: self.report_last_modified.then(|| page.last_modified(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UniverseConfig;
+    use webevo_types::PageId;
+
+    fn universe() -> WebUniverse {
+        WebUniverse::generate(UniverseConfig::test_scale(3))
+    }
+
+    #[test]
+    fn fetch_alive_page_succeeds() {
+        let u = universe();
+        let mut f = SimFetcher::new(&u);
+        let root = u.sites()[0].slots[0][0];
+        let out = f.fetch(u.url_of(root), 5.0).unwrap();
+        assert_eq!(out.checksum, u.checksum_at(root, 5.0));
+        assert!(out.last_modified.is_none());
+        assert_eq!(f.stats().ok, 1);
+    }
+
+    #[test]
+    fn fetch_dead_page_is_not_found() {
+        let u = universe();
+        let dead = u
+            .pages()
+            .iter()
+            .find(|p| p.death < 100.0)
+            .expect("churn produces deaths");
+        let mut f = SimFetcher::new(&u);
+        assert_eq!(
+            f.fetch(u.url_of(dead.id), dead.death + 0.5),
+            Err(FetchError::NotFound)
+        );
+        assert_eq!(f.stats().not_found, 1);
+    }
+
+    #[test]
+    fn fetch_unborn_page_is_not_found() {
+        let u = universe();
+        let late = u
+            .pages()
+            .iter()
+            .find(|p| p.birth > 10.0)
+            .expect("churn produces late births");
+        let mut f = SimFetcher::new(&u);
+        assert_eq!(
+            f.fetch(u.url_of(late.id), late.birth - 1.0),
+            Err(FetchError::NotFound)
+        );
+    }
+
+    #[test]
+    fn unknown_page_is_not_found() {
+        let u = universe();
+        let mut f = SimFetcher::new(&u);
+        let bogus = Url::new(u.sites()[0].id, PageId(u.page_count() as u64 + 5));
+        assert_eq!(f.fetch(bogus, 1.0), Err(FetchError::NotFound));
+    }
+
+    #[test]
+    fn per_site_spacing_enforced() {
+        let u = universe();
+        let politeness = Politeness { min_delay_days: 0.01, night_window: None };
+        let mut f = SimFetcher::new(&u).with_politeness(politeness);
+        let root = u.sites()[0].slots[0][0];
+        let url = u.url_of(root);
+        assert!(f.fetch(url, 1.0).is_ok());
+        match f.fetch(url, 1.005) {
+            Err(FetchError::RateLimited { retry_at }) => {
+                assert!((retry_at - 1.01).abs() < 1e-9)
+            }
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+        assert!(f.fetch(url, 1.01).is_ok());
+        // A different site is not limited.
+        let other_root = u.sites()[1].slots[0][0];
+        assert!(f.fetch(u.url_of(other_root), 1.0101).is_ok());
+    }
+
+    #[test]
+    fn night_window_enforced() {
+        let u = universe();
+        let mut f = SimFetcher::new(&u).with_politeness(Politeness::paper());
+        let root = u.sites()[0].slots[0][0];
+        let url = u.url_of(root);
+        // Noon (day fraction 0.5) is outside the night window.
+        assert!(matches!(
+            f.fetch(url, 3.5),
+            Err(FetchError::RateLimited { .. })
+        ));
+        // 10PM (0.92) is inside.
+        assert!(f.fetch(url, 3.92).is_ok());
+        // 3AM (0.125) is inside (wrapped window).
+        assert!(f.fetch(url, 5.125).is_ok());
+    }
+
+    #[test]
+    fn paper_politeness_explains_window_size() {
+        let p = Politeness::paper();
+        let max = p.max_pages_per_site_per_day();
+        // 9 hours at one page per 10 s = 3,240 pages: the 3,000-page
+        // window of §2.3 fits just under it.
+        assert!((max - 3240.0).abs() < 1.0, "max={max}");
+        assert!(max > 3000.0);
+    }
+
+    #[test]
+    fn failure_injection_is_deterministic_and_calibrated() {
+        let u = universe();
+        let root = u.sites()[0].slots[0][0];
+        let url = u.url_of(root);
+        let run = || {
+            let mut f = SimFetcher::new(&u).with_failure_rate(0.3);
+            let mut failures = 0;
+            for i in 0..2000 {
+                if f.fetch(url, 1.0 + i as f64 * 0.001) == Err(FetchError::Transient) {
+                    failures += 1;
+                }
+            }
+            failures
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "failure pattern must be reproducible");
+        let rate = a as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "rate={rate}");
+    }
+
+    #[test]
+    fn last_modified_reporting() {
+        let u = universe();
+        let mut f = SimFetcher::new(&u).with_last_modified();
+        let page = u
+            .pages()
+            .iter()
+            .find(|p| p.process.count() > 0 && p.death.is_infinite())
+            .expect("changing page");
+        let e = page.process.events()[0];
+        let out = f.fetch(u.url_of(page.id), e + 0.5).unwrap();
+        assert_eq!(out.last_modified, Some(e));
+    }
+}

@@ -1,0 +1,159 @@
+//! Elementary distributions: exponential inter-arrival times and Poisson
+//! counts.
+//!
+//! Theorem 1 of the paper: for a Poisson process with rate λ, the time to
+//! the next event has density `λ e^{−λt}`. All change schedules in the
+//! simulator and all analytic freshness results build on this.
+
+use crate::rng::SimRng;
+
+/// Sample an exponential variate with rate `lambda` (mean `1/lambda`).
+///
+/// Uses inversion: `−ln(1−U)/λ` with `U ~ Uniform[0,1)`; `1−U ∈ (0,1]` so
+/// the logarithm is finite.
+#[inline]
+pub fn sample_exponential(rng: &mut SimRng, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "exponential rate must be positive, got {lambda}");
+    let u = rng.uniform();
+    -(-u).ln_1p() / lambda
+}
+
+/// Sample a Poisson count with mean `mu`.
+///
+/// Knuth's product method for small means; for `mu > 30` a normal
+/// approximation with continuity correction (adequate for the simulator's
+/// workload-sizing uses, never used in the estimation-theory paths where
+/// exactness matters).
+pub fn sample_poisson_count(rng: &mut SimRng, mu: f64) -> u64 {
+    assert!(mu >= 0.0 && mu.is_finite(), "Poisson mean must be finite and >= 0");
+    if mu == 0.0 {
+        return 0;
+    }
+    if mu <= 30.0 {
+        let limit = (-mu).exp();
+        let mut product = rng.uniform();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.uniform();
+            count += 1;
+        }
+        count
+    } else {
+        // Box–Muller normal approximation N(mu, mu).
+        let u1 = rng.uniform().max(f64::MIN_POSITIVE);
+        let u2 = rng.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = mu + mu.sqrt() * z;
+        if x < 0.0 {
+            0
+        } else {
+            x.round() as u64
+        }
+    }
+}
+
+/// Sample from a log-uniform distribution on `[lo, hi]` (both positive).
+///
+/// Used by the simulator to spread per-page change rates *within* a
+/// change-interval band of Figure 2: rates inside a band like
+/// "1 week – 1 month" plausibly span the band multiplicatively rather than
+/// additively.
+pub fn sample_log_uniform(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "log-uniform needs 0 < lo <= hi");
+    let (ln_lo, ln_hi) = (lo.ln(), hi.ln());
+    rng.uniform_range(ln_lo, ln_hi).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let lambda = 0.25;
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = sample_exponential(&mut rng, lambda);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_memoryless_tail() {
+        // P(X > 2/lambda) should be e^{-2} ≈ 0.1353.
+        let mut rng = SimRng::seed_from_u64(2);
+        let lambda = 1.0;
+        let n = 50_000;
+        let tail = (0..n)
+            .filter(|_| sample_exponential(&mut rng, lambda) > 2.0)
+            .count() as f64
+            / n as f64;
+        assert!((tail - (-2.0f64).exp()).abs() < 0.01, "tail={tail}");
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mu = 2.5;
+        let n = 50_000;
+        let mut sum = 0u64;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let k = sample_poisson_count(&mut rng, mu);
+            sum += k;
+            sq += (k as f64) * (k as f64);
+        }
+        let mean = sum as f64 / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - mu).abs() < 0.05, "mean={mean}");
+        assert!((var - mu).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson_count(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn poisson_large_mean_approximation() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mu = 400.0;
+        let n = 20_000;
+        let mean = (0..n).map(|_| sample_poisson_count(&mut rng, mu) as f64).sum::<f64>()
+            / n as f64;
+        assert!((mean - mu).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn log_uniform_bounds_and_median() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let (lo, hi) = (0.01, 100.0);
+        let n = 50_000;
+        let mut below_geo_mean = 0usize;
+        let geo_mean = (lo * hi as f64).sqrt();
+        for _ in 0..n {
+            let x = sample_log_uniform(&mut rng, lo, hi);
+            assert!((lo..=hi).contains(&x));
+            if x < geo_mean {
+                below_geo_mean += 1;
+            }
+        }
+        let frac = below_geo_mean as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "median should be geometric mean, frac={frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let _ = sample_exponential(&mut rng, 0.0);
+    }
+}

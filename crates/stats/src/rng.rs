@@ -1,0 +1,201 @@
+//! Deterministic random-number plumbing.
+//!
+//! Every stochastic component in the workspace draws from a [`SimRng`] that
+//! is constructed from an explicit `u64` seed. Sub-streams are forked with
+//! [`SimRng::fork`] so that adding a new consumer of randomness does not
+//! perturb existing streams — a requirement for reproducible experiments and
+//! for the simulator's per-page schedules.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The workspace RNG: a seeded [`SmallRng`] plus the base seed it was built
+/// from, kept so sub-streams can be forked order-independently.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    base: u64,
+    inner: SmallRng,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create from an explicit seed.
+    pub fn seed_from_u64(seed: u64) -> SimRng {
+        SimRng { base: seed, inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent sub-stream identified by `stream`.
+    ///
+    /// The derivation hashes `(base seed, stream)` rather than drawing from
+    /// `self`, so forking is order-independent: `fork(a)` yields the same
+    /// stream no matter how many other forks happened first or how much the
+    /// parent has been used.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        let derived = splitmix(self.base ^ splitmix(stream));
+        SimRng { base: derived, inner: SmallRng::seed_from_u64(derived) }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.uniform() < p
+    }
+
+    /// Raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Draw an index from a discrete distribution given by `weights`
+    /// (need not be normalized; all must be non-negative, sum positive).
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive sum");
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0);
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        // Floating-point slack: return the last positive-weight slot.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("positive total implies a positive weight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_is_order_independent() {
+        let root = SimRng::seed_from_u64(7);
+        let mut f1 = root.fork(10);
+        let root2 = SimRng::seed_from_u64(7);
+        let _unrelated = root2.fork(99);
+        let mut f2 = root2.fork(10);
+        for _ in 0..50 {
+            assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_unaffected_by_parent_use() {
+        let mut root = SimRng::seed_from_u64(7);
+        let mut f1 = root.fork(10);
+        let _ = root.next_u64();
+        let _ = root.next_u64();
+        let mut f2 = root.fork(10);
+        for _ in 0..50 {
+            assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_distinct() {
+        let root = SimRng::seed_from_u64(7);
+        let mut f1 = root.fork(1);
+        let mut f2 = root.fork(2);
+        let same = (0..32).filter(|_| f1.next_u64() == f2.next_u64()).count();
+        assert!(same < 4, "streams should diverge");
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = SimRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.uniform_range(5.0, 6.0);
+            assert!((5.0..6.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = SimRng::seed_from_u64(3);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| r.bernoulli(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq={freq}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from_u64(5);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "should actually move items");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SimRng::seed_from_u64(11);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac0 = counts[0] as f64 / 40_000.0;
+        assert!((frac0 - 0.25).abs() < 0.02, "frac0={frac0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn weighted_index_rejects_zero_total() {
+        let mut r = SimRng::seed_from_u64(1);
+        let _ = r.weighted_index(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by `webevo` components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A caller supplied an invalid parameter (message explains which).
+    InvalidParameter(String),
+    /// A fetch failed (simulated network or page gone).
+    Fetch(String),
+    /// A numeric routine failed to converge.
+    NoConvergence {
+        /// What was being solved.
+        what: &'static str,
+        /// Iterations spent before giving up.
+        iterations: usize,
+    },
+    /// An entity lookup failed.
+    NotFound(String),
+    /// The operation is not valid in the component's current state.
+    InvalidState(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::Fetch(msg) => write!(f, "fetch failed: {msg}"),
+            Error::NoConvergence { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+            Error::NotFound(msg) => write!(f, "not found: {msg}"),
+            Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Error {
+    /// Shorthand constructor for invalid-parameter errors.
+    pub fn invalid(msg: impl Into<String>) -> Error {
+        Error::InvalidParameter(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::invalid("x must be positive").to_string(),
+            "invalid parameter: x must be positive"
+        );
+        assert_eq!(
+            Error::NoConvergence { what: "pagerank", iterations: 100 }.to_string(),
+            "pagerank did not converge after 100 iterations"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::NotFound("page#1".into()));
+    }
+}

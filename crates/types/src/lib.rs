@@ -1,0 +1,34 @@
+//! Shared vocabulary types for the `webevo` workspace.
+//!
+//! This crate defines the identifiers, time model, and small value types used
+//! by every other crate in the reproduction of Cho & Garcia-Molina,
+//! *"The Evolution of the Web and Implications for an Incremental Crawler"*
+//! (VLDB 2000).
+//!
+//! Design notes:
+//!
+//! * **Time is denominated in days** (`SimTime`, `SimDuration`): the paper's
+//!   measurement study has one-day granularity, while its analytic layer is
+//!   continuous, so a floating-point day count serves both.
+//! * Identifiers are **newtypes over `u32`/`u64`** so they cannot be mixed up
+//!   and stay small in hot data structures.
+//! * `Checksum` models the page digest the paper's UpdateModule compares
+//!   across visits (§5.3); the crawler layer never sees simulator ground
+//!   truth, only checksums.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod error;
+pub mod id;
+pub mod page;
+pub mod time;
+pub mod url;
+
+pub use domain::Domain;
+pub use error::{Error, Result};
+pub use id::{PageId, SiteId};
+pub use page::{Checksum, ChangeRate, PageVersion};
+pub use time::{SimDuration, SimTime, DAY, FOUR_MONTHS, MONTH, WEEK, YEAR};
+pub use url::Url;

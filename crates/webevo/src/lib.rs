@@ -1,0 +1,97 @@
+//! # webevo
+//!
+//! A production-quality Rust reproduction of **Cho & Garcia-Molina, "The
+//! Evolution of the Web and Implications for an Incremental Crawler"
+//! (VLDB 2000)**: the web-evolution measurement study (§2–3), the
+//! freshness analysis of crawler design choices (§4), and the incremental
+//! crawler architecture (§5) — plus every substrate they need, built from
+//! scratch (synthetic evolving web, PageRank/HITS, statistics toolkit,
+//! change-frequency estimators, revisit-schedule optimizer).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use webevo::prelude::*;
+//!
+//! // 1. Generate a small synthetic web calibrated to the paper's
+//! //    measurements.
+//! let universe = WebUniverse::generate(UniverseConfig::test_scale(42));
+//!
+//! // 2. Run the incremental crawler for 30 simulated days.
+//! let mut crawler = IncrementalCrawler::new(IncrementalConfig {
+//!     capacity: 50,
+//!     crawl_rate_per_day: 10.0,
+//!     ..IncrementalConfig::monthly(50)
+//! });
+//! let mut fetcher = SimFetcher::new(&universe);
+//! crawler.run(&universe, &mut fetcher, 0.0, 30.0);
+//!
+//! // 3. Inspect steady-state freshness.
+//! let freshness = crawler.metrics().average_freshness_from(15.0);
+//! assert!(freshness > 0.3);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Paper section | Contents |
+//! |---|---|---|
+//! | [`types`] | — | ids, time, domains, checksums |
+//! | [`stats`] | §3.4 | sampling, histograms, CIs, goodness-of-fit |
+//! | [`graph`] | §2.2, §5 | PageRank (page + site level), HITS |
+//! | [`sim`] | §2 | the synthetic evolving web + fetch interface |
+//! | [`experiment`] | §2–3 | daily monitor, Figures 2/4/5/6, Table 1 |
+//! | [`freshness`] | §4 | freshness/age analytics, Figures 7/8, Table 2 |
+//! | [`estimate`] | §5.3 | estimators EP and EB |
+//! | [`schedule`] | §4.3 | uniform/proportional/optimal revisit, Figure 9 |
+//! | [`core`] | §5 | the incremental crawler + periodic baseline |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use webevo_core as core;
+pub use webevo_estimate as estimate;
+pub use webevo_experiment as experiment;
+pub use webevo_freshness as freshness;
+pub use webevo_graph as graph;
+pub use webevo_schedule as schedule;
+pub use webevo_sim as sim;
+pub use webevo_stats as stats;
+pub use webevo_types as types;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use webevo_core::{
+        AllUrls, Collection, CrawlMetrics, EstimatorKind, IncrementalConfig,
+        IncrementalCrawler, PeriodicConfig, PeriodicCrawler, RankingConfig,
+        RevisitStrategy, ThreadedCrawler,
+    };
+    pub use webevo_estimate::{
+        estimate_ep, estimate_irregular_mle, estimate_naive,
+        estimate_regular_bias_corrected, estimate_regular_mle, BayesianEstimator,
+        ChangeHistory, FrequencyClass, SitePool,
+    };
+    pub use webevo_experiment::{
+        run_full_experiment, select_sites, DailyMonitor, ExperimentReport, MonitorConfig,
+    };
+    pub use webevo_freshness::{
+        freshness_batch_inplace, freshness_batch_shadow, freshness_periodic,
+        freshness_steady_inplace, freshness_steady_shadow, CrawlMode, CrawlPolicy,
+        FreshnessSeries, UpdateMode,
+    };
+    pub use webevo_graph::{hits, pagerank, PageGraph, PageRankConfig};
+    pub use webevo_schedule::{
+        evaluate_allocation, optimal_allocation, optimal_frequency_curve,
+        proportional_allocation, uniform_allocation, RevisitPolicy,
+    };
+    pub use webevo_sim::{
+        FetchError, FetchOutcome, Fetcher, Politeness, SimFetcher, UniverseConfig,
+        WebUniverse,
+    };
+    pub use webevo_stats::{
+        Histogram, IntervalBin, IntervalHistogram, LifespanBin, LifespanHistogram,
+        PoissonProcess, SimRng, Summary, SurvivalCurve,
+    };
+    pub use webevo_types::{
+        ChangeRate, Checksum, Domain, PageId, SimDuration, SimTime, SiteId, Url,
+    };
+}

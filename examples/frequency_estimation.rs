@@ -1,0 +1,69 @@
+//! Estimators EP and EB in action (§5.3, [CGM99a]): watch both converge on
+//! pages with known ground-truth change rates, and see the naive estimator
+//! saturate on fast pages (Figure 1(a)'s granularity limit).
+//!
+//! ```sh
+//! cargo run --release --example frequency_estimation
+//! ```
+
+use webevo::prelude::*;
+
+fn observe_page(lambda: f64, days: usize, seed: u64) -> (ChangeHistory, BayesianEstimator) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let process = PoissonProcess::generate(&mut rng, lambda, days as f64 + 1.0);
+    let mut history = ChangeHistory::new(days + 2);
+    let mut bayes = BayesianEstimator::uniform_prior(BayesianEstimator::paper_classes())
+        .expect("classes are non-empty");
+    let mut prev_version = 0;
+    for day in 0..=days {
+        let t = day as f64;
+        let version = process.version_at(t);
+        history.record_visit(t, Checksum::of_version(seed, version));
+        if day > 0 {
+            bayes.observe(1.0, version != prev_version);
+        }
+        prev_version = version;
+    }
+    (history, bayes)
+}
+
+fn main() {
+    println!("daily visits for 180 days; all rates in changes/day\n");
+    println!(
+        "{:<14}{:>10}{:>10}{:>12}{:>14}{:>16}",
+        "true rate", "naive", "EP (MLE)", "EP 95% CI", "EB mean", "EB MAP class"
+    );
+    for (i, &lambda) in [0.01, 0.05, 1.0 / 7.0, 0.5, 2.0].iter().enumerate() {
+        let (history, bayes) = observe_page(lambda, 180, 42 + i as u64);
+        let naive = estimate_naive(&history)
+            .map(|r| r.per_day())
+            .unwrap_or(f64::NAN);
+        let ep = estimate_ep(&history, 0.95).ok();
+        let (ep_rate, ci) = match &ep {
+            Some(e) => (e.rate.per_day(), format!("[{:.3},{:>6}]", e.ci.lo, fmt_hi(e.ci.hi))),
+            None => (f64::NAN, "-".to_string()),
+        };
+        println!(
+            "{:<14.3}{:>10.3}{:>10.3}{:>12}{:>14.3}{:>16}",
+            lambda,
+            naive,
+            ep_rate,
+            ci,
+            bayes.posterior_mean_rate().per_day(),
+            bayes.map_class().label
+        );
+    }
+    println!(
+        "\nNote the λ=2 row: the naive estimator saturates near 1 change/day\n\
+         (daily visits cannot see more), while EP's bias-corrected inversion\n\
+         and EB's class posterior still identify the page as fast."
+    );
+}
+
+fn fmt_hi(hi: f64) -> String {
+    if hi.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{hi:.3}")
+    }
+}

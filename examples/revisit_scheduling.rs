@@ -1,0 +1,57 @@
+//! Figure 9 and the §4.3 scheduling comparison: the optimal revisit
+//! frequency *rises then falls* with a page's change rate, and the optimal
+//! allocation beats uniform and proportional on a realistic rate mixture.
+//!
+//! ```sh
+//! cargo run --release --example revisit_scheduling
+//! ```
+
+use webevo::prelude::*;
+use webevo::sim::DomainProfile;
+
+fn main() {
+    // --- Figure 9: the optimal-frequency curve. ---
+    println!("Figure 9: optimal revisit frequency vs change rate");
+    println!("(collection of log-spaced rates, fixed total budget)\n");
+    let curve = optimal_frequency_curve(0.001, 10.0, 60, 20.0)
+        .expect("valid sweep parameters");
+    println!("{:<16}{:>16}", "rate (1/day)", "f* (visits/day)");
+    for (lambda, f) in curve.iter().step_by(5) {
+        let bar = "#".repeat((f * 40.0).round() as usize);
+        println!("{lambda:<16.4}{f:>16.4}  {bar}");
+    }
+
+    // --- §4.3: policy comparison on a paper-calibrated rate mixture. ---
+    let mut rng = SimRng::seed_from_u64(99);
+    let mut rates: Vec<ChangeRate> = Vec::new();
+    for domain in Domain::ALL {
+        let profile = DomainProfile::calibrated(domain);
+        let pages = domain.paper_site_count() * 4; // scaled-down mixture
+        for _ in 0..pages {
+            rates.push(profile.sample_rate(&mut rng));
+        }
+    }
+    // Budget: revisit the whole collection every 10 days on average.
+    let budget = rates.len() as f64 / 10.0;
+    let uniform = uniform_allocation(&rates, budget).expect("valid");
+    let proportional = proportional_allocation(&rates, budget).expect("valid");
+    let optimal = optimal_allocation(&rates, budget).expect("valid");
+
+    let f_uni = evaluate_allocation(&rates, &uniform);
+    let f_prop = evaluate_allocation(&rates, &proportional);
+    let f_opt = evaluate_allocation(&rates, &optimal.allocation);
+    println!("\nExpected freshness, {} pages, budget {:.0} visits/day:", rates.len(), budget);
+    println!("  uniform       {f_uni:.4}");
+    println!("  proportional  {f_prop:.4}");
+    println!(
+        "  optimal       {:.4}  (+{:.1}% over uniform, +{:.1}% over proportional)",
+        f_opt,
+        (f_opt / f_uni - 1.0) * 100.0,
+        (f_opt / f_prop - 1.0) * 100.0
+    );
+    println!(
+        "  pages the optimizer abandons as too hot: {}",
+        optimal.zero_pages
+    );
+    println!("\nThe paper reports 10-23% freshness gains from optimizing revisit frequencies.");
+}

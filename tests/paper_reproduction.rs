@@ -1,0 +1,167 @@
+//! End-to-end assertions of the paper's published numbers and shapes.
+//!
+//! Analytic results (Table 2, the §4 sensitivity scenario, Figure 9's
+//! shape) must match the paper to printed precision; measurement-study
+//! results (Figures 2/4/5/6) must reproduce the paper's qualitative
+//! orderings on a simulator calibrated from the paper's own fractions.
+
+use webevo::prelude::*;
+
+const FOUR_MONTHS: f64 = 120.0;
+const MONTH: f64 = 30.0;
+const WEEK: f64 = 7.0;
+
+#[test]
+fn table2_all_four_entries() {
+    let lambda = 1.0 / FOUR_MONTHS;
+    // Paper's Table 2: steady/in-place 0.88, batch/in-place 0.88,
+    // steady/shadow 0.77 (we compute 0.78 before rounding), batch/shadow
+    // 0.86.
+    assert!((freshness_steady_inplace(lambda, MONTH) - 0.88).abs() < 0.01);
+    assert!((freshness_batch_inplace(lambda, MONTH, WEEK) - 0.88).abs() < 0.01);
+    assert!((freshness_steady_shadow(lambda, MONTH) - 0.78).abs() < 0.012);
+    assert!((freshness_batch_shadow(lambda, MONTH, WEEK) - 0.86).abs() < 0.01);
+}
+
+#[test]
+fn section4_sensitivity_scenario() {
+    // "pages change every month, batch crawler operates for the first two
+    // weeks": in-place 0.63 vs shadowing 0.50.
+    let lambda = 1.0 / MONTH;
+    assert!((freshness_batch_inplace(lambda, MONTH, 15.0) - 0.63).abs() < 0.005);
+    assert!((freshness_batch_shadow(lambda, MONTH, 15.0) - 0.50).abs() < 0.005);
+}
+
+#[test]
+fn figure9_shape() {
+    let curve = optimal_frequency_curve(0.001, 10.0, 100, 25.0).unwrap();
+    let freqs: Vec<f64> = curve.iter().map(|&(_, f)| f).collect();
+    let peak = freqs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    // Interior peak: rises below λ_h, falls above (the paper's key
+    // counterintuitive result).
+    assert!(peak > 0 && peak < freqs.len() - 1);
+    assert!(freqs[0] < freqs[peak]);
+    assert!(*freqs.last().unwrap() < freqs[peak]);
+    assert_eq!(*freqs.last().unwrap(), 0.0, "hottest pages abandoned");
+}
+
+#[test]
+fn experiment_reproduces_section3_orderings() {
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(300));
+    let report = run_full_experiment(
+        &universe,
+        &MonitorConfig { days: 128, failure_rate: 0.0, time_of_day: 0.0 },
+        universe.site_count(),
+        universe.site_count(),
+    );
+
+    // §3.1: com changes fastest; edu/gov mostly static.
+    let daily = |d: Domain| report.fig2_by_domain.get(d).fraction(IntervalBin::UpToDay);
+    assert!(daily(Domain::Com) > daily(Domain::Edu));
+    assert!(daily(Domain::Com) > daily(Domain::Gov));
+    let static_frac =
+        |d: Domain| report.fig2_by_domain.get(d).fraction(IntervalBin::OverFourMonths);
+    assert!(static_frac(Domain::Gov) > static_frac(Domain::Com));
+
+    // §3.2: com pages shortest-lived (Method 1 histograms).
+    let long_lived = |d: Domain| {
+        report.fig4_by_domain.get(d).fraction(LifespanBin::OverFourMonths)
+    };
+    assert!(long_lived(Domain::Edu) > long_lived(Domain::Com));
+
+    // §3.3: com's 50% change point comes earliest.
+    let com_half = report
+        .fig5_by_domain
+        .get(Domain::Com)
+        .half_life_days()
+        .expect("com must cross 50% within 128 days");
+    if let Some(gov_half) = report.fig5_by_domain.get(Domain::Gov).half_life_days() {
+        assert!(com_half < gov_half);
+    }
+
+    // §3.4: the Poisson fit for the 10-day group is not strongly rejected.
+    let fit10 = &report.fig6[0];
+    assert!(fit10.samples > 20, "need interval samples, got {}", fit10.samples);
+    assert!(fit10.chi_square.p_value > 1e-4, "p={}", fit10.chi_square.p_value);
+}
+
+#[test]
+fn figure2_overall_headline_at_medium_scale() {
+    // ">20% of pages changed whenever we visited them" — needs the full
+    // domain mix, so run at medium scale once (release recommended).
+    let universe = WebUniverse::generate(UniverseConfig::medium_scale(301));
+    let sites: Vec<SiteId> = universe.sites().iter().map(|s| s.id).collect();
+    let monitor = DailyMonitor::new(MonitorConfig {
+        days: 128,
+        failure_rate: 0.0,
+        time_of_day: 0.0,
+    });
+    let data = monitor.run(&universe, &sites);
+    let (overall, by_domain) = webevo::experiment::change_interval_histograms(&data);
+    let daily_frac = overall.fraction(IntervalBin::UpToDay);
+    assert!(daily_frac > 0.20, "overall daily fraction {daily_frac} (paper: >20%)");
+    let com_daily = by_domain.get(Domain::Com).fraction(IntervalBin::UpToDay);
+    assert!(com_daily > 0.40, "com daily fraction {com_daily} (paper: >40%)");
+    let edu_static = by_domain
+        .get(Domain::Edu)
+        .fraction(IntervalBin::OverFourMonths);
+    assert!(edu_static > 0.45, "edu static fraction {edu_static} (paper: >50%)");
+}
+
+#[test]
+fn figure5_half_life_at_medium_scale() {
+    // Figure 5's *shape*: com crosses 50% earliest by a wide margin,
+    // gov/edu last (the paper: 11 days for com vs ~4 months for gov).
+    //
+    // Absolute crossings cannot match the paper's "about 50 days overall":
+    // Figure 2(a)'s ">20% of pages changed at every visit" mathematically
+    // forces the overall unchanged curve below 0.8 after a single day,
+    // and with the Fig 2(b) mixtures the 50% crossing lands within ~2
+    // weeks. The published 50-day figure is consistent only if Figure 5
+    // excluded the every-visit changers or used a coarser change
+    // criterion; EXPERIMENTS.md discusses the tension. We therefore pin
+    // the domain ordering and sane bounds, not the absolute day.
+    let universe = WebUniverse::generate(UniverseConfig::medium_scale(302));
+    let sites: Vec<SiteId> = universe.sites().iter().map(|s| s.id).collect();
+    let monitor = DailyMonitor::new(MonitorConfig {
+        days: 128,
+        failure_rate: 0.0,
+        time_of_day: 0.0,
+    });
+    let data = monitor.run(&universe, &sites);
+    let (overall, by_domain) = webevo::experiment::unchanged_curves(&data);
+    let all_half = overall.half_life_days().expect("overall 50% within horizon");
+    assert!(
+        (2..=85).contains(&all_half),
+        "overall half-life {all_half} out of plausible range"
+    );
+    let com_half = by_domain
+        .get(Domain::Com)
+        .half_life_days()
+        .expect("com 50% within horizon");
+    assert!(
+        com_half <= all_half,
+        "com ({com_half}) changes fastest (overall {all_half})"
+    );
+    // gov: the most static — 50% much later than com, or never within the
+    // horizon ("almost 4 months" in the paper).
+    match by_domain.get(Domain::Gov).half_life_days() {
+        Some(gov_half) => assert!(
+            gov_half > com_half * 5,
+            "gov {gov_half} vs com {com_half}"
+        ),
+        None => {}
+    }
+    // edu is also slow: clearly more survivors than com after a month
+    // (changes *and* deaths both included, so the absolute level reflects
+    // lifespan churn too).
+    let edu_30 = by_domain.get(Domain::Edu).at_day(30);
+    let com_30 = by_domain.get(Domain::Com).at_day(30);
+    assert!(edu_30 > com_30 + 0.1, "edu {edu_30} vs com {com_30} at day 30");
+    assert!(edu_30 > 0.25, "edu at day 30: {edu_30}");
+}
