@@ -6,7 +6,7 @@
 //! "based on how many pages in the Collection have a link to p"), and
 //! whether the URL has been observed dead.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use webevo_types::{PageId, Url};
 
 /// Metadata for one discovered URL.
@@ -14,7 +14,7 @@ use webevo_types::{PageId, Url};
 pub struct UrlInfo {
     /// Collection pages known to link here (bounded; enough for importance
     /// estimation).
-    pub in_link_sources: HashSet<PageId>,
+    pub in_link_sources: BTreeSet<PageId>,
     /// Simulated day the URL was first discovered.
     pub discovered: f64,
     /// The URL returned NotFound at this time (dead pages are not
@@ -25,7 +25,9 @@ pub struct UrlInfo {
 /// The set of all discovered URLs.
 #[derive(Clone, Debug, Default)]
 pub struct AllUrls {
-    urls: HashMap<Url, UrlInfo>,
+    // Ordered by URL: candidate enumeration feeds importance-mass float
+    // sums that must replay exactly for a fixed seed.
+    urls: BTreeMap<Url, UrlInfo>,
     /// Cap on tracked in-link sources per URL (evidence saturates quickly).
     max_sources: usize,
 }
@@ -33,7 +35,7 @@ pub struct AllUrls {
 impl AllUrls {
     /// An empty set tracking up to 32 in-link sources per URL.
     pub fn new() -> AllUrls {
-        AllUrls { urls: HashMap::new(), max_sources: 32 }
+        AllUrls { urls: BTreeMap::new(), max_sources: 32 }
     }
 
     /// Number of URLs discovered.
@@ -54,7 +56,7 @@ impl AllUrls {
     /// Register a URL discovered at time `t` (idempotent).
     pub fn discover(&mut self, url: Url, t: f64) {
         self.urls.entry(url).or_insert_with(|| UrlInfo {
-            in_link_sources: HashSet::new(),
+            in_link_sources: BTreeSet::new(),
             discovered: t,
             dead_since: None,
         });
@@ -64,7 +66,7 @@ impl AllUrls {
     /// the URL if needed).
     pub fn add_in_link(&mut self, url: Url, source: PageId, t: f64) {
         let info = self.urls.entry(url).or_insert_with(|| UrlInfo {
-            in_link_sources: HashSet::new(),
+            in_link_sources: BTreeSet::new(),
             discovered: t,
             dead_since: None,
         });

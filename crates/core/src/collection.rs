@@ -5,7 +5,7 @@
 //! frequency estimators, the extracted links (feeding both AllUrls and the
 //! RankingModule's link structure), and the current importance score.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use webevo_estimate::{BayesianEstimator, ChangeHistory};
 use webevo_types::{Checksum, PageId, Url};
 
@@ -36,7 +36,10 @@ pub struct StoredPage {
 /// The local collection: a capacity-bounded page store.
 #[derive(Clone, Debug)]
 pub struct Collection {
-    pages: HashMap<PageId, StoredPage>,
+    // Ordered map: iteration feeds float accumulations (metrics sampling,
+    // ranking mass sums) that must replay exactly for a fixed seed. A
+    // HashMap's per-instance seed would reorder them run to run.
+    pages: BTreeMap<PageId, StoredPage>,
     capacity: usize,
     history_window: usize,
 }
@@ -46,7 +49,7 @@ impl Collection {
     /// pages" assumption, §5.2) and a per-page history window.
     pub fn new(capacity: usize, history_window: usize) -> Collection {
         assert!(capacity > 0, "collection capacity must be positive");
-        Collection { pages: HashMap::with_capacity(capacity), capacity, history_window }
+        Collection { pages: BTreeMap::new(), capacity, history_window }
     }
 
     /// The configured capacity.

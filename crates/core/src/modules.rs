@@ -138,7 +138,6 @@ impl UpdateModule {
                     h.comparisons(),
                     interval,
                 )
-                .map(|r| r)
                 .unwrap_or(self.prior_rate)
             }
             EstimatorKind::Eb => {

@@ -9,7 +9,7 @@
 //! high peak speed §4 warns about (peak = cycle/window × the steady rate).
 
 use crate::metrics::CrawlMetrics;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use webevo_sim::{FetchError, Fetcher, WebUniverse};
 use webevo_types::{Checksum, PageId, Url};
 
@@ -62,9 +62,11 @@ struct SnapshotPage {
 pub struct PeriodicCrawler {
     config: PeriodicConfig,
     /// The user-visible collection (page → crawl info).
-    current: HashMap<PageId, SnapshotPage>,
+    // Ordered for the replay contract: the swap loop and metric sampling
+    // accumulate floats over this map's iteration order.
+    current: BTreeMap<PageId, SnapshotPage>,
     /// When each page first became visible to users (for latency metrics).
-    first_visible: HashMap<PageId, f64>,
+    first_visible: BTreeMap<PageId, f64>,
     metrics: CrawlMetrics,
     cycles: u64,
 }
@@ -76,8 +78,8 @@ impl PeriodicCrawler {
         assert!(config.window_days > 0.0 && config.window_days <= config.cycle_days);
         PeriodicCrawler {
             config,
-            current: HashMap::new(),
-            first_visible: HashMap::new(),
+            current: BTreeMap::new(),
+            first_visible: BTreeMap::new(),
             metrics: CrawlMetrics::default(),
             cycles: 0,
         }
@@ -123,8 +125,10 @@ impl PeriodicCrawler {
             // --- Swap: the shadow becomes the current collection. ---
             if swap_time <= end {
                 for (&p, snap) in shadow.iter() {
-                    if !self.first_visible.contains_key(&p) {
-                        self.first_visible.insert(p, swap_time);
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
+                        self.first_visible.entry(p)
+                    {
+                        slot.insert(swap_time);
                         let birth = universe.page(p).birth;
                         if birth >= start {
                             self.metrics.record_admission_latency(swap_time - birth);
@@ -141,13 +145,8 @@ impl PeriodicCrawler {
             // --- Idle until the next cycle, sampling metrics. ---
             let cycle_end = (cycle_start + self.config.cycle_days).min(end);
             while next_sample <= cycle_end {
-                if next_sample >= swap_time {
-                    self.sample_metrics(universe, next_sample);
-                    next_sample += self.config.sample_interval_days;
-                } else {
-                    self.sample_metrics(universe, next_sample);
-                    next_sample += self.config.sample_interval_days;
-                }
+                self.sample_metrics(universe, next_sample);
+                next_sample += self.config.sample_interval_days;
             }
             cycle_start += self.config.cycle_days;
         }
@@ -163,11 +162,11 @@ impl PeriodicCrawler {
         cycle_start: f64,
         next_sample: &mut f64,
         end: f64,
-    ) -> HashMap<PageId, SnapshotPage> {
+    ) -> BTreeMap<PageId, SnapshotPage> {
         let step = self.config.window_days / self.config.capacity as f64;
-        let mut shadow: HashMap<PageId, SnapshotPage> = HashMap::new();
+        let mut shadow: BTreeMap<PageId, SnapshotPage> = BTreeMap::new();
         let mut frontier: VecDeque<Url> = VecDeque::new();
-        let mut seen: HashSet<PageId> = HashSet::new();
+        let mut seen: BTreeSet<PageId> = BTreeSet::new();
         for site in universe.sites() {
             if let Some(root) = universe.occupant(site.id, 0, cycle_start) {
                 let url = Url::new(site.id, root);

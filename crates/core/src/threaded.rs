@@ -186,7 +186,19 @@ impl ThreadedCrawler {
                     self.sample_metrics(universe, t.min(end));
                     next_sample += self.config.sample_interval_days;
                 }
-                if t >= next_ranking && !ranking_in_flight {
+                if t >= next_ranking {
+                    if ranking_in_flight {
+                        // Back-pressure: the previous pass must land before
+                        // the next is due. Waiting here (only on the pass
+                        // boundary, never per fetch) keeps ranking at most
+                        // one interval behind simulated time instead of
+                        // letting the coordinator outrun PageRank by an
+                        // unbounded, timing-dependent amount.
+                        if let Ok(res) = rank_res_rx.recv() {
+                            ranking_in_flight = false;
+                            self.apply_ranking(res);
+                        }
+                    }
                     // Ship snapshots; the crawl path continues immediately.
                     let req = RankRequest {
                         collection: self.collection.clone(),
@@ -231,8 +243,11 @@ impl ThreadedCrawler {
             }
             drop(work_tx); // workers exit
             drop(rank_req_tx); // ranking thread exits
-            // Drain any late ranking response so the channel closes clean.
-            while rank_res_rx.try_recv().is_ok() {}
+            // Apply any in-flight ranking outcome rather than discarding
+            // the work (recv returns Err once the ranking thread exits).
+            while let Ok(res) = rank_res_rx.recv() {
+                self.apply_ranking(res);
+            }
         })
         .expect("crawler threads do not panic");
         self.sample_metrics(universe, end);

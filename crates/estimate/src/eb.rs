@@ -68,7 +68,7 @@ impl BayesianEstimator {
             return Err(Error::invalid("need at least one frequency class"));
         }
         let total: f64 = prior.iter().sum();
-        if !(total > 0.0) || prior.iter().any(|&p| p < 0.0) {
+        if total.is_nan() || total <= 0.0 || prior.iter().any(|&p| p < 0.0) {
             return Err(Error::invalid("prior must be non-negative with positive sum"));
         }
         Ok(BayesianEstimator {

@@ -97,14 +97,20 @@ impl PageRecord {
         self.last_seen - self.first_seen
     }
 
-    /// §3.1's average change interval estimate: span / changes. Pages with
+    /// §3.1's average change interval estimate: observed time / changes.
+    /// Days lost to failed fetches are censored — dropped from the
+    /// numerator — rather than counted as unchanged time; otherwise a
+    /// page that changed on every successful visit drifts out of the
+    /// "changed every time we visited" bin as soon as any visit fails.
+    /// With no failures `days_observed − 1 == span_days`, the paper's
+    /// exact estimator. Pages with
     /// no detected change report `None` (the paper cannot tell how often
     /// they change — its fifth bar).
     pub fn mean_change_interval(&self) -> Option<f64> {
         if self.change_days.is_empty() {
             None
         } else {
-            Some(self.span_days() as f64 / self.changes() as f64)
+            Some((self.days_observed.saturating_sub(1)) as f64 / self.changes() as f64)
         }
     }
 

@@ -45,7 +45,7 @@ fn validate(rates: &[ChangeRate], budget_per_day: f64) -> Result<()> {
     if rates.is_empty() {
         return Err(Error::invalid("allocation needs at least one page"));
     }
-    if !(budget_per_day > 0.0) || !budget_per_day.is_finite() {
+    if budget_per_day <= 0.0 || !budget_per_day.is_finite() {
         return Err(Error::invalid("budget must be positive and finite"));
     }
     if rates.iter().any(|r| !r.is_valid()) {

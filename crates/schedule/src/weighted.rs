@@ -63,10 +63,10 @@ pub fn weighted_optimal_allocation(
     if rates.len() != weights.len() {
         return Err(Error::invalid("weights must align with rates"));
     }
-    if !(budget_per_day > 0.0) || !budget_per_day.is_finite() {
+    if budget_per_day <= 0.0 || !budget_per_day.is_finite() {
         return Err(Error::invalid("budget must be positive and finite"));
     }
-    if weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
+    if weights.iter().any(|&w| w <= 0.0 || !w.is_finite()) {
         return Err(Error::invalid("weights must be positive and finite"));
     }
     if rates.iter().any(|r| !r.is_valid()) {

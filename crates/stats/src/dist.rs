@@ -135,10 +135,10 @@ mod tests {
     #[test]
     fn log_uniform_bounds_and_median() {
         let mut rng = SimRng::seed_from_u64(6);
-        let (lo, hi) = (0.01, 100.0);
+        let (lo, hi) = (0.01f64, 100.0f64);
         let n = 50_000;
         let mut below_geo_mean = 0usize;
-        let geo_mean = (lo * hi as f64).sqrt();
+        let geo_mean = (lo * hi).sqrt();
         for _ in 0..n {
             let x = sample_log_uniform(&mut rng, lo, hi);
             assert!((lo..=hi).contains(&x));

@@ -69,4 +69,63 @@ mod tests {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Error::NotFound("page#1".into()));
     }
+
+    #[test]
+    fn every_variant_displays_its_context() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::InvalidParameter("bad λ".into()), "invalid parameter: bad λ"),
+            (Error::Fetch("timeout on site#3".into()), "fetch failed: timeout on site#3"),
+            (
+                Error::NoConvergence { what: "optimal allocation", iterations: 64 },
+                "optimal allocation did not converge after 64 iterations",
+            ),
+            (Error::NotFound("page#42".into()), "not found: page#42"),
+            (Error::InvalidState("crawler already running".into()),
+             "invalid state: crawler already running"),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+            // Debug formatting must also be available (error reporting paths).
+            assert!(!format!("{err:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn invalid_accepts_string_and_str() {
+        assert_eq!(Error::invalid("x"), Error::InvalidParameter("x".into()));
+        assert_eq!(Error::invalid(String::from("y")), Error::InvalidParameter("y".into()));
+    }
+
+    #[test]
+    fn result_alias_propagates_with_question_mark() {
+        fn inner(fail: bool) -> Result<u32> {
+            if fail {
+                Err(Error::invalid("no"))
+            } else {
+                Ok(7)
+            }
+        }
+        fn outer(fail: bool) -> Result<u32> {
+            let v = inner(fail)?;
+            Ok(v + 1)
+        }
+        assert_eq!(outer(false), Ok(8));
+        assert_eq!(outer(true), Err(Error::InvalidParameter("no".into())));
+    }
+
+    #[test]
+    fn clone_and_eq_are_structural() {
+        let e = Error::NoConvergence { what: "hits", iterations: 3 };
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, Error::NoConvergence { what: "hits", iterations: 4 });
+        assert_ne!(Error::NotFound("a".into()), Error::InvalidState("a".into()));
+    }
+
+    #[test]
+    fn boxes_into_dyn_error_chains() {
+        // The workspace error must compose with std error-handling code.
+        let boxed: Box<dyn std::error::Error> = Box::new(Error::Fetch("gone".into()));
+        assert_eq!(boxed.to_string(), "fetch failed: gone");
+        assert!(boxed.source().is_none(), "leaf errors have no source");
+    }
 }

@@ -3,16 +3,20 @@
 //! Real URL parsing is out of scope (the simulated web addresses pages by
 //! id), but the crawler-facing API should still speak in URL-like values —
 //! `AllUrls` and `CollUrls` in the paper are URL sets. A `Url` here is a
-//! `(site, page)` pair plus the BFS depth at which the page currently sits,
-//! which is exactly the addressing the page-window methodology needs.
+//! `(site, page)` pair, which is exactly the addressing the page-window
+//! methodology needs (a page's BFS depth is site state, not part of its
+//! address).
 
 use crate::{PageId, SiteId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A simulated URL: the page's site, its global page id, and its current
-/// depth from the site root (depth 0 = the root page).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+/// A simulated URL: the page's site and its global page id.
+///
+/// Ordered by `(site, page)` so URL-keyed engine state can live in ordered
+/// containers — iteration order (and therefore floating-point accumulation
+/// order) must not depend on hash seeds, or crawls stop replaying.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct Url {
     /// Owning site.
     pub site: SiteId,

@@ -150,12 +150,8 @@ fn figure5_half_life_at_medium_scale() {
     );
     // gov: the most static — 50% much later than com, or never within the
     // horizon ("almost 4 months" in the paper).
-    match by_domain.get(Domain::Gov).half_life_days() {
-        Some(gov_half) => assert!(
-            gov_half > com_half * 5,
-            "gov {gov_half} vs com {com_half}"
-        ),
-        None => {}
+    if let Some(gov_half) = by_domain.get(Domain::Gov).half_life_days() {
+        assert!(gov_half > com_half * 5, "gov {gov_half} vs com {com_half}");
     }
     // edu is also slow: clearly more survivors than com after a month
     // (changes *and* deaths both included, so the absolute level reflects

@@ -1,0 +1,264 @@
+//! Minimal offline stand-in for `criterion` 0.5.
+//!
+//! Keeps the macro and builder surface the benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function`, `bench_with_input`, `sample_size`, [`BenchmarkId`],
+//! `Bencher::iter` — and measures with `std::time::Instant`: a short
+//! warm-up to calibrate iterations per sample, then `sample_size` samples,
+//! reporting min/median/mean. No statistical regression machinery, no HTML
+//! reports; `cargo bench` prints one line per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export: benches import `black_box` from here or `std::hint`.
+pub use std::hint::black_box;
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("sort", 1024)` → `sort/1024`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { function_name: function_name.into(), parameter: parameter.to_string() }
+    }
+
+    /// `BenchmarkId::from_parameter(1024)` → `1024`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { function_name: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+/// Things usable as a benchmark id: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Render to the display name.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        if self.function_name.is_empty() {
+            self.parameter
+        } else {
+            format!("{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+/// Runs closures and accumulates timing samples.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, calling it repeatedly; the standard criterion entry
+    /// point. Return values are dropped *after* timing, like criterion.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: aim for samples of >= ~200µs so timer
+        // overhead stays negligible, capped to keep total time bounded.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(200) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / u32::try_from(self.iters_per_sample).unwrap_or(u32::MAX));
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} no samples collected");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / u32::try_from(sorted.len()).expect("few samples");
+        println!(
+            "{name:<50} min {:>12?}   median {:>12?}   mean {:>12?}   ({} samples x {} iters)",
+            min,
+            median,
+            mean,
+            sorted.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark (default 30 here;
+    /// criterion's default is 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declared measurement time; accepted for API compatibility (the
+    /// stand-in's duration is governed by sample count alone).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declared warm-up time; accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id_string());
+        let mut bencher =
+            Bencher { iters_per_sample: 1, samples: Vec::new(), target_samples: self.sample_size };
+        f(&mut bencher);
+        bencher.report(&name);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Builder: set the default sample size for subsequent groups.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { name: name.into(), sample_size, _criterion: self }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Declare a benchmark group function, as in criterion:
+/// `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` from group functions:
+/// `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a plain
+            // `--help`-style listing is not supported by this stand-in.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).into_id_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id_string(), "7");
+    }
+}

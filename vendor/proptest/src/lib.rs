@@ -1,0 +1,350 @@
+//! Minimal offline stand-in for `proptest` 1.x.
+//!
+//! Supports the subset the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro wrapping `#[test] fn name(arg in strategy, …)`
+//!   bodies;
+//! - strategies: numeric ranges (`0.0f64..5.0`, `0u64..1000`, inclusive
+//!   variants), tuples of strategies, and
+//!   [`collection::vec`](collection::vec);
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Each test runs [`CASES`] deterministic cases from a seed derived from
+//! the test name, so failures reproduce across runs. There is no
+//! shrinking: the failing inputs are printed as-is via the panic message.
+
+#![forbid(unsafe_code)]
+
+/// Number of cases each property runs (proptest's default is 256).
+pub const CASES: u32 = 128;
+
+/// Deterministic RNG used to drive strategies (splitmix64 core).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test identity and case index.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x5851_f42d_4c95_7f2d }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+pub fn seed_of(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        // Mix in occasional endpoint draws: real proptest biases toward
+        // boundaries, and properties often key on them (e.g. lambda == 0).
+        match rng.below(32) {
+            0 => self.start,
+            1 => f64_prev(self.end),
+            _ => self.start + (self.end - self.start) * rng.unit_f64(),
+        }
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        (f64::from(self.start)..f64::from(self.end)).sample(rng) as f32
+    }
+}
+
+/// Largest f64 strictly below `x` (for sampling the open upper endpoint).
+fn f64_prev(x: f64) -> f64 {
+    if x == f64::NEG_INFINITY || x.is_nan() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let prev = if x > 0.0 {
+        bits - 1
+    } else if x == 0.0 {
+        // Predecessor of +0.0/-0.0 is the smallest negative subnormal.
+        (1u64 << 63) | 1
+    } else {
+        bits + 1
+    };
+    f64::from_bits(prev)
+}
+
+impl Strategy for bool {
+    type Value = bool;
+    fn sample(&self, _rng: &mut TestRng) -> bool {
+        *self
+    }
+}
+
+/// `Just(x)`: the constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `vec(element_strategy, 1..60)` — as in proptest.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+    /// The `prop` namespace alias used by idiomatic proptest code
+    /// (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property; failure reports the expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!("property assertion failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "property assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "property assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "property assertion failed: {} != {} (both: {:?})",
+                stringify!($left), stringify!($right), l
+            );
+        }
+    }};
+}
+
+/// Discard the current case when its precondition fails.
+///
+/// Expands to an early `return` from the per-case closure, so the case
+/// counts as skipped rather than failed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Define property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_property(x in 0u64..100, ys in collection::vec(0.0f64..1.0, 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let seed = $crate::seed_of(stringify!($name));
+            for case in 0..$crate::CASES {
+                let mut rng = $crate::TestRng::new(seed ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                // A zero-argument move closure keeps the sampled bindings'
+                // concrete types (closure *parameters* would defeat
+                // inference) while giving prop_assume! an early-exit scope.
+                let case_fn = move || $body;
+                case_fn();
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let x = crate::Strategy::sample(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&x));
+            let y = crate::Strategy::sample(&(-3i32..3), &mut rng);
+            assert!((-3..3).contains(&y));
+            let f = crate::Strategy::sample(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = crate::TestRng::new(2);
+        let strat = collection::vec(0u8..4, 1..6);
+        for _ in 0..500 {
+            let v = crate::Strategy::sample(&strat, &mut rng);
+            assert!((1..6).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 4));
+        }
+    }
+
+    #[test]
+    fn endpoint_bias_hits_lower_bound() {
+        let mut rng = crate::TestRng::new(3);
+        let hits = (0..2000)
+            .filter(|_| crate::Strategy::sample(&(0.0f64..1.0), &mut rng) == 0.0)
+            .count();
+        assert!(hits > 0, "lower endpoint should be sampled occasionally");
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u64..50, pair in (0u8..2, 0.0f64..1.0)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert!(pair.0 < 2);
+            prop_assert_ne!(x, 13);
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! `serde` stand-in.
+//!
+//! The real serde_derive rides on syn/quote; offline we hand-parse the
+//! item's token stream. Supported shapes — everything this workspace
+//! derives on:
+//!
+//! - structs with named fields, tuple structs (newtypes serialize
+//!   transparently, wider tuples as sequences), unit structs;
+//! - enums with unit variants (as strings), struct variants and tuple
+//!   variants (externally tagged, single-entry maps);
+//! - simple type generics (`PerDomain<T>`), each param bounded by the
+//!   derived trait.
+//!
+//! `#[serde(...)]` attributes are NOT supported and are rejected loudly
+//! rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the offline `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    let generics_decl = item.generics_decl("::serde::Serialize");
+    let generics_use = item.generics_use();
+    format!(
+        "impl{generics_decl} ::serde::Serialize for {name}{generics_use} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    )
+    .parse()
+    .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive the offline `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = deserialize_body(&item);
+    let generics_decl = item.generics_decl("::serde::Deserialize");
+    let generics_use = item.generics_use();
+    format!(
+        "impl{generics_decl} ::serde::Deserialize for {name}{generics_use} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    )
+    .parse()
+    .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ------------------------------------------------------------------ model
+
+enum Fields {
+    Unit,
+    /// Tuple fields, by arity.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter names, e.g. `["T"]` for `PerDomain<T>`.
+    type_params: Vec<String>,
+    shape: Shape,
+}
+
+impl Item {
+    /// `<T: Bound, U: Bound>` or the empty string.
+    fn generics_decl(&self, bound: &str) -> String {
+        if self.type_params.is_empty() {
+            String::new()
+        } else {
+            let params: Vec<String> =
+                self.type_params.iter().map(|p| format!("{p}: {bound}")).collect();
+            format!("<{}>", params.join(", "))
+        }
+    }
+
+    /// `<T, U>` or the empty string.
+    fn generics_use(&self) -> String {
+        if self.type_params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.type_params.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let text = g.stream().to_string();
+                        assert!(
+                            !text.starts_with("serde"),
+                            "offline serde_derive does not support #[serde(...)] attributes: {text}"
+                        );
+                    }
+                    other => panic!("expected [...] after # in derive input, found {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Optional `(crate)` / `(super)` restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum keyword, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+
+    // Generics: collect top-level parameter idents, skipping bounds.
+    let mut type_params = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    panic!("offline serde_derive does not support lifetime parameters")
+                }
+                TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                    let id = id.to_string();
+                    assert!(
+                        id != "const",
+                        "offline serde_derive does not support const generics"
+                    );
+                    type_params.push(id);
+                    at_param_start = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("expected struct body, found {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+
+    Item { name, type_params, shape }
+}
+
+/// Parse `name: Type, ...` field lists, returning the names. Commas inside
+/// angle brackets (`HashMap<K, V>`) are not separators; commas inside
+/// nested groups never reach this level because groups are single tokens.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            panic!("expected field name, found {tt:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        // Skip the type up to the next angle-depth-zero comma.
+        let mut angle_depth = 0usize;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Count fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut end = tokens.len();
+    // Ignore a trailing comma: `(A, B,)` has two fields, not three.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' {
+            end -= 1;
+        }
+    }
+    if end == 0 {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0usize;
+    for tt in &tokens[..end] {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("expected variant name, found {tt:?}");
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name: name.to_string(), fields });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("offline serde_derive does not support explicit discriminants")
+            }
+            Some(other) => panic!("expected `,` after variant, found {other:?}"),
+            None => break,
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_body(item: &Item) -> String {
+    match &item.shape {
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = format!("::std::string::String::from(\"{vname}\")");
+                let arm = match &v.fields {
+                    Fields::Unit => format!(
+                        "Self::{vname} => ::serde::Value::Str({tag}),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "Self::{vname}(__f0) => ::serde::Value::Map(::std::vec![({tag}, \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "Self::{vname}({binds}) => ::serde::Value::Map(::std::vec![({tag}, \
+                             ::serde::Value::Seq(::std::vec![{elems}]))]),",
+                            binds = binds.join(", "),
+                            elems = elems.join(", "),
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![({tag}, \
+                             ::serde::Value::Map(::std::vec![{entries}]))]),",
+                            entries = entries.join(", "),
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    }
+}
+
+fn named_fields_from(source: &str, type_path: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 {source}.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,"
+            )
+        })
+        .collect();
+    format!("{type_path} {{\n{}\n}}", inits.join("\n"))
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(Fields::Unit) => format!(
+            "match v {{ ::serde::Value::Null => Ok({name}), \
+             _ => Err(::serde::Error::expected(\"null\", v)) }}"
+        ),
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Seq(__xs) if __xs.len() == {n} => \
+                         Ok({name}({elems})),\n\
+                     _ => Err(::serde::Error::expected(\"a sequence of {n} elements\", v)),\n\
+                 }}",
+                elems = elems.join(", "),
+            )
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let build = named_fields_from("v", name, fields);
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Map(_) => Ok({build}),\n\
+                     _ => Err(::serde::Error::expected(\"a map\", v)),\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push(format!("\"{vname}\" => Ok(Self::{vname}),")),
+                    Fields::Tuple(1) => tagged_arms.push(format!(
+                        "\"{vname}\" => Ok(Self::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => match __inner {{\n\
+                                 ::serde::Value::Seq(__xs) if __xs.len() == {n} => \
+                                     Ok(Self::{vname}({elems})),\n\
+                                 _ => Err(::serde::Error::expected(\
+                                     \"a sequence of {n} elements\", __inner)),\n\
+                             }},",
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let build = named_fields_from("__inner", &format!("Self::{vname}"), fields);
+                        tagged_arms.push(format!("\"{vname}\" => Ok({build}),"));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {units}\n\
+                         __other => Err(::serde::Error::custom(::std::format!(\
+                             \"unknown {name} variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged}\n\
+                             __other => Err(::serde::Error::custom(::std::format!(\
+                                 \"unknown {name} variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::Error::expected(\"an enum value\", v)),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    }
+}
