@@ -1,14 +1,28 @@
 //! Regenerate every table and figure of the paper from the simulator and
-//! the analytic layer.
+//! the analytic layer — and run durable, resumable crawls.
 //!
 //! ```sh
 //! cargo run --release -p webevo-bench --bin repro -- all
 //! cargo run --release -p webevo-bench --bin repro -- table2 fig9
+//!
+//! # A 75-day crawl checkpointed to disk, killed, and continued:
+//! cargo run --release -p webevo-bench --bin repro -- crawl \
+//!     --checkpoint-dir /tmp/webevo-crawl --checkpoint-every 5
+//! cargo run --release -p webevo-bench --bin repro -- crawl \
+//!     --checkpoint-dir /tmp/webevo-crawl --resume
 //! ```
 //!
 //! Available targets: `table1 table2 sensitivity fig2 fig4 fig5 fig6 fig7
-//! fig8 fig9 gain crawlers all`.
+//! fig8 fig9 gain crawlers crawl all`.
+//!
+//! Flags (for the `crawl` target):
+//! * `--checkpoint-dir DIR` — persist snapshots + WAL under `DIR`.
+//! * `--checkpoint-every DAYS` — full-snapshot cadence (default 5).
+//! * `--resume` — recover from `--checkpoint-dir` and continue instead of
+//!   starting fresh.
+//! * `--days N` — crawl horizon in simulated days (default 75).
 
+use std::path::PathBuf;
 use webevo::experiment::report;
 use webevo::freshness::curves::policy_curves;
 use webevo::prelude::*;
@@ -16,14 +30,54 @@ use webevo_bench::{paper_rate_mixture, repro_experiment, repro_universe, TABLE2_
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_every = 5.0f64;
+    let mut resume = false;
+    let mut days = 75.0f64;
+    let mut positional: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--checkpoint-dir" => {
+                let dir = iter.next().expect("--checkpoint-dir needs a path");
+                checkpoint_dir = Some(PathBuf::from(dir));
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = iter
+                    .next()
+                    .expect("--checkpoint-every needs a day count")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &f64| v > 0.0)
+                    .expect("--checkpoint-every must be a positive number");
+            }
+            "--resume" => resume = true,
+            "--days" => {
+                days = iter
+                    .next()
+                    .expect("--days needs a day count")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &f64| v > 0.0)
+                    .expect("--days must be a positive number");
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let targets: Vec<&str> = if positional.is_empty() || positional.iter().any(|a| a == "all") {
         vec![
             "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "table2",
             "sensitivity", "fig9", "gain", "crawlers",
         ]
     } else {
-        args.iter().map(|s| s.as_str()).collect()
+        positional.iter().map(|s| s.as_str()).collect()
     };
+    if (checkpoint_dir.is_some() || resume) && !targets.contains(&"crawl") {
+        eprintln!(
+            "[repro] warning: checkpoint/resume flags only apply to the `crawl` target, \
+             which is not among the requested targets — they will be ignored"
+        );
+    }
 
     // The measurement-study targets share one monitored run.
     let needs_experiment = targets
@@ -283,6 +337,104 @@ fn main() {
                     inc.metrics().peak_speed,
                     per.metrics().peak_speed
                 );
+                println!();
+            }
+            "crawl" => {
+                println!("Durable incremental crawl ({days} simulated days)");
+                let universe = repro_universe();
+                let capacity = universe.site_count() * universe.config().pages_per_site;
+                let fresh_config = IncrementalConfig {
+                    capacity,
+                    crawl_rate_per_day: capacity as f64 / 15.0,
+                    ranking_interval_days: 1.0,
+                    revisit: RevisitStrategy::Optimal,
+                    estimator: EstimatorKind::Ep,
+                    history_window: 200,
+                    sample_interval_days: 1.0,
+                    ranking: RankingConfig::default(),
+                };
+                let mut fetcher = SimFetcher::new(&universe);
+                let mut resumed_from: Option<f64> = None;
+                let (mut crawler, mut checkpointer) = if resume {
+                    let dir = checkpoint_dir
+                        .clone()
+                        .expect("--resume requires --checkpoint-dir");
+                    let recovered = recover(&dir)
+                        .expect("checkpoint directory decodes")
+                        .expect("no snapshot found: run without --resume first");
+                    eprintln!(
+                        "[repro] recovered snapshot at day {:.2} (fetch #{}) + {} WAL records",
+                        recovered.state.clock.t,
+                        recovered.state.fetch_seq,
+                        recovered.wal.len()
+                    );
+                    let (mut crawler, fetcher_state) =
+                        IncrementalCrawler::from_state(recovered.state);
+                    if let Some(state) = fetcher_state {
+                        fetcher.restore_state(state);
+                    }
+                    crawler.replay(&universe, &mut fetcher, &recovered.wal);
+                    let mut state = crawler.export_state();
+                    state.fetcher = Fetcher::export_state(&fetcher);
+                    let ckpt = Checkpointer::continue_from(
+                        CheckpointConfig::new(dir, checkpoint_every),
+                        &state,
+                    )
+                    .expect("checkpoint directory writable");
+                    resumed_from = Some(state.clock.t);
+                    (crawler, Some(ckpt))
+                } else {
+                    let ckpt = checkpoint_dir.clone().map(|dir| {
+                        Checkpointer::create(CheckpointConfig::new(dir, checkpoint_every))
+                            .expect("checkpoint directory writable")
+                    });
+                    (IncrementalCrawler::new(fresh_config), ckpt)
+                };
+                let mut noop = NoopHook;
+                let hook: &mut dyn CrawlHook = match checkpointer.as_mut() {
+                    Some(ckpt) => ckpt,
+                    None => &mut noop,
+                };
+                match resumed_from {
+                    Some(from) if days > from => {
+                        eprintln!("[repro] resuming from day {from:.2} to day {days}");
+                        crawler.resume(&universe, &mut fetcher, days, hook);
+                    }
+                    Some(from) => eprintln!(
+                        "[repro] checkpoint already covers day {from:.2} (requested --days \
+                         {days}); reporting recovered state as-is"
+                    ),
+                    None => {
+                        crawler.run_hooked(&universe, &mut fetcher, 0.0, days, hook);
+                    }
+                }
+                println!(
+                    "{:<34}{:>13}",
+                    "pages in collection", crawler.collection().len()
+                );
+                println!("{:<34}{:>13}", "fetches", crawler.metrics().fetches);
+                println!(
+                    "{:<34}{:>13.3}",
+                    "avg freshness (post-warmup)",
+                    crawler.metrics().average_freshness_from(days / 2.0)
+                );
+                println!(
+                    "{:<34}{:>13.2}",
+                    "avg copy age (days)",
+                    crawler.metrics().age.time_average()
+                );
+                if let Some(ckpt) = &checkpointer {
+                    let stats = ckpt.stats();
+                    println!(
+                        "{:<34}{:>13}",
+                        "snapshots written", stats.snapshots
+                    );
+                    println!(
+                        "{:<34}{:>13}",
+                        "WAL flushes (records)",
+                        format!("{} ({})", stats.flushes, stats.records_logged)
+                    );
+                }
                 println!();
             }
             other => eprintln!("[repro] unknown target: {other}"),

@@ -6,11 +6,12 @@
 //! "based on how many pages in the Collection have a link to p"), and
 //! whether the URL has been observed dead.
 
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use webevo_types::{PageId, Url};
 
 /// Metadata for one discovered URL.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct UrlInfo {
     /// Collection pages known to link here (bounded; enough for importance
     /// estimation).
@@ -23,7 +24,7 @@ pub struct UrlInfo {
 }
 
 /// The set of all discovered URLs.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct AllUrls {
     // Ordered by URL: candidate enumeration feeds importance-mass float
     // sums that must replay exactly for a fixed seed.

@@ -5,12 +5,13 @@
 //! frequency estimators, the extracted links (feeding both AllUrls and the
 //! RankingModule's link structure), and the current importance score.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use webevo_estimate::{BayesianEstimator, ChangeHistory};
 use webevo_types::{Checksum, PageId, Url};
 
 /// One page's stored state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StoredPage {
     /// The page's URL.
     pub url: Url,
@@ -34,7 +35,7 @@ pub struct StoredPage {
 }
 
 /// The local collection: a capacity-bounded page store.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Collection {
     // Ordered map: iteration feeds float accumulations (metrics sampling,
     // ranking mass sums) that must replay exactly for a fixed seed. A
@@ -87,9 +88,9 @@ impl Collection {
         self.pages.get_mut(&page)
     }
 
-    /// Admit a new page crawled at `t` (Algorithm 5.1 step [9]). Panics if
-    /// full — the engine must evict first (step [7]/[8]); that ordering is
-    /// the refinement decision and must stay explicit.
+    /// Admit a new page crawled at `t` (Algorithm 5.1 step \[9\]). Panics
+    /// if full — the engine must evict first (step \[7\]/\[8\]); that
+    /// ordering is the refinement decision and must stay explicit.
     pub fn save(&mut self, url: Url, checksum: Checksum, links: Vec<Url>, t: f64) {
         assert!(!self.is_full(), "collection full: evict before saving");
         assert!(!self.pages.contains_key(&url.page), "page already stored: use update");
@@ -115,7 +116,7 @@ impl Collection {
     }
 
     /// Update an existing page from a re-crawl at `t` (Algorithm 5.1 step
-    /// [5]). Returns whether a change was detected.
+    /// \[5\]). Returns whether a change was detected.
     pub fn update(&mut self, page: PageId, checksum: Checksum, links: Vec<Url>, t: f64) -> bool {
         let stored = self.pages.get_mut(&page).expect("update requires a stored page");
         let obs = stored.history.record_visit(t, checksum);
@@ -129,7 +130,7 @@ impl Collection {
         obs.changed
     }
 
-    /// Discard a page (Algorithm 5.1 step [8]). Returns its state.
+    /// Discard a page (Algorithm 5.1 step \[8\]). Returns its state.
     pub fn discard(&mut self, page: PageId) -> Option<StoredPage> {
         self.pages.remove(&page)
     }

@@ -18,17 +18,22 @@
 
 use crate::allurls::AllUrls;
 use crate::collection::Collection;
+use crate::hooks::{CrawlHook, FetchRecord, NoopHook};
 use crate::metrics::CrawlMetrics;
 use crate::modules::{
     CrawlModule, EstimatorKind, RankingConfig, RankingModule, RevisitStrategy, UpdateModule,
 };
+use crate::state::{
+    entries_to_queue, queue_to_entries, set_to_sorted, CrawlerState, EngineClock, EngineKind,
+};
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use webevo_schedule::RevisitQueue;
-use webevo_sim::{FetchError, Fetcher, WebUniverse};
+use webevo_sim::{FetchError, FetchOutcome, Fetcher, FetcherState, WebUniverse};
 use webevo_types::{PageId, Url};
 
 /// Configuration of the incremental crawler.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct IncrementalConfig {
     /// Collection capacity in pages (§5.2's fixed size).
     pub capacity: usize,
@@ -65,6 +70,66 @@ impl IncrementalConfig {
     }
 }
 
+/// Where a fetch slot's result comes from: a live fetcher, or the
+/// write-ahead log during recovery. Replay feeds recorded outcomes through
+/// the exact state transitions of a live crawl (including the fetcher's
+/// own counters, via [`Fetcher::observe_replay`]) and cross-checks that
+/// the deterministic schedule reproduces the log record-for-record.
+enum FetchSource<'a> {
+    /// Fetch for real.
+    Live(&'a mut dyn Fetcher),
+    /// Re-apply logged outcomes, advancing `fetcher` alongside.
+    Replay {
+        records: &'a [FetchRecord],
+        pos: usize,
+        fetcher: &'a mut dyn Fetcher,
+    },
+}
+
+impl FetchSource<'_> {
+    /// True once a replay source has no records left (a live source never
+    /// exhausts).
+    fn exhausted(&self) -> bool {
+        match self {
+            FetchSource::Live(_) => false,
+            FetchSource::Replay { records, pos, .. } => *pos >= records.len(),
+        }
+    }
+
+    /// The underlying fetcher's exportable state.
+    fn fetcher_state(&self) -> Option<FetcherState> {
+        match self {
+            FetchSource::Live(f) => f.export_state(),
+            FetchSource::Replay { fetcher, .. } => fetcher.export_state(),
+        }
+    }
+
+    /// Produce the result for fetch attempt `seq` of `url` at `t`.
+    fn fetch(&mut self, seq: u64, url: Url, t: f64) -> Result<FetchOutcome, FetchError> {
+        match self {
+            FetchSource::Live(f) => f.fetch(url, t),
+            FetchSource::Replay { records, pos, fetcher } => {
+                let record = &records[*pos];
+                assert_eq!(record.seq, seq, "WAL replay out of sync at seq {seq}");
+                assert_eq!(
+                    record.url, url,
+                    "WAL replay diverged at seq {seq}: engine scheduled {url:?}, log has {:?}",
+                    record.url
+                );
+                assert_eq!(
+                    record.t.to_bits(),
+                    t.to_bits(),
+                    "WAL replay diverged at seq {seq}: slot time {t} vs logged {}",
+                    record.t
+                );
+                fetcher.observe_replay(url, t, &record.result);
+                *pos += 1;
+                record.result.clone()
+            }
+        }
+    }
+}
+
 /// The incremental crawler (left-hand column of Figure 10).
 pub struct IncrementalCrawler {
     config: IncrementalConfig,
@@ -82,6 +147,13 @@ pub struct IncrementalCrawler {
     crawl: CrawlModule,
     metrics: CrawlMetrics,
     run_start: f64,
+    /// Discrete-event clock; lives on the struct (not the run loop) so a
+    /// checkpoint can freeze it and a resumed engine continues mid-run.
+    clock: EngineClock,
+    /// Seed URLs injected (guards against double seeding on resume).
+    seeded: bool,
+    /// Fetch attempts issued; pairs with [`FetchRecord::seq`].
+    fetch_seq: u64,
 }
 
 impl IncrementalCrawler {
@@ -102,7 +174,65 @@ impl IncrementalCrawler {
             crawl: CrawlModule::new(),
             metrics: CrawlMetrics::default(),
             run_start: 0.0,
+            clock: EngineClock { t: 0.0, next_ranking: 0.0, next_sample: 0.0 },
+            seeded: false,
+            fetch_seq: 0,
             config,
+        }
+    }
+
+    /// Rebuild an engine from a checkpointed state. Returns the engine and
+    /// the fetcher state the caller must install into its fetcher (via
+    /// e.g. `SimFetcher::restore_state`) before replaying or resuming.
+    pub fn from_state(state: CrawlerState) -> (IncrementalCrawler, Option<FetcherState>) {
+        assert_eq!(
+            state.engine,
+            EngineKind::Incremental,
+            "state was written by a different engine"
+        );
+        let crawler = IncrementalCrawler {
+            collection: state.collection,
+            all_urls: state.all_urls,
+            queue: entries_to_queue(&state.queue),
+            queued: state.queued.into_iter().collect(),
+            admissions: state.admissions.into_iter().collect(),
+            update: state.update,
+            ranking: RankingModule::with_runs(state.config.ranking.clone(), state.ranking_runs),
+            crawl: state.crawl,
+            metrics: state.metrics,
+            run_start: state.run_start,
+            clock: state.clock,
+            seeded: state.seeded,
+            fetch_seq: state.fetch_seq,
+            config: state.config,
+        };
+        (crawler, state.fetcher)
+    }
+
+    /// Capture the full engine state (fetcher state excluded; the
+    /// checkpoint layer merges it in, since only the run loop can reach
+    /// the fetcher).
+    pub fn export_state(&self) -> CrawlerState {
+        CrawlerState {
+            engine: EngineKind::Incremental,
+            config: self.config.clone(),
+            workers: 0,
+            run_start: self.run_start,
+            seeded: self.seeded,
+            clock: self.clock,
+            fetch_seq: self.fetch_seq,
+            collection: self.collection.clone(),
+            all_urls: self.all_urls.clone(),
+            queue: queue_to_entries(&self.queue),
+            queued: set_to_sorted(&self.queued),
+            admissions: set_to_sorted(&self.admissions),
+            update: self.update.clone(),
+            ranking_runs: self.ranking.runs(),
+            ranking_applied: 0,
+            rank_pending: false,
+            crawl: self.crawl.clone(),
+            metrics: self.metrics.clone(),
+            fetcher: None,
         }
     }
 
@@ -147,8 +277,27 @@ impl IncrementalCrawler {
         start: f64,
         end: f64,
     ) -> &CrawlMetrics {
+        self.run_hooked(universe, fetcher, start, end, &mut NoopHook)
+    }
+
+    /// [`IncrementalCrawler::run`] with a [`CrawlHook`] observing every
+    /// fetch and pass boundary (the checkpointing entry point).
+    pub fn run_hooked(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        start: f64,
+        end: f64,
+        hook: &mut dyn CrawlHook,
+    ) -> &CrawlMetrics {
         assert!(end > start);
+        assert!(!self.seeded, "engine already started: use resume() to continue");
         self.run_start = start;
+        self.clock = EngineClock {
+            t: start,
+            next_ranking: start + self.config.ranking_interval_days,
+            next_sample: start,
+        };
         // Seed URLs: the site roots (§1's "initial set of URLs, called
         // seed URLs").
         for site in universe.sites() {
@@ -158,43 +307,137 @@ impl IncrementalCrawler {
                 self.enqueue(url, start);
             }
         }
-        let step = 1.0 / self.config.crawl_rate_per_day;
-        let mut t = start;
-        let mut next_ranking = start + self.config.ranking_interval_days;
-        let mut next_sample = start;
+        self.seeded = true;
         self.metrics.observe_speed(self.config.crawl_rate_per_day);
-        while t < end {
-            if t >= next_sample {
-                self.sample_metrics(universe, t);
-                next_sample += self.config.sample_interval_days;
+        self.advance(universe, &mut FetchSource::Live(fetcher), end, hook);
+        self.sample_metrics(universe, end);
+        &self.metrics
+    }
+
+    /// Continue a previously started (typically checkpoint-restored) run
+    /// to `end`. Picks up exactly where the clock froze; no re-seeding.
+    ///
+    /// The bit-identical-to-uninterrupted guarantee applies to the
+    /// *recovery* path (a state captured at a pass boundary, optionally
+    /// replayed forward). Resuming an engine whose `run` already finished
+    /// also works, but such a run carries its end-of-run metrics sample —
+    /// one freshness/age row at the old horizon that a single longer run
+    /// would not have.
+    pub fn resume(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        end: f64,
+        hook: &mut dyn CrawlHook,
+    ) -> &CrawlMetrics {
+        assert!(self.seeded, "resume requires a started engine (run, or a restored checkpoint)");
+        assert!(end > self.clock.t, "resume target must lie beyond the restored clock");
+        self.metrics.observe_speed(self.config.crawl_rate_per_day);
+        self.advance(universe, &mut FetchSource::Live(fetcher), end, hook);
+        self.sample_metrics(universe, end);
+        &self.metrics
+    }
+
+    /// Re-apply the write-ahead-log tail after restoring a snapshot:
+    /// records already covered by the snapshot (seq ≤ the restored
+    /// `fetch_seq`) are skipped, the rest drive the normal slot loop with
+    /// logged outcomes instead of live fetches. Afterwards the engine (and
+    /// `fetcher`, advanced via [`Fetcher::observe_replay`]) sit at the
+    /// exact state of the last flushed pass boundary; call
+    /// [`IncrementalCrawler::resume`] to continue crawling for real.
+    pub fn replay(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        records: &[FetchRecord],
+    ) {
+        assert!(self.seeded, "replay requires a restored engine");
+        let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
+        let tail = &records[skip..];
+        if let Some(first) = tail.first() {
+            assert_eq!(
+                first.seq,
+                self.fetch_seq + 1,
+                "WAL gap: snapshot ends at seq {} but the log resumes at {}",
+                self.fetch_seq,
+                first.seq
+            );
+        }
+        let mut source = FetchSource::Replay { records: tail, pos: 0, fetcher };
+        // The log is finite and each non-idle slot consumes one record, so
+        // the unbounded horizon is only ever reached by exhaustion.
+        self.advance(universe, &mut source, f64::INFINITY, &mut NoopHook);
+    }
+
+    /// The discrete-event loop over fetch slots, shared by live runs and
+    /// WAL replay. Stops at `end`, or — for replay sources — at log
+    /// exhaustion; the exhaustion check sits *before* the boundary
+    /// handlers so a resumed run re-enters at exactly the point the
+    /// interrupted one left.
+    fn advance(
+        &mut self,
+        universe: &WebUniverse,
+        source: &mut FetchSource<'_>,
+        end: f64,
+        hook: &mut dyn CrawlHook,
+    ) {
+        let step = 1.0 / self.config.crawl_rate_per_day;
+        while self.clock.t < end {
+            if source.exhausted() {
+                break;
             }
-            if t >= next_ranking {
+            let t = self.clock.t;
+            if t >= self.clock.next_sample {
+                self.sample_metrics(universe, t);
+                self.clock.next_sample += self.config.sample_interval_days;
+            }
+            if t >= self.clock.next_ranking {
                 self.run_ranking(t);
-                next_ranking += self.config.ranking_interval_days;
+                // Advance the clock *before* the hook: a snapshot must
+                // record this pass as done, or the restored engine would
+                // run the boundary twice.
+                self.clock.next_ranking += self.config.ranking_interval_days;
+                if hook.active() {
+                    // The export closure is lazy on purpose: most pass
+                    // boundaries only flush the WAL, and neither the
+                    // engine nor the fetcher state should be captured
+                    // unless a snapshot is actually due.
+                    let source = &*source;
+                    hook.on_pass(t, &mut || {
+                        let mut state = self.export_state();
+                        state.fetcher = source.fetcher_state();
+                        state
+                    });
+                }
             }
             let Some(visit) = self.queue.pop() else {
                 // Nothing to crawl yet (collection empty and no
                 // discoveries): burn the slot.
-                t += step;
+                self.clock.t += step;
                 continue;
             };
             self.queued.remove(&visit.url.page);
-            self.crawl_one(universe, fetcher, visit.url, t);
-            t += step;
+            self.crawl_one(universe, source, visit.url, t, hook);
+            self.clock.t += step;
         }
-        self.sample_metrics(universe, end);
-        &self.metrics
     }
 
     /// One fetch slot: crawl `url` at `t` and apply the result.
     fn crawl_one(
         &mut self,
         universe: &WebUniverse,
-        fetcher: &mut dyn Fetcher,
+        source: &mut FetchSource<'_>,
         url: Url,
         t: f64,
+        hook: &mut dyn CrawlHook,
     ) {
-        match self.crawl.crawl(fetcher, url, t) {
+        self.fetch_seq += 1;
+        let result = source.fetch(self.fetch_seq, url, t);
+        self.crawl.observe(result.is_err());
+        if hook.active() {
+            hook.on_fetch(FetchRecord { seq: self.fetch_seq, url, t, result: result.clone() });
+        }
+        match result {
             Ok(outcome) => {
                 self.metrics.record_fetch(true);
                 let in_collection = self.collection.contains(url.page);

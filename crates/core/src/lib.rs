@@ -29,24 +29,34 @@
 //!   (the right-hand column of Figure 10).
 //! * [`metrics`] — freshness/age/new-page-latency instrumentation against
 //!   simulator ground truth.
+//! * [`state`] + [`hooks`] — the durability surface: the full serializable
+//!   engine state captured at pass boundaries, and the [`CrawlHook`]
+//!   observer that `webevo-store` implements to persist snapshots and
+//!   per-fetch write-ahead-log deltas. Both engines expose
+//!   `export_state` / `from_state` / `replay` / `resume` on top of it, so
+//!   a killed crawl continues bit-identically after restart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allurls;
 pub mod collection;
+pub mod hooks;
 pub mod incremental;
 pub mod metrics;
 pub mod modules;
 pub mod periodic;
+pub mod state;
 pub mod threaded;
 
 pub use allurls::AllUrls;
 pub use collection::{Collection, StoredPage};
+pub use hooks::{CrawlHook, FetchRecord, NoopHook};
 pub use incremental::{IncrementalConfig, IncrementalCrawler};
 pub use metrics::CrawlMetrics;
 pub use modules::{
     CrawlModule, EstimatorKind, RankingConfig, RankingModule, RevisitStrategy, UpdateModule,
 };
 pub use periodic::{PeriodicConfig, PeriodicCrawler};
+pub use state::{CrawlerState, EngineClock, EngineKind, QueueEntry};
 pub use threaded::ThreadedCrawler;

@@ -6,11 +6,12 @@
 //! and record admission events; the summaries feed Figure 10's comparison
 //! and the crawler-architecture benches.
 
+use serde::{Deserialize, Serialize};
 use webevo_freshness::FreshnessSeries;
 use webevo_stats::Summary;
 
 /// Metrics collected over one crawler run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct CrawlMetrics {
     /// Freshness of the user-visible collection over time.
     pub freshness: FreshnessSeries,
@@ -36,7 +37,7 @@ pub struct CrawlMetrics {
 
 /// A time series like [`FreshnessSeries`] but without the `[0,1]` bound
 /// (ages are unbounded).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FreshnessSeriesLike {
     times: Vec<f64>,
     values: Vec<f64>,

@@ -17,7 +17,8 @@
 
 use crate::allurls::AllUrls;
 use crate::collection::{Collection, StoredPage};
-use std::collections::HashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use webevo_graph::pagerank::{pagerank, PageRankConfig};
 use webevo_graph::PageGraph;
 use webevo_schedule::{
@@ -27,7 +28,7 @@ use webevo_sim::{FetchError, FetchOutcome, Fetcher};
 use webevo_types::{ChangeRate, PageId, Url};
 
 /// Which frequency estimator the UpdateModule uses (§5.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EstimatorKind {
     /// EP: frequentist bias-corrected Poisson estimate from the change
     /// history.
@@ -37,7 +38,7 @@ pub enum EstimatorKind {
 }
 
 /// Which revisit strategy turns rates into frequencies (§4.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RevisitStrategy {
     /// Every page at the same frequency.
     Uniform,
@@ -49,7 +50,7 @@ pub enum RevisitStrategy {
 
 /// The CrawlModule: fetch plus accounting. One instance per worker in the
 /// threaded engine.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct CrawlModule {
     crawled: u64,
     failed: u64,
@@ -61,7 +62,10 @@ impl CrawlModule {
         CrawlModule::default()
     }
 
-    /// Crawl one URL at time `t`.
+    /// Crawl one URL at time `t`: fetch plus [`CrawlModule::observe`]
+    /// accounting. Convenience wrapper for direct module use; the engines
+    /// fetch through their replayable `FetchSource` and call `observe`
+    /// themselves, so accounting semantics live in `observe` alone.
     pub fn crawl(
         &mut self,
         fetcher: &mut dyn Fetcher,
@@ -69,11 +73,18 @@ impl CrawlModule {
         t: f64,
     ) -> Result<FetchOutcome, FetchError> {
         let result = fetcher.fetch(url, t);
+        self.observe(result.is_err());
+        result
+    }
+
+    /// Account one attempt that `failed` (or not) without fetching —
+    /// write-ahead-log replay advances the counters from recorded
+    /// outcomes.
+    pub fn observe(&mut self, failed: bool) {
         self.crawled += 1;
-        if result.is_err() {
+        if failed {
             self.failed += 1;
         }
-        result
     }
 
     /// Total crawl attempts.
@@ -88,7 +99,7 @@ impl CrawlModule {
 }
 
 /// The UpdateModule: rate estimation and revisit-interval assignment.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct UpdateModule {
     strategy: RevisitStrategy,
     estimator: EstimatorKind,
@@ -96,8 +107,10 @@ pub struct UpdateModule {
     /// paper's overall average interval is ~4 months; a somewhat faster
     /// prior makes the crawler explore new pages before settling.
     prior_rate: ChangeRate,
-    /// Per-page revisit intervals from the last reallocation.
-    intervals: HashMap<PageId, f64>,
+    /// Per-page revisit intervals from the last reallocation. Ordered map
+    /// so snapshots are canonical (two exports of the same state are
+    /// byte-identical).
+    intervals: BTreeMap<PageId, f64>,
     /// Fallback interval before the first reallocation.
     default_interval: f64,
 }
@@ -115,7 +128,7 @@ impl UpdateModule {
             strategy,
             estimator,
             prior_rate: ChangeRate(1.0 / 60.0),
-            intervals: HashMap::new(),
+            intervals: BTreeMap::new(),
             default_interval,
         }
     }
@@ -209,7 +222,7 @@ impl UpdateModule {
 }
 
 /// RankingModule parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RankingConfig {
     /// PageRank parameterization (importance metric).
     pub pagerank: PageRankConfig,
@@ -251,6 +264,12 @@ impl RankingModule {
     /// Create with a configuration.
     pub fn new(config: RankingConfig) -> RankingModule {
         RankingModule { config, runs: 0 }
+    }
+
+    /// Rebuild from a checkpoint: same configuration, `runs` passes
+    /// already completed.
+    pub fn with_runs(config: RankingConfig, runs: u64) -> RankingModule {
+        RankingModule { config, runs }
     }
 
     /// Number of completed passes.

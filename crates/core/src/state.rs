@@ -1,0 +1,164 @@
+//! The full serializable state of a crawler engine.
+//!
+//! [`CrawlerState`] is everything an engine needs to continue a run after
+//! a process restart: the Figure 12 data structures (`Collection`,
+//! `AllUrls`, `CollUrls`), the module states, the metrics accumulated so
+//! far, the discrete-event clock, and — for fetchers that carry replay
+//! state — the fetcher's counters. It is captured at pass boundaries via
+//! [`crate::CrawlHook::on_pass`] and rebuilt through the engines'
+//! `from_state` constructors.
+//!
+//! Two encoding details keep restoration *bit-identical* rather than
+//! merely approximate:
+//!
+//! * Queue due-times are stored as raw IEEE-754 bit patterns
+//!   ([`QueueEntry::due_bits`]): the immediate-priority lane uses `−∞`,
+//!   which JSON cannot represent as a number.
+//! * Unordered sets (`queued`, `admissions`) are stored as sorted vectors
+//!   so two snapshots of the same state are byte-identical.
+
+use crate::allurls::AllUrls;
+use crate::collection::Collection;
+use crate::incremental::IncrementalConfig;
+use crate::metrics::CrawlMetrics;
+use crate::modules::{CrawlModule, UpdateModule};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use webevo_schedule::{RevisitQueue, ScheduledVisit};
+use webevo_sim::FetcherState;
+use webevo_types::{PageId, Url};
+
+/// Which engine wrote a state (they share the layout but differ in which
+/// fields are meaningful).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// The single-threaded [`crate::IncrementalCrawler`].
+    Incremental,
+    /// The concurrent [`crate::ThreadedCrawler`].
+    Threaded,
+}
+
+/// The engine's discrete-event clock: the current fetch-slot time plus the
+/// next due times of the two periodic activities.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineClock {
+    /// Current simulated time (days).
+    pub t: f64,
+    /// When the next RankingModule pass is due.
+    pub next_ranking: f64,
+    /// When the next metrics sample is due.
+    pub next_sample: f64,
+}
+
+/// One `CollUrls` entry with its due time as a raw bit pattern (exact for
+/// every float, including the `−∞` of the immediate-priority lane).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueueEntry {
+    /// `f64::to_bits` of the due time.
+    pub due_bits: u64,
+    /// The scheduled URL.
+    pub url: Url,
+}
+
+/// Complete serializable engine state. See the module docs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CrawlerState {
+    /// Which engine wrote this state.
+    pub engine: EngineKind,
+    /// The engine configuration (restored verbatim so `--resume` needs no
+    /// re-specification).
+    pub config: IncrementalConfig,
+    /// Crawl-worker count (threaded engine; 0 for the incremental one).
+    pub workers: usize,
+    /// When the run began (baseline for new-page latency accounting).
+    pub run_start: f64,
+    /// Whether seed URLs have been injected (always true in practice:
+    /// states are only captured at pass boundaries).
+    pub seeded: bool,
+    /// The discrete-event clock.
+    pub clock: EngineClock,
+    /// Fetch attempts issued so far (pairs with [`crate::FetchRecord::seq`]).
+    pub fetch_seq: u64,
+    /// The local page store.
+    pub collection: Collection,
+    /// Every URL ever discovered.
+    pub all_urls: AllUrls,
+    /// `CollUrls`: the scheduled visits, earliest first.
+    pub queue: Vec<QueueEntry>,
+    /// Pages currently scheduled (dedup guard), sorted.
+    pub queued: Vec<PageId>,
+    /// Ranking-proposed admissions awaiting their first crawl, sorted.
+    pub admissions: Vec<PageId>,
+    /// The UpdateModule (strategy, estimator, revisit intervals).
+    pub update: UpdateModule,
+    /// RankingModule passes completed (incremental engine).
+    pub ranking_runs: u64,
+    /// Ranking outcomes applied (threaded engine).
+    pub ranking_applied: u64,
+    /// Threaded engine: a ranking request built from exactly this state
+    /// must be (re)issued on resume — the snapshot is taken at the
+    /// boundary between applying one response and sending the next
+    /// request.
+    pub rank_pending: bool,
+    /// CrawlModule counters.
+    pub crawl: CrawlModule,
+    /// Metrics accumulated so far.
+    pub metrics: CrawlMetrics,
+    /// Fetcher replay state, when the fetcher is stateful.
+    pub fetcher: Option<FetcherState>,
+}
+
+/// Encode a queue for a snapshot: entries earliest-first, due times as
+/// bits.
+pub fn queue_to_entries(queue: &RevisitQueue) -> Vec<QueueEntry> {
+    queue
+        .snapshot_entries()
+        .into_iter()
+        .map(|v| QueueEntry { due_bits: v.due.to_bits(), url: v.url })
+        .collect()
+}
+
+/// Rebuild a queue from snapshot entries.
+pub fn entries_to_queue(entries: &[QueueEntry]) -> RevisitQueue {
+    RevisitQueue::from_entries(
+        entries
+            .iter()
+            .map(|e| ScheduledVisit { due: f64::from_bits(e.due_bits), url: e.url })
+            .collect(),
+    )
+}
+
+/// Encode a page-id set for a snapshot: sorted for deterministic bytes.
+pub fn set_to_sorted(set: &HashSet<PageId>) -> Vec<PageId> {
+    let mut pages: Vec<PageId> = set.iter().copied().collect();
+    pages.sort_unstable();
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webevo_types::SiteId;
+
+    fn url(i: u64) -> Url {
+        Url::new(SiteId(0), PageId(i))
+    }
+
+    #[test]
+    fn queue_codec_is_exact_for_negative_infinity() {
+        let mut q = RevisitQueue::new();
+        q.push(url(1), 4.5);
+        q.push_front(url(2));
+        let entries = queue_to_entries(&q);
+        assert_eq!(entries[0].due_bits, f64::NEG_INFINITY.to_bits());
+        let mut restored = entries_to_queue(&entries);
+        assert_eq!(restored.pop().unwrap().url, url(2));
+        assert_eq!(restored.pop().unwrap().due, 4.5);
+    }
+
+    #[test]
+    fn sets_serialize_sorted() {
+        let set: HashSet<PageId> = [PageId(9), PageId(2), PageId(5)].into_iter().collect();
+        assert_eq!(set_to_sorted(&set), vec![PageId(2), PageId(5), PageId(9)]);
+    }
+}

@@ -1,4 +1,5 @@
-//! The Figure 12 architecture with real concurrency.
+//! The Figure 12 architecture with real concurrency — and deterministic
+//! replay.
 //!
 //! §5.3: *"multiple CrawlModules may run in parallel"* and *"separating the
 //! update decision (UpdateModule) from the refinement decision
@@ -8,27 +9,50 @@
 //! This engine realizes both: N crawl workers fetch concurrently behind
 //! crossbeam channels while the coordinator (UpdateModule role) applies
 //! results and schedules revisits, and the RankingModule runs on its *own*
-//! thread against collection snapshots, feeding replacement decisions back
-//! asynchronously — the crawl hot path never waits for PageRank.
+//! thread against collection snapshots — the crawl hot path never waits
+//! for PageRank.
+//!
+//! Unlike a free-running event loop, the coordinator is **deterministic**:
+//!
+//! * Fetch slots are dispatched in batches of at most `workers`, each job
+//!   tagged with its slot sequence number; completions are collected for
+//!   the whole batch and applied in slot order, so the interleaving of
+//!   state updates does not depend on thread timing. Workers still fetch
+//!   concurrently — only the *application* order is pinned.
+//! * A ranking request is issued at each pass boundary and its response is
+//!   applied at the *next* boundary (one full interval of overlap), rather
+//!   than whenever the ranking thread happens to finish. PageRank latency
+//!   is hidden exactly as before; its effect on the crawl schedule is now
+//!   replayable.
+//!
+//! Determinism is what makes the threaded engine *checkpointable*: a
+//! [`CrawlerState`] snapshot plus the write-ahead-log tail reconstructs the
+//! pre-crash engine bit-for-bit (`tests/determinism.rs` pins this), which a
+//! racy coordinator could never promise.
 //!
 //! Simulated time advances with the fetch budget exactly as in the
-//! single-threaded engine (one slot per fetch), so results are comparable;
-//! only the *order* in which concurrent results land differs, as it would
-//! in a real deployment.
+//! single-threaded engine (one slot per fetch), so results are comparable.
 
 use crate::allurls::AllUrls;
 use crate::collection::Collection;
+use crate::hooks::{CrawlHook, FetchRecord, NoopHook};
 use crate::incremental::IncrementalConfig;
 use crate::metrics::CrawlMetrics;
-use crate::modules::{RankingModule, UpdateModule};
+use crate::modules::{CrawlModule, RankingModule, UpdateModule};
+use crate::state::{
+    entries_to_queue, queue_to_entries, set_to_sorted, CrawlerState, EngineClock, EngineKind,
+};
 use crossbeam::channel;
 use std::collections::HashSet;
 use webevo_schedule::RevisitQueue;
 use webevo_sim::{FetchError, FetchOutcome, Politeness, SimFetcher, WebUniverse};
 use webevo_types::{PageId, Url};
 
-/// A fetch completion flowing back from a crawl worker.
+/// A fetch completion flowing back from a crawl worker. `seq` is the slot
+/// sequence number assigned at dispatch; the coordinator applies a batch
+/// in `seq` order regardless of which worker finished first.
 struct CrawlDone {
+    seq: u64,
     url: Url,
     t: f64,
     result: Result<FetchOutcome, FetchError>,
@@ -46,6 +70,18 @@ struct RankResponse {
     replacements: Vec<(PageId, Url)>,
 }
 
+/// Compute a ranking response from a request — the ranking thread's inner
+/// step, also run synchronously during WAL replay.
+fn rank(ranking: &mut RankingModule, mut req: RankRequest) -> RankResponse {
+    let outcome = ranking.run(&mut req.collection, &req.all_urls);
+    let importance = req
+        .collection
+        .iter()
+        .map(|(&p, s)| (p, s.importance))
+        .collect();
+    RankResponse { importance, replacements: outcome.replacements }
+}
+
 /// The multi-threaded incremental crawler.
 pub struct ThreadedCrawler {
     config: IncrementalConfig,
@@ -61,6 +97,19 @@ pub struct ThreadedCrawler {
     metrics: CrawlMetrics,
     ranking_applied: u64,
     run_start: f64,
+    clock: EngineClock,
+    seeded: bool,
+    fetch_seq: u64,
+    /// True once the first pass boundary has been crossed: a ranking
+    /// request derived from the engine state at the most recent boundary
+    /// is conceptually outstanding. Checkpoints persist the flag; the
+    /// request itself is rebuilt from the snapshot (it is taken at exactly
+    /// the state the request was built from).
+    rank_pending: bool,
+    /// A rebuilt-but-not-yet-issued ranking request: set by
+    /// [`ThreadedCrawler::from_state`] and updated during WAL replay,
+    /// consumed when the live coordinator starts.
+    unsent_rank_request: Option<RankRequest>,
 }
 
 impl ThreadedCrawler {
@@ -79,7 +128,77 @@ impl ThreadedCrawler {
             metrics: CrawlMetrics::default(),
             ranking_applied: 0,
             run_start: 0.0,
+            clock: EngineClock { t: 0.0, next_ranking: 0.0, next_sample: 0.0 },
+            seeded: false,
+            fetch_seq: 0,
+            rank_pending: false,
+            unsent_rank_request: None,
             config,
+        }
+    }
+
+    /// Rebuild an engine from a checkpointed state.
+    pub fn from_state(state: CrawlerState) -> ThreadedCrawler {
+        assert_eq!(
+            state.engine,
+            EngineKind::Threaded,
+            "state was written by a different engine"
+        );
+        assert!(state.workers >= 1, "threaded state must carry a worker count");
+        let mut crawler = ThreadedCrawler {
+            workers: state.workers,
+            collection: state.collection,
+            all_urls: state.all_urls,
+            queue: entries_to_queue(&state.queue),
+            queued: state.queued.into_iter().collect(),
+            admissions: state.admissions.into_iter().collect(),
+            update: state.update,
+            metrics: state.metrics,
+            ranking_applied: state.ranking_applied,
+            run_start: state.run_start,
+            clock: state.clock,
+            seeded: state.seeded,
+            fetch_seq: state.fetch_seq,
+            rank_pending: state.rank_pending,
+            unsent_rank_request: None,
+            config: state.config,
+        };
+        if crawler.rank_pending {
+            // Snapshots are taken at pass boundaries, after the previous
+            // response was applied and before the next request was issued:
+            // the restored state *is* the outstanding request's base.
+            crawler.unsent_rank_request = Some(RankRequest {
+                collection: crawler.collection.clone(),
+                all_urls: crawler.all_urls.clone(),
+            });
+        }
+        crawler
+    }
+
+    /// Capture the full engine state (worker fetchers are stateless: the
+    /// simulated fetch is a pure function of `(url, t)` under the
+    /// unrestricted politeness the workers run with).
+    pub fn export_state(&self) -> CrawlerState {
+        CrawlerState {
+            engine: EngineKind::Threaded,
+            config: self.config.clone(),
+            workers: self.workers,
+            run_start: self.run_start,
+            seeded: self.seeded,
+            clock: self.clock,
+            fetch_seq: self.fetch_seq,
+            collection: self.collection.clone(),
+            all_urls: self.all_urls.clone(),
+            queue: queue_to_entries(&self.queue),
+            queued: set_to_sorted(&self.queued),
+            admissions: set_to_sorted(&self.admissions),
+            update: self.update.clone(),
+            ranking_runs: 0,
+            ranking_applied: self.ranking_applied,
+            rank_pending: self.rank_pending,
+            crawl: CrawlModule::default(),
+            metrics: self.metrics.clone(),
+            fetcher: None,
         }
     }
 
@@ -104,12 +223,28 @@ impl ThreadedCrawler {
         }
     }
 
-    /// Run against the universe from `start` to `end` days. Workers build
-    /// their own fetchers (politeness per worker; the coordinator is the
-    /// single scheduler so per-site pacing is preserved by the queue).
+    /// Run against the universe from `start` to `end` days.
     pub fn run(&mut self, universe: &WebUniverse, start: f64, end: f64) -> &CrawlMetrics {
+        self.run_hooked(universe, start, end, &mut NoopHook)
+    }
+
+    /// [`ThreadedCrawler::run`] with a [`CrawlHook`] observing every fetch
+    /// and pass boundary (the checkpointing entry point).
+    pub fn run_hooked(
+        &mut self,
+        universe: &WebUniverse,
+        start: f64,
+        end: f64,
+        hook: &mut dyn CrawlHook,
+    ) -> &CrawlMetrics {
         assert!(end > start);
+        assert!(!self.seeded, "engine already started: use resume() to continue");
         self.run_start = start;
+        self.clock = EngineClock {
+            t: start,
+            next_ranking: start + self.config.ranking_interval_days,
+            next_sample: start,
+        };
         for site in universe.sites() {
             if let Some(root) = universe.occupant(site.id, 0, start) {
                 let url = Url::new(site.id, root);
@@ -117,16 +252,134 @@ impl ThreadedCrawler {
                 self.enqueue(url, start);
             }
         }
-        let step = 1.0 / self.config.crawl_rate_per_day;
+        self.seeded = true;
         self.metrics.observe_speed(self.config.crawl_rate_per_day);
+        self.advance_live(universe, end, hook);
+        self.sample_metrics(universe, end);
+        &self.metrics
+    }
 
-        let (work_tx, work_rx) = channel::unbounded::<(Url, f64)>();
+    /// Continue a previously started (typically checkpoint-restored) run
+    /// to `end`.
+    ///
+    /// The bit-identical-to-uninterrupted guarantee applies to the
+    /// *recovery* path (a state captured at a pass boundary, optionally
+    /// replayed forward). Resuming an engine whose `run` already finished
+    /// also works, but the finished run carries its end-of-run metrics
+    /// sample and has already applied its in-flight ranking response —
+    /// artifacts a single longer run would not have at that point.
+    pub fn resume(
+        &mut self,
+        universe: &WebUniverse,
+        end: f64,
+        hook: &mut dyn CrawlHook,
+    ) -> &CrawlMetrics {
+        assert!(self.seeded, "resume requires a started engine (run, or a restored checkpoint)");
+        assert!(end > self.clock.t, "resume target must lie beyond the restored clock");
+        self.metrics.observe_speed(self.config.crawl_rate_per_day);
+        self.advance_live(universe, end, hook);
+        self.sample_metrics(universe, end);
+        &self.metrics
+    }
+
+    /// Re-apply the write-ahead-log tail after restoring a snapshot: the
+    /// deterministic batch schedule is re-derived from the restored state
+    /// and each slot consumes its logged outcome instead of fetching.
+    /// Ranking passes crossed during replay run synchronously (same
+    /// request/response pipeline, no thread). Records already covered by
+    /// the snapshot are skipped.
+    ///
+    /// This loop deliberately mirrors `advance_live`'s
+    /// slot scheduling (boundary order, horizon, batch dispatch,
+    /// empty-slot burning) without the channels. Any change to the live
+    /// coordinator's scheduling MUST be mirrored here — the
+    /// `WAL replay diverged` asserts and the recovery determinism tests
+    /// will catch a missed mirror loudly.
+    pub fn replay(&mut self, universe: &WebUniverse, records: &[FetchRecord]) {
+        assert!(self.seeded, "replay requires a restored engine");
+        let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
+        let tail = &records[skip..];
+        if let Some(first) = tail.first() {
+            assert_eq!(
+                first.seq,
+                self.fetch_seq + 1,
+                "WAL gap: snapshot ends at seq {} but the log resumes at {}",
+                self.fetch_seq,
+                first.seq
+            );
+        }
+        let step = 1.0 / self.config.crawl_rate_per_day;
+        let mut ranking = RankingModule::new(self.config.ranking.clone());
+        let mut pos = 0usize;
+        while pos < tail.len() {
+            let t = self.clock.t;
+            if t >= self.clock.next_sample {
+                self.sample_metrics(universe, t);
+                self.clock.next_sample += self.config.sample_interval_days;
+            }
+            if t >= self.clock.next_ranking {
+                if let Some(req) = self.unsent_rank_request.take() {
+                    let res = rank(&mut ranking, req);
+                    self.apply_ranking(res);
+                }
+                self.rank_pending = true;
+                self.unsent_rank_request = Some(RankRequest {
+                    collection: self.collection.clone(),
+                    all_urls: self.all_urls.clone(),
+                });
+                self.clock.next_ranking += self.config.ranking_interval_days;
+            }
+            let horizon = self.clock.next_sample.min(self.clock.next_ranking);
+            let mut batch: Vec<CrawlDone> = Vec::new();
+            while batch.len() < self.workers && self.clock.t < horizon && pos < tail.len() {
+                let Some(visit) = self.queue.pop() else { break };
+                self.queued.remove(&visit.url.page);
+                self.fetch_seq += 1;
+                let record = &tail[pos];
+                pos += 1;
+                assert_eq!(record.seq, self.fetch_seq, "WAL replay out of sync");
+                assert_eq!(
+                    record.url, visit.url,
+                    "WAL replay diverged at seq {}: engine scheduled {:?}, log has {:?}",
+                    record.seq, visit.url, record.url
+                );
+                assert_eq!(
+                    record.t.to_bits(),
+                    self.clock.t.to_bits(),
+                    "WAL replay diverged at seq {}: slot time {} vs logged {}",
+                    record.seq,
+                    self.clock.t,
+                    record.t
+                );
+                batch.push(CrawlDone {
+                    seq: record.seq,
+                    url: record.url,
+                    t: record.t,
+                    result: record.result.clone(),
+                });
+                self.clock.t += step;
+            }
+            if batch.is_empty() {
+                self.clock.t += step;
+                continue;
+            }
+            for done in batch {
+                self.apply_result(universe, done, &mut NoopHook);
+            }
+        }
+    }
+
+    /// The live coordinator: worker pool + ranking thread around the
+    /// deterministic batch loop.
+    fn advance_live(&mut self, universe: &WebUniverse, end: f64, hook: &mut dyn CrawlHook) {
+        let step = 1.0 / self.config.crawl_rate_per_day;
+        let workers = self.workers;
+        let ranking_config = self.config.ranking.clone();
+
+        let (work_tx, work_rx) = channel::unbounded::<(u64, Url, f64)>();
         let (done_tx, done_rx) = channel::unbounded::<CrawlDone>();
         let (rank_req_tx, rank_req_rx) = channel::unbounded::<RankRequest>();
         let (rank_res_tx, rank_res_rx) = channel::unbounded::<RankResponse>();
-
-        let workers = self.workers;
-        let ranking_config = self.config.ranking.clone();
 
         crossbeam::scope(|scope| {
             // --- CrawlModule workers. ---
@@ -136,9 +389,9 @@ impl ThreadedCrawler {
                 scope.spawn(move |_| {
                     let mut fetcher =
                         SimFetcher::new(universe).with_politeness(Politeness::unrestricted());
-                    while let Ok((url, t)) = work_rx.recv() {
+                    while let Ok((seq, url, t)) = work_rx.recv() {
                         let result = webevo_sim::Fetcher::fetch(&mut fetcher, url, t);
-                        if done_tx.send(CrawlDone { url, t, result }).is_err() {
+                        if done_tx.send(CrawlDone { seq, url, t, result }).is_err() {
                             break;
                         }
                     }
@@ -149,113 +402,110 @@ impl ThreadedCrawler {
             // --- RankingModule thread. ---
             scope.spawn(move |_| {
                 let mut ranking = RankingModule::new(ranking_config);
-                while let Ok(mut req) = rank_req_rx.recv() {
-                    let outcome = ranking.run(&mut req.collection, &req.all_urls);
-                    let importance = req
-                        .collection
-                        .iter()
-                        .map(|(&p, s)| (p, s.importance))
-                        .collect();
-                    if rank_res_tx
-                        .send(RankResponse { importance, replacements: outcome.replacements })
-                        .is_err()
-                    {
+                while let Ok(req) = rank_req_rx.recv() {
+                    if rank_res_tx.send(rank(&mut ranking, req)).is_err() {
                         break;
                     }
                 }
             });
 
             // --- Coordinator: the UpdateModule role. ---
-            let mut t = start;
-            let mut outstanding = 0usize;
-            let mut ranking_in_flight = false;
-            let mut next_ranking = start + self.config.ranking_interval_days;
-            let mut next_sample = start;
+            let mut rank_in_flight = false;
+            // A restored/replayed engine re-issues the outstanding request.
+            if let Some(req) = self.unsent_rank_request.take() {
+                if rank_req_tx.send(req).is_ok() {
+                    rank_in_flight = true;
+                }
+            }
             loop {
-                // Apply completed fetches (non-blocking drain).
-                while let Ok(done) = done_rx.try_recv() {
-                    outstanding -= 1;
-                    self.apply_result(universe, done);
+                let t = self.clock.t;
+                // The horizon check comes *first*: boundaries past `end`
+                // belong to whoever resumes the run, and processing them
+                // here would make the trajectory depend on where this
+                // particular run happens to stop.
+                if t >= end {
+                    break;
                 }
-                // Apply a ranking outcome if one is ready.
-                if let Ok(res) = rank_res_rx.try_recv() {
-                    ranking_in_flight = false;
-                    self.apply_ranking(res);
+                if t >= self.clock.next_sample {
+                    self.sample_metrics(universe, t);
+                    self.clock.next_sample += self.config.sample_interval_days;
                 }
-                if t >= next_sample {
-                    self.sample_metrics(universe, t.min(end));
-                    next_sample += self.config.sample_interval_days;
-                }
-                if t >= next_ranking {
-                    if ranking_in_flight {
-                        // Back-pressure: the previous pass must land before
-                        // the next is due. Waiting here (only on the pass
-                        // boundary, never per fetch) keeps ranking at most
-                        // one interval behind simulated time instead of
-                        // letting the coordinator outrun PageRank by an
-                        // unbounded, timing-dependent amount.
-                        if let Ok(res) = rank_res_rx.recv() {
-                            ranking_in_flight = false;
-                            self.apply_ranking(res);
-                        }
+                if t >= self.clock.next_ranking {
+                    // The response to the request issued one interval ago
+                    // lands here — a fixed application point, not "whenever
+                    // the ranking thread finishes", so replay can reproduce
+                    // it. Waiting only at the pass boundary keeps ranking
+                    // off the fetch hot path, as §5.3 prescribes.
+                    if rank_in_flight {
+                        let res = rank_res_rx.recv().expect("ranking thread alive");
+                        self.apply_ranking(res);
+                        rank_in_flight = false;
                     }
-                    // Ship snapshots; the crawl path continues immediately.
+                    self.rank_pending = true;
+                    // Advance the clock *before* the hook: a snapshot must
+                    // record this pass as done, or the restored engine
+                    // would run the boundary twice.
+                    self.clock.next_ranking += self.config.ranking_interval_days;
+                    if hook.active() {
+                        hook.on_pass(t, &mut || self.export_state());
+                    }
                     let req = RankRequest {
                         collection: self.collection.clone(),
                         all_urls: self.all_urls.clone(),
                     };
                     if rank_req_tx.send(req).is_ok() {
-                        ranking_in_flight = true;
+                        rank_in_flight = true;
                     }
-                    next_ranking += self.config.ranking_interval_days;
                 }
-                if t >= end {
-                    if outstanding == 0 {
-                        break;
-                    }
-                    // Drain stragglers.
-                    if let Ok(done) = done_rx.recv() {
-                        outstanding -= 1;
-                        self.apply_result(universe, done);
-                    }
+                // Dispatch one batch of fetch slots: at most `workers`
+                // jobs, never crossing the next boundary. Workers race to
+                // grab them; slot order is restored at application time.
+                let horizon = self.clock.next_sample.min(self.clock.next_ranking).min(end);
+                let mut dispatched = 0usize;
+                while dispatched < workers && self.clock.t < horizon {
+                    let Some(visit) = self.queue.pop() else { break };
+                    self.queued.remove(&visit.url.page);
+                    self.fetch_seq += 1;
+                    work_tx
+                        .send((self.fetch_seq, visit.url, self.clock.t))
+                        .expect("workers alive");
+                    dispatched += 1;
+                    self.clock.t += step;
+                }
+                if dispatched == 0 {
+                    // Nothing to crawl this slot.
+                    self.clock.t += step;
                     continue;
                 }
-                if outstanding < workers {
-                    if let Some(visit) = self.queue.pop() {
-                        self.queued.remove(&visit.url.page);
-                        if work_tx.send((visit.url, t)).is_ok() {
-                            outstanding += 1;
-                        }
-                        t += step;
-                        continue;
-                    }
-                }
-                if outstanding > 0 {
-                    // Pipeline full or queue empty: wait for a completion.
-                    if let Ok(done) = done_rx.recv() {
-                        outstanding -= 1;
-                        self.apply_result(universe, done);
-                    }
-                } else {
-                    // Nothing to do this slot.
-                    t += step;
+                let mut batch: Vec<CrawlDone> = (0..dispatched)
+                    .map(|_| done_rx.recv().expect("worker alive"))
+                    .collect();
+                batch.sort_by_key(|d| d.seq);
+                for done in batch {
+                    self.apply_result(universe, done, hook);
                 }
             }
             drop(work_tx); // workers exit
             drop(rank_req_tx); // ranking thread exits
-            // Apply any in-flight ranking outcome rather than discarding
-            // the work (recv returns Err once the ranking thread exits).
-            while let Ok(res) = rank_res_rx.recv() {
-                self.apply_ranking(res);
+            // Apply the in-flight ranking outcome rather than discarding
+            // the work; the application point (run end) is deterministic.
+            // The outstanding request is consumed here, so a state
+            // exported after the run must not re-issue one.
+            if rank_in_flight {
+                if let Ok(res) = rank_res_rx.recv() {
+                    self.apply_ranking(res);
+                }
+                self.rank_pending = false;
             }
         })
         .expect("crawler threads do not panic");
-        self.sample_metrics(universe, end);
-        &self.metrics
     }
 
-    fn apply_result(&mut self, universe: &WebUniverse, done: CrawlDone) {
-        let CrawlDone { url, t, result } = done;
+    fn apply_result(&mut self, universe: &WebUniverse, done: CrawlDone, hook: &mut dyn CrawlHook) {
+        let CrawlDone { seq, url, t, result } = done;
+        if hook.active() {
+            hook.on_fetch(FetchRecord { seq, url, t, result: result.clone() });
+        }
         match result {
             Ok(outcome) => {
                 self.metrics.record_fetch(true);
@@ -406,9 +656,9 @@ mod tests {
         // Fixed composition (no churn, capacity covers every reachable
         // page): any freshness difference is then pure scheduling, which
         // must agree between the engines. Under churn the engines hold
-        // *different but equally valid* page sets, because admission
-        // ordering is race-dependent — exactly as in a real concurrent
-        // crawler.
+        // *different but equally valid* page sets, because the threaded
+        // engine applies ranking one interval later — exactly as in a real
+        // concurrent crawler.
         let mut ucfg = UniverseConfig::test_scale(56);
         ucfg.churn = false;
         ucfg.pages_per_site = 20;
@@ -434,5 +684,64 @@ mod tests {
         let mut crawler = ThreadedCrawler::new(config(30), 1);
         crawler.run(&u, 0.0, 30.0);
         assert!(crawler.collection().len() >= 25);
+    }
+
+    #[test]
+    fn threaded_replays_identically() {
+        // The deterministic coordinator is a replay contract: same
+        // universe, same config, same worker count → bit-identical
+        // metrics, run to run. (The old free-running coordinator could
+        // not promise this; checkpoint recovery builds on it.)
+        let u = WebUniverse::generate(UniverseConfig::test_scale(58));
+        let run = || {
+            let mut crawler = ThreadedCrawler::new(config(40), 4);
+            crawler.run(&u, 0.0, 40.0);
+            (
+                crawler.metrics().fetches,
+                crawler.metrics().failed_fetches,
+                crawler
+                    .metrics()
+                    .freshness
+                    .rows()
+                    .collect::<Vec<(f64, f64)>>(),
+            )
+        };
+        let a = run();
+        assert!(a.0 > 0, "the run should actually crawl");
+        assert_eq!(a, run());
+    }
+
+    #[test]
+    fn worker_count_changes_schedule_but_not_safety() {
+        // More workers = larger dispatch batches = slightly different
+        // schedules; both must fill the collection and stay deterministic
+        // for their own worker count.
+        let u = WebUniverse::generate(UniverseConfig::test_scale(59));
+        for workers in [1, 3, 8] {
+            let mut crawler = ThreadedCrawler::new(config(40), workers);
+            crawler.run(&u, 0.0, 40.0);
+            assert!(
+                crawler.collection().len() >= 35,
+                "workers={workers} len={}",
+                crawler.collection().len()
+            );
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_continuation() {
+        // Export at the end of a run, rebuild, and continue both engines:
+        // the original and the restored copy must stay in lockstep.
+        let u = WebUniverse::generate(UniverseConfig::test_scale(60));
+        let mut original = ThreadedCrawler::new(config(30), 2);
+        original.run(&u, 0.0, 21.0);
+        let state = original.export_state();
+        let mut restored = ThreadedCrawler::from_state(state);
+        original.resume(&u, 35.0, &mut NoopHook);
+        restored.resume(&u, 35.0, &mut NoopHook);
+        assert_eq!(original.metrics().fetches, restored.metrics().fetches);
+        let rows_a: Vec<(f64, f64)> = original.metrics().freshness.rows().collect();
+        let rows_b: Vec<(f64, f64)> = restored.metrics().freshness.rows().collect();
+        assert_eq!(rows_a, rows_b, "restored engine diverged");
     }
 }

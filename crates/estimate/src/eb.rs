@@ -5,7 +5,7 @@
 //! every month (class C_M). To implement EB, the UpdateModule stores the
 //! probability that page pᵢ belongs to each frequency class … and updates
 //! these probabilities based on detected changes. For instance, if the
-//! UpdateModule learns that page p₁ did not change for one month, [it]
+//! UpdateModule learns that page p₁ did not change for one month, \[it\]
 //! increases P{p₁ ∈ C_M} and decreases P{p₁ ∈ C_W}."*
 //!
 //! Each class is a Poisson rate hypothesis. An observation "changed (or
@@ -172,7 +172,7 @@ mod tests {
     #[test]
     fn papers_update_direction() {
         // "if the UpdateModule learns that page p1 did not change for one
-        // month, [it] increases P{C_M} and decreases P{C_W}".
+        // month, \[it\] increases P{C_M} and decreases P{C_W}".
         let mut e = weekly_monthly();
         let before = e.posterior().to_vec();
         e.observe(30.0, false);

@@ -2,7 +2,7 @@
 //! history.
 //!
 //! With visits every `Δ` days, each comparison is a Bernoulli trial that
-//! detects a change with probability `p = 1 − e^{−λΔ}`. [CGM99a] observes
+//! detects a change with probability `p = 1 − e^{−λΔ}`. \[CGM99a\] observes
 //! that the *naive* estimator `X/T` (detections over monitored time) is
 //! biased low for fast pages — it can never report more than one change per
 //! visit (Figure 1(a) of this paper) — and proposes estimators that invert
@@ -10,7 +10,7 @@
 //!
 //! * [`estimate_regular_mle`]: `λ̂ = −ln(1 − X/n)/Δ`, the MLE.
 //! * [`estimate_regular_bias_corrected`]: `λ̂ = −ln((n−X+0.5)/(n+0.5))/Δ`,
-//!   [CGM99a]'s small-sample correction that stays finite at `X = n`.
+//!   \[CGM99a\]'s small-sample correction that stays finite at `X = n`.
 //! * [`estimate_irregular_mle`]: Newton-solved MLE for irregular visit
 //!   intervals, maximizing `Σ_changed ln(1−e^{−λt_i}) − Σ_unchanged λt_i`.
 //!
@@ -69,7 +69,7 @@ pub fn estimate_regular_mle(detections: u64, n: u64, interval_days: f64) -> Resu
     Ok(ChangeRate(-(1.0 - p_hat).ln() / interval_days))
 }
 
-/// [CGM99a]'s bias-corrected estimator for regular access:
+/// \[CGM99a\]'s bias-corrected estimator for regular access:
 /// `λ̂ = −ln((n − X + 0.5)/(n + 0.5))/Δ`.
 ///
 /// Finite for all `0 ≤ X ≤ n` and nearly unbiased down to small `n`.

@@ -1,13 +1,13 @@
 //! Rate estimation from server-reported last-modified dates (extension).
 //!
-//! [CGM99a] also derives an improved estimator for the case where each
+//! \[CGM99a\] also derives an improved estimator for the case where each
 //! access reveals the page's *last modification time*, not just a changed
 //! bit. The sufficient statistic per visit is the page copy's age at access
 //! time. For a Poisson page observed at an access long after its previous
 //! change, the backward recurrence time is Exp(λ); the MLE over `k`
 //! observed "time since last change" values `aᵢ` is `λ̂ = k / Σ aᵢ`.
 //!
-//! The subtlety [CGM99a] handles: when the page did **not** change since
+//! The subtlety \[CGM99a\] handles: when the page did **not** change since
 //! the previous visit, the last-modified date repeats and carries no new
 //! information; only *fresh* modification observations enter the sum, and
 //! unchanged stretches contribute censored exposure. We implement the

@@ -1,5 +1,5 @@
 //! Change-frequency estimation — the paper's estimators **EP** and **EB**
-//! (§5.3, detailed in [CGM99a] "Measuring frequency of change").
+//! (§5.3, detailed in \[CGM99a\] "Measuring frequency of change").
 //!
 //! The UpdateModule can only *sample* a page: each crawl compares the new
 //! checksum with the stored one, yielding a binary "changed since last

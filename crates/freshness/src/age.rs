@@ -1,6 +1,6 @@
 //! The *age* metric — the paper's companion to freshness.
 //!
-//! §4: "In [CGM99b] we also discuss a second metric, the 'age' of crawled
+//! §4: "In \[CGM99b\] we also discuss a second metric, the 'age' of crawled
 //! pages." A stored copy's age is 0 while it is fresh, and the time since
 //! the page's first unseen change otherwise. Age penalizes *how stale*
 //! pages are, not just whether they are stale.

@@ -1,7 +1,7 @@
 //! Freshness and age analytics for crawler policies (§4 of the paper).
 //!
 //! The paper compares crawler designs with the *freshness* metric of
-//! [CGM99b]: the expected fraction of the local collection that is
+//! \[CGM99b\]: the expected fraction of the local collection that is
 //! up-to-date. Under the Poisson change model of §3.4 the metric has closed
 //! forms for every combination the paper considers:
 //!

@@ -42,7 +42,7 @@ pub enum UpdateMode {
     /// Each crawled page replaces its old copy immediately.
     InPlace,
     /// Pages accumulate in a shadow collection that replaces the current
-    /// collection all at once when the crawl cycle completes [MJLF84].
+    /// collection all at once when the crawl cycle completes \[MJLF84\].
     Shadow,
 }
 

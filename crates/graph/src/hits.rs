@@ -1,4 +1,4 @@
-//! HITS (Hub & Authority) scores [Kle98].
+//! HITS (Hub & Authority) scores \[Kle98\].
 //!
 //! §5.2 lists "Hub and Authority" alongside PageRank as importance metrics
 //! the RankingModule may use. Standard power iteration with L2

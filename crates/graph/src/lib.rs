@@ -7,8 +7,8 @@
 //!   PageRank over the hypergraph whose nodes are sites ([`sitegraph`]).
 //! * **The RankingModule** (§5.3): the incremental crawler constantly
 //!   reevaluates page importance — PageRank [CGMP98, PB98] or Hub &
-//!   Authority [Kle98] — over the link structure captured in the
-//!   Collection ([`pagerank`], [`hits`]), including estimating the rank of
+//!   Authority \[Kle98\] — over the link structure captured in the
+//!   Collection ([`mod@pagerank`], [`mod@hits`]), including estimating the rank of
 //!   pages *not yet crawled* from the in-links the Collection has seen
 //!   (footnote 2 of the paper).
 //! * **The simulator** generates realistic link structure to drive both.

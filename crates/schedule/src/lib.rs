@@ -1,4 +1,4 @@
-//! Revisit-frequency scheduling (§4 choice 3, Figure 9, [CGM99b]).
+//! Revisit-frequency scheduling (§4 choice 3, Figure 9, \[CGM99b\]).
 //!
 //! Given estimated change rates for the pages in the collection and a total
 //! crawl-rate budget (pages per day), how often should each page be
@@ -8,7 +8,7 @@
 //!   batch-crawler policy.
 //! * **Proportional** — frequency ∝ change rate; the intuitive policy the
 //!   paper debunks with its two-page example (§4.3).
-//! * **Optimal** — the freshness-maximizing allocation of [CGM99b], a
+//! * **Optimal** — the freshness-maximizing allocation of \[CGM99b\], a
 //!   Lagrange water-filling solve. Reproduces Figure 9's counterintuitive
 //!   shape: revisit frequency *rises* with change rate up to a threshold
 //!   λ_h, then *falls*, reaching zero for pages that change too fast to be

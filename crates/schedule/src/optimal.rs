@@ -1,4 +1,4 @@
-//! The freshness-optimal revisit allocation of [CGM99b] — Figure 9.
+//! The freshness-optimal revisit allocation of \[CGM99b\] — Figure 9.
 //!
 //! Problem: maximize `(1/N) Σᵢ F(λᵢ, fᵢ)` subject to `Σᵢ fᵢ = B`,
 //! `fᵢ ≥ 0`, where `F(λ, f) = (f/λ)(1 − e^{−λ/f})` is the time-averaged

@@ -12,7 +12,7 @@ pub enum RevisitPolicy {
     /// Frequency proportional to the page's change rate — the intuition the
     /// paper's two-page example refutes.
     Proportional,
-    /// The freshness-optimal allocation of [CGM99b] (Figure 9).
+    /// The freshness-optimal allocation of \[CGM99b\] (Figure 9).
     Optimal,
 }
 

@@ -121,6 +121,29 @@ impl RevisitQueue {
         }
         out
     }
+
+    /// Every scheduled visit, earliest first, without disturbing the
+    /// queue — the shape a checkpoint snapshot persists. O(n log n).
+    pub fn snapshot_entries(&self) -> Vec<ScheduledVisit> {
+        let mut entries: Vec<ScheduledVisit> = self.heap.iter().map(|e| e.0).collect();
+        entries.sort_by(|a, b| {
+            a.due
+                .partial_cmp(&b.due)
+                .expect("due times are never NaN")
+                .then_with(|| (a.url.site, a.url.page).cmp(&(b.url.site, b.url.page)))
+        });
+        entries
+    }
+
+    /// Rebuild a queue from snapshot entries. Pop order depends only on
+    /// the entry *set* (the ordering on `(due, url)` is total), so a queue
+    /// restored from [`RevisitQueue::snapshot_entries`] replays the exact
+    /// visit sequence of the original.
+    pub fn from_entries(entries: Vec<ScheduledVisit>) -> RevisitQueue {
+        RevisitQueue {
+            heap: entries.into_iter().map(Entry).collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +216,21 @@ mod tests {
     fn rejects_nan_due() {
         let mut q = RevisitQueue::new();
         q.push(url(1), f64::NAN);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_pop_order() {
+        let mut q = RevisitQueue::new();
+        q.push(url(3), 5.0);
+        q.push(url(1), 2.0);
+        q.push_front(url(9)); // −∞ due must survive the round trip
+        q.push(url(4), 2.0);
+        let entries = q.snapshot_entries();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].due, f64::NEG_INFINITY);
+        let mut restored = RevisitQueue::from_entries(entries);
+        let original = q.drain_sorted();
+        let replayed = restored.drain_sorted();
+        assert_eq!(original, replayed, "restored queue must pop identically");
     }
 }

@@ -44,6 +44,39 @@ pub struct FetchOutcome {
 pub trait Fetcher {
     /// Fetch `url` at simulated time `t`.
     fn fetch(&mut self, url: Url, t: f64) -> Result<FetchOutcome, FetchError>;
+
+    /// Export the fetcher's replay-relevant mutable state for a
+    /// checkpoint, if the implementation supports durable crawl state.
+    /// The default (`None`) marks a fetcher as stateless for recovery
+    /// purposes.
+    fn export_state(&self) -> Option<FetcherState> {
+        None
+    }
+
+    /// Advance internal state exactly as [`Fetcher::fetch`] would have for
+    /// an attempt that produced `result`, without performing a fetch.
+    /// Write-ahead-log recovery calls this once per logged attempt so the
+    /// fetcher's counters and per-site clocks land at the same values an
+    /// uninterrupted run would carry.
+    fn observe_replay(&mut self, url: Url, t: f64, result: &Result<FetchOutcome, FetchError>) {
+        let _ = (url, t, result);
+    }
+}
+
+/// The replay-relevant mutable state of a fetcher: everything that can
+/// influence a *future* fetch result. Politeness limits and the failure
+/// rate are configuration, not state — the owner re-applies them when
+/// rebuilding a fetcher.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FetcherState {
+    /// Last successful access time per site (politeness pacing), sorted by
+    /// site id so snapshots are deterministic.
+    pub last_site_access: Vec<(SiteId, f64)>,
+    /// Fetch attempts issued so far (drives deterministic failure
+    /// injection).
+    pub attempt_counter: u64,
+    /// Accumulated counters.
+    pub stats: FetchStats,
 }
 
 /// Politeness constraints, mirroring §2.3.
@@ -173,6 +206,15 @@ impl<'a> SimFetcher<'a> {
         self.stats
     }
 
+    /// Restore replay-relevant state exported by [`Fetcher::export_state`]
+    /// (politeness/failure configuration is set separately via the
+    /// builders).
+    pub fn restore_state(&mut self, state: FetcherState) {
+        self.last_site_access = state.last_site_access.into_iter().collect();
+        self.attempt_counter = state.attempt_counter;
+        self.stats = state.stats;
+    }
+
     fn transient_failure(&mut self, url: Url) -> bool {
         if self.failure_rate == 0.0 {
             return false;
@@ -227,6 +269,38 @@ impl Fetcher for SimFetcher<'_> {
             links: self.universe.out_links(url.page, t),
             last_modified: self.report_last_modified.then(|| page.last_modified(t)),
         })
+    }
+
+    fn export_state(&self) -> Option<FetcherState> {
+        let mut last_site_access: Vec<(SiteId, f64)> =
+            self.last_site_access.iter().map(|(&s, &t)| (s, t)).collect();
+        last_site_access.sort_by_key(|&(s, _)| s);
+        Some(FetcherState {
+            last_site_access,
+            attempt_counter: self.attempt_counter,
+            stats: self.stats,
+        })
+    }
+
+    /// Mirror of [`SimFetcher::fetch`]'s state transitions, keyed on the
+    /// *recorded* result instead of recomputing one: the attempt counter
+    /// always advances; rate-limited and transient attempts never touch
+    /// the per-site clock; successful and not-found attempts do (`fetch`
+    /// stamps the site before discovering the page is dead).
+    fn observe_replay(&mut self, url: Url, t: f64, result: &Result<FetchOutcome, FetchError>) {
+        self.attempt_counter += 1;
+        match result {
+            Ok(_) => {
+                self.stats.ok += 1;
+                self.last_site_access.insert(url.site, t);
+            }
+            Err(FetchError::NotFound) => {
+                self.stats.not_found += 1;
+                self.last_site_access.insert(url.site, t);
+            }
+            Err(FetchError::RateLimited { .. }) => self.stats.rate_limited += 1,
+            Err(FetchError::Transient) => self.stats.transient += 1,
+        }
     }
 }
 
@@ -357,6 +431,50 @@ mod tests {
         assert_eq!(a, b, "failure pattern must be reproducible");
         let rate = a as f64 / 2000.0;
         assert!((rate - 0.3).abs() < 0.05, "rate={rate}");
+    }
+
+    #[test]
+    fn replay_observation_matches_live_fetching() {
+        // Drive one fetcher live, a second by replaying the recorded
+        // results: their exported states must be identical — the property
+        // WAL recovery leans on.
+        let u = universe();
+        let root = u.sites()[0].slots[0][0];
+        let url = u.url_of(root);
+        let politeness = Politeness { min_delay_days: 0.01, night_window: None };
+        let mut live = SimFetcher::new(&u)
+            .with_politeness(politeness)
+            .with_failure_rate(0.3);
+        let mut results = Vec::new();
+        for i in 0..200 {
+            let t = 1.0 + i as f64 * 0.003;
+            results.push((url, t, live.fetch(url, t)));
+        }
+        let mut replayed = SimFetcher::new(&u)
+            .with_politeness(politeness)
+            .with_failure_rate(0.3);
+        for (url, t, result) in &results {
+            replayed.observe_replay(*url, *t, result);
+        }
+        assert_eq!(live.export_state(), replayed.export_state());
+        // And the replayed fetcher continues exactly like the live one.
+        assert_eq!(live.fetch(url, 2.0), replayed.fetch(url, 2.0));
+    }
+
+    #[test]
+    fn state_export_restore_roundtrip() {
+        let u = universe();
+        let mut f = SimFetcher::new(&u).with_failure_rate(0.2);
+        for i in 0..50 {
+            let root = u.sites()[i % u.sites().len()].slots[0][0];
+            let _ = f.fetch(u.url_of(root), 1.0 + i as f64 * 0.01);
+        }
+        let state = f.export_state().expect("sim fetcher is stateful");
+        let mut restored = SimFetcher::new(&u).with_failure_rate(0.2);
+        restored.restore_state(state);
+        assert_eq!(f.export_state(), restored.export_state());
+        let root = u.sites()[0].slots[0][0];
+        assert_eq!(f.fetch(u.url_of(root), 3.0), restored.fetch(u.url_of(root), 3.0));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod profile;
 pub mod universe;
 
 pub use config::UniverseConfig;
-pub use fetch::{FetchError, FetchOutcome, Fetcher, Politeness, SimFetcher};
+pub use fetch::{FetchError, FetchOutcome, Fetcher, FetcherState, Politeness, SimFetcher};
 pub use page::{SimPage, SimSite};
 pub use profile::DomainProfile;
 pub use universe::WebUniverse;

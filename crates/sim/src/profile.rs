@@ -106,8 +106,8 @@ impl DomainProfile {
     /// pages**. A slot with short lifetimes cycles through many
     /// incarnations during the experiment, so observed pages are
     /// length-biased toward short lives: observing fraction `o_i` for a
-    /// class requires the *slot* mixture `s_i ∝ o_i · E[L_i]` (incarnation
-    /// count per slot ∝ 1/E[L_i]). The weights below apply that
+    /// class requires the *slot* mixture `s_i ∝ o_i · E\[L_i\]` (incarnation
+    /// count per slot ∝ 1/E\[L_i\]). The weights below apply that
     /// correction, so the monitor's per-page histogram reproduces the
     /// target mixture.
     pub fn sample_lifetime(&self, rng: &mut SimRng) -> f64 {

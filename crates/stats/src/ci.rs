@@ -1,6 +1,6 @@
 //! Confidence intervals for proportions and Poisson change rates.
 //!
-//! Estimator **EP** (§5.3, [CGM99a]) records how many of `n` visits to a
+//! Estimator **EP** (§5.3, \[CGM99a\]) records how many of `n` visits to a
 //! page detected a change and derives "a confidence interval for the change
 //! frequency of that page". With visits at a regular interval `Δ`, each
 //! visit detects a change with probability `p = 1 − e^{−λΔ}` independently,

@@ -1,0 +1,311 @@
+//! The [`Checkpointer`]: a [`CrawlHook`] that turns engine pass
+//! boundaries into durable snapshots and WAL flushes, plus [`recover`],
+//! the crash-side counterpart.
+//!
+//! Lifecycle of a checkpoint directory:
+//!
+//! 1. [`Checkpointer::create`] starts a fresh lineage (any previous
+//!    snapshot/WAL in the directory is superseded).
+//! 2. During the run, [`CrawlHook::on_fetch`] buffers records in memory;
+//!    [`CrawlHook::on_pass`] appends the buffer to the WAL under one
+//!    commit marker, and writes a snapshot whenever
+//!    [`CheckpointConfig::snapshot_every_days`] simulated days have passed
+//!    since the last one (the first pass always snapshots). Snapshot
+//!    writes are atomic (temp file + rename) and reset the WAL.
+//! 3. After a crash, [`recover`] returns the newest snapshot and the
+//!    committed WAL tail; the caller rebuilds the engine
+//!    (`from_state` → `replay` → `resume`) and creates the follow-up
+//!    checkpointer with [`Checkpointer::continue_from`], which
+//!    re-snapshots the recovered state so the old lineage is never needed
+//!    twice.
+//!
+//! I/O failures inside the hook panic: the hook signature is infallible by
+//! design (the engines cannot meaningfully continue a run whose durability
+//! contract just broke), and every panic message names the failing path.
+
+use crate::codec::{decode_snapshot, encode_snapshot, StoreError};
+use crate::wal::{read_wal, WalWriter};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use webevo_core::{CrawlHook, CrawlerState, FetchRecord};
+
+/// Snapshot file name within a checkpoint directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.wsnap";
+/// WAL file name within a checkpoint directory.
+pub const WAL_FILE: &str = "wal.wlog";
+
+/// Where and how often to checkpoint.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory holding `snapshot.wsnap` and `wal.wlog`.
+    pub dir: PathBuf,
+    /// Full-snapshot cadence in simulated days; between snapshots only WAL
+    /// appends happen. The first pass boundary always snapshots.
+    pub snapshot_every_days: f64,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir`, snapshotting every `snapshot_every_days`.
+    pub fn new(dir: impl Into<PathBuf>, snapshot_every_days: f64) -> CheckpointConfig {
+        assert!(snapshot_every_days > 0.0, "snapshot cadence must be positive");
+        CheckpointConfig { dir: dir.into(), snapshot_every_days }
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+}
+
+/// Durability counters (for benches and observability).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Fetch records buffered so far (lifetime total).
+    pub records_logged: u64,
+    /// WAL flushes performed (= pass boundaries observed).
+    pub flushes: u64,
+    /// Full snapshots written.
+    pub snapshots: u64,
+}
+
+/// The engine-facing checkpointing hook. See the module docs.
+#[derive(Debug)]
+pub struct Checkpointer {
+    config: CheckpointConfig,
+    buffer: Vec<FetchRecord>,
+    wal: WalWriter,
+    last_snapshot_t: Option<f64>,
+    last_seq: u64,
+    stats: CheckpointStats,
+}
+
+impl Checkpointer {
+    /// Start a fresh checkpoint lineage in `config.dir` (created if
+    /// missing; an existing snapshot/WAL there is removed).
+    pub fn create(config: CheckpointConfig) -> io::Result<Checkpointer> {
+        fs::create_dir_all(&config.dir)?;
+        match fs::remove_file(config.snapshot_path()) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let wal = WalWriter::create(&config.wal_path())?;
+        Ok(Checkpointer {
+            config,
+            buffer: Vec::new(),
+            wal,
+            last_snapshot_t: None,
+            last_seq: 0,
+            stats: CheckpointStats::default(),
+        })
+    }
+
+    /// Continue checkpointing after a recovery: immediately snapshot the
+    /// recovered (replayed) `state` and reset the WAL, so the directory
+    /// again holds exactly one consistent lineage.
+    pub fn continue_from(
+        config: CheckpointConfig,
+        state: &CrawlerState,
+    ) -> io::Result<Checkpointer> {
+        fs::create_dir_all(&config.dir)?;
+        write_snapshot_atomically(&config, state)?;
+        let wal = WalWriter::create(&config.wal_path())?;
+        Ok(Checkpointer {
+            last_snapshot_t: Some(state.clock.t),
+            last_seq: state.fetch_seq,
+            config,
+            buffer: Vec::new(),
+            wal,
+            stats: CheckpointStats { snapshots: 1, ..CheckpointStats::default() },
+        })
+    }
+
+    /// Durability counters so far.
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+}
+
+impl CrawlHook for Checkpointer {
+    fn on_fetch(&mut self, record: FetchRecord) {
+        self.last_seq = record.seq;
+        self.buffer.push(record);
+        self.stats.records_logged += 1;
+    }
+
+    fn on_pass(&mut self, t: f64, export: &mut dyn FnMut() -> CrawlerState) {
+        // Flush first: should the snapshot below tear, the WAL still
+        // carries everything up to this boundary on top of the *previous*
+        // snapshot.
+        self.wal
+            .append_committed(&self.buffer, self.last_seq)
+            .unwrap_or_else(|e| panic!("WAL append to {:?} failed: {e}", self.wal.path()));
+        self.buffer.clear();
+        self.stats.flushes += 1;
+        let snapshot_due = match self.last_snapshot_t {
+            None => true, // first pass boundary: seed the lineage
+            Some(last) => t - last >= self.config.snapshot_every_days,
+        };
+        if snapshot_due {
+            let state = export();
+            write_snapshot_atomically(&self.config, &state).unwrap_or_else(|e| {
+                panic!("snapshot write to {:?} failed: {e}", self.config.snapshot_path())
+            });
+            // Records at or below the snapshot's fetch_seq are now
+            // redundant; if the process dies between the rename above and
+            // this reset, recovery skips them by sequence number.
+            self.wal
+                .reset()
+                .unwrap_or_else(|e| panic!("WAL reset of {:?} failed: {e}", self.wal.path()));
+            self.last_snapshot_t = Some(t);
+            self.stats.snapshots += 1;
+        }
+    }
+}
+
+fn write_snapshot_atomically(config: &CheckpointConfig, state: &CrawlerState) -> io::Result<()> {
+    use std::io::Write;
+    let tmp = config.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(encode_snapshot(state).as_bytes())?;
+    // Sync before the rename so the directory entry can never point at a
+    // half-written file after a machine crash; sync the directory after so
+    // the rename itself is durable.
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, config.snapshot_path())?;
+    fs::File::open(&config.dir)?.sync_all()
+}
+
+/// What [`recover`] found in a checkpoint directory.
+#[derive(Clone, Debug)]
+pub struct Recovered {
+    /// The decoded snapshot.
+    pub state: CrawlerState,
+    /// The committed WAL tail (may include records the snapshot already
+    /// covers; the engines' `replay` skips them by sequence number).
+    pub wal: Vec<FetchRecord>,
+}
+
+/// Load the newest consistent crawl state from a checkpoint directory:
+/// `Ok(None)` when no snapshot exists (nothing to resume), the decoded
+/// snapshot plus committed WAL tail otherwise. Corrupt snapshots surface
+/// as [`StoreError`]; a corrupt or torn WAL tail silently shrinks to its
+/// last committed boundary, which is exactly the guarantee the engines
+/// need.
+pub fn recover(dir: &Path) -> Result<Option<Recovered>, StoreError> {
+    let snapshot_path = dir.join(SNAPSHOT_FILE);
+    let text = match fs::read_to_string(&snapshot_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::Io(format!("reading {snapshot_path:?}: {e}"))),
+    };
+    let state = decode_snapshot(&text)?;
+    let wal = read_wal(&dir.join(WAL_FILE))
+        .map_err(|e| StoreError::Io(format!("reading WAL: {e}")))?;
+    Ok(Some(Recovered { state, wal }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webevo_core::{IncrementalConfig, IncrementalCrawler, NoopHook};
+    use webevo_sim::{Fetcher, SimFetcher, UniverseConfig, WebUniverse};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "webevo-ckpt-{}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(capacity: usize) -> IncrementalConfig {
+        IncrementalConfig {
+            capacity,
+            crawl_rate_per_day: capacity as f64 / 5.0,
+            ..IncrementalConfig::monthly(capacity)
+        }
+    }
+
+    #[test]
+    fn checkpoint_and_recover_incremental() {
+        let dir = temp_dir("inc");
+        let u = WebUniverse::generate(UniverseConfig::test_scale(21));
+        // Killed run: crawl to day 20 under the checkpointer, then drop
+        // everything in memory.
+        let mut ckpt =
+            Checkpointer::create(CheckpointConfig::new(&dir, 3.0)).expect("create checkpointer");
+        let mut killed = IncrementalCrawler::new(config(40));
+        let mut killed_fetcher = SimFetcher::new(&u);
+        killed.run_hooked(&u, &mut killed_fetcher, 0.0, 20.0, &mut ckpt);
+        assert!(ckpt.stats().snapshots >= 2, "stats={:?}", ckpt.stats());
+        assert!(ckpt.stats().flushes > ckpt.stats().snapshots);
+        drop(killed);
+        drop(ckpt);
+
+        // Recover from disk and continue to day 30.
+        let recovered = recover(&dir).expect("clean dir decodes").expect("snapshot exists");
+        let (mut restored, fetcher_state) = IncrementalCrawler::from_state(recovered.state);
+        let mut fetcher2 = SimFetcher::new(&u);
+        fetcher2.restore_state(fetcher_state.expect("sim fetcher state persisted"));
+        restored.replay(&u, &mut fetcher2, &recovered.wal);
+        restored.resume(&u, &mut fetcher2, 30.0, &mut NoopHook);
+
+        // Reference: one uninterrupted run to day 30. Every metric channel
+        // must agree bit-for-bit.
+        let mut reference = IncrementalCrawler::new(config(40));
+        let mut ref_fetcher = SimFetcher::new(&u);
+        reference.run(&u, &mut ref_fetcher, 0.0, 30.0);
+        assert_eq!(reference.metrics().fetches, restored.metrics().fetches);
+        let a: Vec<(f64, f64)> = reference.metrics().freshness.rows().collect();
+        let b: Vec<(f64, f64)> = restored.metrics().freshness.rows().collect();
+        assert_eq!(a, b);
+        assert_eq!(
+            Fetcher::export_state(&ref_fetcher),
+            Fetcher::export_state(&fetcher2),
+            "fetcher state must also converge"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_on_empty_dir_is_none() {
+        let dir = temp_dir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(recover(&dir).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn continue_from_resnapshots() {
+        let dir = temp_dir("cont");
+        let u = WebUniverse::generate(UniverseConfig::test_scale(22));
+        let mut ckpt = Checkpointer::create(CheckpointConfig::new(&dir, 2.0)).unwrap();
+        let mut crawler = IncrementalCrawler::new(config(30));
+        let mut fetcher = SimFetcher::new(&u);
+        crawler.run_hooked(&u, &mut fetcher, 0.0, 10.0, &mut ckpt);
+
+        let recovered = recover(&dir).unwrap().unwrap();
+        let (mut restored, fstate) = IncrementalCrawler::from_state(recovered.state);
+        let mut fetcher2 = SimFetcher::new(&u);
+        fetcher2.restore_state(fstate.unwrap());
+        restored.replay(&u, &mut fetcher2, &recovered.wal);
+        let mut state = restored.export_state();
+        state.fetcher = fetcher2.export_state();
+        let ckpt2 =
+            Checkpointer::continue_from(CheckpointConfig::new(&dir, 2.0), &state).unwrap();
+        assert_eq!(ckpt2.stats().snapshots, 1);
+        // The new lineage stands alone: recovery now yields the replayed
+        // state with an empty WAL tail.
+        let again = recover(&dir).unwrap().unwrap();
+        assert!(again.wal.is_empty());
+        assert_eq!(again.state.fetch_seq, state.fetch_seq);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! Durable crawl state: snapshots, a write-ahead log, and the
+//! [`Checkpointer`] that drives both from engine pass boundaries.
+//!
+//! §5 of the paper defines the incremental crawler as a process that runs
+//! *continuously*, maintaining the collection and its change histories
+//! indefinitely. In production that means crawl state must survive process
+//! restarts: the collection checksums, the per-page change histories
+//! feeding the frequency estimators, the `CollUrls` ordering, the
+//! discovered-URL set — all of it. This crate is that durability layer,
+//! deliberately kept *off* the fetch hot path (mirroring §5.3's separation
+//! of periodic refinement from the crawl loop):
+//!
+//! * per-fetch deltas are buffered in memory via
+//!   [`webevo_core::CrawlHook::on_fetch`] — no I/O per fetch;
+//! * at each RankingModule pass boundary the buffer is flushed to the
+//!   write-ahead log in one append, and every
+//!   [`CheckpointConfig::snapshot_every_days`] simulated days a full
+//!   snapshot is written and the log reset.
+//!
+//! Recovery loads `snapshot + WAL tail` and replays the tail through the
+//! engine's own state transitions, landing bit-identically on the state at
+//! the last flushed boundary; the engines' `resume` then continues the
+//! crawl as if the crash never happened (`tests/determinism.rs` pins this
+//! end to end).
+//!
+//! # Snapshot format (version 1)
+//!
+//! A snapshot is a text file of exactly two lines:
+//!
+//! ```text
+//! WEBEVO-SNAPSHOT 1 <fnv64 of payload, 16 hex digits>
+//! <payload: the CrawlerState as one line of JSON>
+//! ```
+//!
+//! The header carries the format **version** (decoders reject versions
+//! they do not understand, so the layout can evolve) and a checksum over
+//! the payload bytes (a partially written or bit-rotted snapshot is
+//! detected, never half-loaded). Floats inside the payload round-trip
+//! bitwise: finite values rely on shortest-round-trip decimal encoding
+//! (pinned by a proptest in this crate), and the queue's ±∞ due-times are
+//! stored as raw IEEE-754 bit patterns in [`webevo_core::QueueEntry`].
+//! Snapshots are written to a temporary file and atomically renamed into
+//! place, so a crash mid-write leaves the previous snapshot intact.
+//!
+//! # WAL format (version 1)
+//!
+//! The write-ahead log is line-oriented and append-only:
+//!
+//! ```text
+//! WEBEVO-WAL 1
+//! R <fnv64 of payload> <payload: one FetchRecord as JSON>
+//! R ...
+//! C <fnv64 of seq text> <seq of the last record at this flush>
+//! ```
+//!
+//! `R` lines are fetch records; a `C` line is a **commit marker** written
+//! at each pass-boundary flush. Readers trust records only up to the last
+//! valid commit marker: a torn tail — a half-written record, a record
+//! whose checksum fails, or records flushed without their commit — is
+//! discarded rather than mis-parsed, which keeps recovery aligned with
+//! pass boundaries (the only states the engines can resume from).
+//! Records carry the engine's fetch sequence number; recovery skips those
+//! already folded into the snapshot (covering the crash window between a
+//! snapshot rename and the log reset that follows it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod wal;
+
+pub use checkpoint::{
+    recover, CheckpointConfig, CheckpointStats, Checkpointer, Recovered, SNAPSHOT_FILE, WAL_FILE,
+};
+pub use codec::{decode_snapshot, encode_snapshot, fnv64, StoreError};
+pub use wal::{read_wal, WalWriter};

@@ -1,0 +1,240 @@
+//! The append-only write-ahead log. See the crate docs for the line
+//! layout and torn-tail semantics.
+
+use crate::codec::fnv64;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use webevo_core::FetchRecord;
+
+/// Header line opening every WAL file.
+pub const WAL_HEADER: &str = "WEBEVO-WAL 1";
+
+/// Appends framed records and commit markers to a WAL file. One
+/// [`WalWriter::append_committed`] call per pass boundary writes the whole
+/// buffered batch plus its commit marker in a single `write` — the only
+/// durable I/O the crawl ever waits on.
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl WalWriter {
+    /// Create (or truncate) the WAL at `path` and write the header.
+    pub fn create(path: &Path) -> io::Result<WalWriter> {
+        let mut file = File::create(path)?;
+        writeln!(file, "{WAL_HEADER}")?;
+        file.sync_data()?;
+        Ok(WalWriter { path: path.to_path_buf(), file })
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append a batch of records followed by its commit marker, as one
+    /// write, then fsync. Readers only surface records whose commit marker
+    /// landed, so a crash mid-append — process *or* machine — tears at
+    /// worst into the discarded region.
+    pub fn append_committed(&mut self, records: &[FetchRecord], last_seq: u64) -> io::Result<()> {
+        let mut chunk = String::new();
+        for record in records {
+            let payload = serde_json::to_string(record).expect("fetch records always serialize");
+            let checksum = fnv64(payload.as_bytes());
+            chunk.push_str(&format!("R {checksum:016x} {payload}\n"));
+        }
+        let seq_text = last_seq.to_string();
+        let checksum = fnv64(seq_text.as_bytes());
+        chunk.push_str(&format!("C {checksum:016x} {seq_text}\n"));
+        self.file.write_all(chunk.as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// Truncate back to an empty (header-only) log — called right after a
+    /// snapshot subsumes everything logged so far.
+    pub fn reset(&mut self) -> io::Result<()> {
+        let mut file = File::create(&self.path)?;
+        writeln!(file, "{WAL_HEADER}")?;
+        file.sync_data()?;
+        self.file = file;
+        Ok(())
+    }
+}
+
+/// Read every *committed* record from a WAL file: records after the last
+/// valid commit marker — including a torn final line, a record whose
+/// checksum fails, or a batch whose commit never landed — are discarded.
+/// A missing file reads as empty (no log yet).
+pub fn read_wal(path: &Path) -> io::Result<Vec<FetchRecord>> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut committed: Vec<FetchRecord> = Vec::new();
+    let mut pending: Vec<FetchRecord> = Vec::new();
+    // A torn write can truncate the final line: only lines terminated by
+    // `\n` are candidates. `split` leaves either the torn remainder or an
+    // empty slice after the last newline — drop it either way.
+    let mut complete: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    complete.pop();
+    let mut iter = complete.into_iter();
+    match iter.next() {
+        Some(header) if header == WAL_HEADER.as_bytes() => {}
+        // No trustworthy header, no trustworthy records.
+        _ => return Ok(Vec::new()),
+    }
+    for line in iter {
+        let Some(parsed) = parse_line(line) else {
+            break; // corruption: trust nothing at or beyond this point
+        };
+        match parsed {
+            WalLine::Record(record) => pending.push(record),
+            WalLine::Commit(seq) => {
+                // The marker names the batch it commits: a contradiction
+                // (a stale or spliced marker that happens to checksum) is
+                // corruption, same as a failed line checksum.
+                if let Some(last) = pending.last() {
+                    if last.seq != seq {
+                        break;
+                    }
+                }
+                committed.append(&mut pending);
+            }
+        }
+    }
+    Ok(committed)
+}
+
+enum WalLine {
+    Record(FetchRecord),
+    Commit(u64),
+}
+
+/// Parse one complete WAL line; `None` marks corruption.
+fn parse_line(line: &[u8]) -> Option<WalLine> {
+    let text = std::str::from_utf8(line).ok()?;
+    let (tag, rest) = text.split_once(' ')?;
+    let (checksum, payload) = rest.split_once(' ')?;
+    let checksum = u64::from_str_radix(checksum, 16).ok()?;
+    if fnv64(payload.as_bytes()) != checksum {
+        return None;
+    }
+    match tag {
+        "R" => serde_json::from_str(payload).ok().map(WalLine::Record),
+        "C" => payload.parse::<u64>().ok().map(WalLine::Commit),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webevo_sim::FetchError;
+    use webevo_types::{PageId, SiteId, Url};
+
+    fn record(seq: u64) -> FetchRecord {
+        FetchRecord {
+            seq,
+            url: Url::new(SiteId(1), PageId(seq)),
+            t: seq as f64 * 0.125,
+            result: Err(FetchError::Transient),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("webevo-wal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_batches() {
+        let path = temp_path("roundtrip");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append_committed(&[record(1), record(2)], 2).unwrap();
+        w.append_committed(&[record(3)], 3).unwrap();
+        let records = read_wal(&path).unwrap();
+        assert_eq!(records, vec![record(1), record(2), record(3)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded() {
+        let path = temp_path("uncommitted");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append_committed(&[record(1)], 1).unwrap();
+        // Hand-append records with no commit marker: a flush that never
+        // completed.
+        let payload = serde_json::to_string(&record(2)).unwrap();
+        let line = format!("R {:016x} {payload}\n", fnv64(payload.as_bytes()));
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(line.as_bytes())
+            .unwrap();
+        assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_discarded() {
+        let path = temp_path("torn");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append_committed(&[record(1)], 1).unwrap();
+        w.append_committed(&[record(2)], 2).unwrap();
+        // Truncate mid-record: chop the last 10 bytes.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_reading() {
+        let path = temp_path("corrupt");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append_committed(&[record(1)], 1).unwrap();
+        w.append_committed(&[record(2), record(3)], 3).unwrap();
+        // Flip a byte inside the second batch's first record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let offset = text.match_indices("R ").nth(1).unwrap().0 + 30;
+        bytes[offset] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        // Batch 1 committed and intact; everything from the corrupt line
+        // on is dropped, commit marker or not.
+        assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn commit_marker_must_name_its_batch() {
+        let path = temp_path("badcommit");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append_committed(&[record(1)], 1).unwrap();
+        // A marker that contradicts the records it claims to commit (valid
+        // checksum, wrong seq) must not commit them.
+        w.append_committed(&[record(2), record(3)], 99).unwrap();
+        assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp_path("reset");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append_committed(&[record(1)], 1).unwrap();
+        w.reset().unwrap();
+        assert!(read_wal(&path).unwrap().is_empty());
+        w.append_committed(&[record(9)], 9).unwrap();
+        assert_eq!(read_wal(&path).unwrap(), vec![record(9)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        assert!(read_wal(Path::new("/nonexistent/webevo.wlog")).unwrap().is_empty());
+    }
+}

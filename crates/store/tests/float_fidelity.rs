@@ -1,0 +1,72 @@
+//! The float-fidelity contract under the snapshot codec.
+//!
+//! Snapshots flow through the vendored `serde_json`, whose `f64` writer
+//! must be *shortest-round-trip*: `encode(decode(x)) == x` bitwise for
+//! every finite double, or restoring a checkpoint would silently perturb
+//! change-rate estimates, importance scores, and the revisit schedule.
+//! These properties pin that guarantee across the whole f64 range —
+//! subnormals, `-0.0`, and the extremes included — plus the bit-pattern
+//! escape hatch the queue codec uses for the values JSON cannot carry
+//! (±∞).
+
+use proptest::prelude::*;
+
+proptest! {
+    /// Finite f64 → JSON text → f64 is the identity on bit patterns.
+    #[test]
+    fn f64_json_roundtrip_is_bitwise_identity(bits in 0u64..u64::MAX) {
+        let x = f64::from_bits(bits);
+        prop_assume!(x.is_finite());
+        let json = serde_json::to_string(&x).expect("finite floats serialize");
+        let back: f64 = serde_json::from_str(&json).expect("round-trip parses");
+        prop_assert_eq!(
+            back.to_bits(),
+            x.to_bits(),
+            "value {} re-encoded as {} came back as {}", x, json, back
+        );
+    }
+
+    /// The same identity through a composite value (floats nested in
+    /// structure, as in a real snapshot).
+    #[test]
+    fn nested_f64_roundtrip_is_bitwise_identity(
+        raw in prop::collection::vec(0u64..u64::MAX, 1..20),
+    ) {
+        let xs: Vec<f64> = raw.iter().map(|&b| f64::from_bits(b)).collect();
+        prop_assume!(xs.iter().all(|x| x.is_finite()));
+        let json = serde_json::to_string(&xs).expect("serializes");
+        let back: Vec<f64> = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(back.len(), xs.len());
+        for (a, b) in xs.iter().zip(back.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The queue codec's bit-pattern encoding is exact for *every* f64,
+    /// non-finite included — the immediate-priority lane schedules at −∞.
+    #[test]
+    fn due_time_bits_encoding_is_total(bits in 0u64..u64::MAX) {
+        let x = f64::from_bits(bits);
+        let encoded = x.to_bits();
+        let decoded = f64::from_bits(encoded);
+        prop_assert_eq!(decoded.to_bits(), x.to_bits());
+    }
+}
+
+#[test]
+fn boundary_values_roundtrip_bitwise() {
+    for x in [
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        f64::from_bits(1),
+        -0.0,
+        0.0,
+        f64::EPSILON,
+        1.0 + f64::EPSILON,
+    ] {
+        let json = serde_json::to_string(&x).unwrap();
+        let back: f64 = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.to_bits(), x.to_bits(), "json={json}");
+    }
+}

@@ -44,6 +44,7 @@
 //! | [`estimate`] | §5.3 | estimators EP and EB |
 //! | [`schedule`] | §4.3 | uniform/proportional/optimal revisit, Figure 9 |
 //! | [`core`] | §5 | the incremental crawler + periodic baseline |
+//! | [`store`] | §5 | durable crawl state: snapshots, WAL, checkpointing |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,14 +57,15 @@ pub use webevo_graph as graph;
 pub use webevo_schedule as schedule;
 pub use webevo_sim as sim;
 pub use webevo_stats as stats;
+pub use webevo_store as store;
 pub use webevo_types as types;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use webevo_core::{
-        AllUrls, Collection, CrawlMetrics, EstimatorKind, IncrementalConfig,
-        IncrementalCrawler, PeriodicConfig, PeriodicCrawler, RankingConfig,
-        RevisitStrategy, ThreadedCrawler,
+        AllUrls, Collection, CrawlHook, CrawlMetrics, CrawlerState, EstimatorKind,
+        FetchRecord, IncrementalConfig, IncrementalCrawler, NoopHook, PeriodicConfig,
+        PeriodicCrawler, RankingConfig, RevisitStrategy, ThreadedCrawler,
     };
     pub use webevo_estimate::{
         estimate_ep, estimate_irregular_mle, estimate_naive,
@@ -84,13 +86,14 @@ pub mod prelude {
         proportional_allocation, uniform_allocation, RevisitPolicy,
     };
     pub use webevo_sim::{
-        FetchError, FetchOutcome, Fetcher, Politeness, SimFetcher, UniverseConfig,
-        WebUniverse,
+        FetchError, FetchOutcome, Fetcher, FetcherState, Politeness, SimFetcher,
+        UniverseConfig, WebUniverse,
     };
     pub use webevo_stats::{
         Histogram, IntervalBin, IntervalHistogram, LifespanBin, LifespanHistogram,
         PoissonProcess, SimRng, Summary, SurvivalCurve,
     };
+    pub use webevo_store::{recover, CheckpointConfig, Checkpointer, Recovered};
     pub use webevo_types::{
         ChangeRate, Checksum, Domain, PageId, SimDuration, SimTime, SiteId, Url,
     };

@@ -6,7 +6,15 @@
 //! tests pin that contract at the integration level: future refactors
 //! (sharding, async engines) must not silently break replayability.
 
+use std::path::PathBuf;
 use webevo::prelude::*;
+
+/// A unique temp directory per test (tests run concurrently).
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("webevo-det-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 /// Run the incremental crawler against a fresh universe + fetcher built
 /// from `seed` and return its metrics.
@@ -94,6 +102,143 @@ fn universe_generation_replays() {
             );
         }
     }
+}
+
+// --------------------------------------------------------------------
+// The durable-state extension of the replay contract: a run that is
+// killed, recovered from `snapshot + WAL tail`, and continued must be
+// indistinguishable — bit for bit, on every metric channel — from a run
+// that was never interrupted. (webevo-store's acceptance bar.)
+// --------------------------------------------------------------------
+
+#[test]
+fn incremental_killed_and_recovered_matches_uninterrupted() {
+    let dir = temp_dir("inc-recover");
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(42));
+    let config = IncrementalConfig {
+        capacity: 50,
+        crawl_rate_per_day: 10.0,
+        ..IncrementalConfig::monthly(50)
+    };
+    // Failure injection makes the fetcher genuinely stateful (its attempt
+    // counter drives the failure pattern), so this also proves fetcher
+    // state survives the crash.
+    let failure_rate = 0.15;
+
+    // Phase 1: crawl under the checkpointer, then "kill" the process by
+    // dropping every in-memory structure. Day 23 is deliberately not a
+    // checkpoint boundary.
+    let mut ckpt = Checkpointer::create(CheckpointConfig::new(&dir, 5.0))
+        .expect("checkpoint dir is writable");
+    let mut killed = IncrementalCrawler::new(config.clone());
+    let mut killed_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
+    killed.run_hooked(&universe, &mut killed_fetcher, 0.0, 23.0, &mut ckpt);
+    assert!(ckpt.stats().snapshots >= 2, "stats={:?}", ckpt.stats());
+    drop((killed, killed_fetcher, ckpt));
+
+    // Phase 2: recover from disk and continue to day 40.
+    let recovered = recover(&dir).expect("snapshot decodes").expect("snapshot exists");
+    assert!(recovered.state.clock.t < 23.0, "snapshot predates the kill point");
+    let (mut resumed, fetcher_state) = IncrementalCrawler::from_state(recovered.state);
+    let mut resumed_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
+    resumed_fetcher.restore_state(fetcher_state.expect("sim fetcher state persisted"));
+    resumed.replay(&universe, &mut resumed_fetcher, &recovered.wal);
+    resumed.resume(&universe, &mut resumed_fetcher, 40.0, &mut NoopHook);
+
+    // Reference: the same crawl, never interrupted.
+    let mut reference = IncrementalCrawler::new(config);
+    let mut reference_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
+    reference.run(&universe, &mut reference_fetcher, 0.0, 40.0);
+
+    assert!(reference.metrics().failed_fetches > 0, "failure injection active");
+    assert_metrics_identical(reference.metrics(), resumed.metrics());
+    assert_eq!(
+        Fetcher::export_state(&reference_fetcher),
+        Fetcher::export_state(&resumed_fetcher),
+        "fetcher replay state diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn threaded_killed_and_recovered_matches_uninterrupted() {
+    let dir = temp_dir("thr-recover");
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(43));
+    let config = IncrementalConfig {
+        capacity: 50,
+        crawl_rate_per_day: 10.0,
+        ..IncrementalConfig::monthly(50)
+    };
+    let workers = 4;
+
+    let mut ckpt = Checkpointer::create(CheckpointConfig::new(&dir, 4.0))
+        .expect("checkpoint dir is writable");
+    let mut killed = ThreadedCrawler::new(config.clone(), workers);
+    killed.run_hooked(&universe, 0.0, 21.0, &mut ckpt);
+    assert!(ckpt.stats().snapshots >= 2, "stats={:?}", ckpt.stats());
+    drop((killed, ckpt));
+
+    let recovered = recover(&dir).expect("snapshot decodes").expect("snapshot exists");
+    let mut resumed = ThreadedCrawler::from_state(recovered.state);
+    resumed.replay(&universe, &recovered.wal);
+    resumed.resume(&universe, 35.0, &mut NoopHook);
+
+    let mut reference = ThreadedCrawler::new(config, workers);
+    reference.run(&universe, 0.0, 35.0);
+
+    assert!(reference.metrics().fetches > 0, "the run should actually crawl");
+    assert_metrics_identical(reference.metrics(), resumed.metrics());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_discarded_not_misparsed() {
+    let dir = temp_dir("torn-wal");
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(44));
+    let config = IncrementalConfig {
+        capacity: 40,
+        crawl_rate_per_day: 8.0,
+        ..IncrementalConfig::monthly(40)
+    };
+
+    // Long snapshot cadence: plenty of WAL accumulates past the snapshot.
+    let mut ckpt = Checkpointer::create(CheckpointConfig::new(&dir, 50.0))
+        .expect("checkpoint dir is writable");
+    let mut killed = IncrementalCrawler::new(config.clone());
+    let mut killed_fetcher = SimFetcher::new(&universe);
+    killed.run_hooked(&universe, &mut killed_fetcher, 0.0, 18.0, &mut ckpt);
+    drop((killed, killed_fetcher, ckpt));
+
+    let intact = recover(&dir).expect("decodes").expect("exists");
+    assert!(!intact.wal.is_empty(), "test needs a WAL tail to tear");
+
+    // Tear the log mid-record, as a crash during a flush would.
+    let wal_path = dir.join(webevo::store::WAL_FILE);
+    let bytes = std::fs::read(&wal_path).expect("wal readable");
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 37]).expect("wal writable");
+
+    let torn = recover(&dir).expect("torn WAL must still decode").expect("exists");
+    assert!(
+        torn.wal.len() < intact.wal.len(),
+        "truncation must shrink the committed tail ({} vs {})",
+        torn.wal.len(),
+        intact.wal.len()
+    );
+
+    // Recovery from the torn log loses only the uncommitted work — the
+    // continued crawl re-fetches it and still matches the uninterrupted
+    // reference exactly.
+    let (mut resumed, fetcher_state) = IncrementalCrawler::from_state(torn.state);
+    let mut resumed_fetcher = SimFetcher::new(&universe);
+    resumed_fetcher.restore_state(fetcher_state.expect("fetcher state persisted"));
+    resumed.replay(&universe, &mut resumed_fetcher, &torn.wal);
+    resumed.resume(&universe, &mut resumed_fetcher, 25.0, &mut NoopHook);
+
+    let mut reference = IncrementalCrawler::new(config);
+    let mut reference_fetcher = SimFetcher::new(&universe);
+    reference.run(&universe, &mut reference_fetcher, 0.0, 25.0);
+    assert_metrics_identical(reference.metrics(), resumed.metrics());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

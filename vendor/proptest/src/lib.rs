@@ -6,7 +6,7 @@
 //!   bodies;
 //! - strategies: numeric ranges (`0.0f64..5.0`, `0u64..1000`, inclusive
 //!   variants), tuples of strategies, and
-//!   [`collection::vec`](collection::vec);
+//!   [`collection::vec`];
 //! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
 //!
 //! Each test runs [`CASES`] deterministic cases from a seed derived from

@@ -382,6 +382,34 @@ impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
     }
 }
 
+// Results serialize externally tagged (`{"Ok": v}` / `{"Err": e}`), the
+// same shape real serde gives `Result` — WAL records persist fetch
+// results directly.
+
+impl<T: Serialize, E: Serialize> Serialize for std::result::Result<T, E> {
+    fn to_value(&self) -> Value {
+        match self {
+            Ok(v) => Value::Map(vec![("Ok".to_string(), v.to_value())]),
+            Err(e) => Value::Map(vec![("Err".to_string(), e.to_value())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for std::result::Result<T, E> {
+    fn from_value(v: &Value) -> Result<std::result::Result<T, E>, Error> {
+        match v {
+            Value::Map(entries) if entries.len() == 1 => match entries[0].0.as_str() {
+                "Ok" => T::from_value(&entries[0].1).map(Ok),
+                "Err" => E::from_value(&entries[0].1).map(Err),
+                other => Err(Error::custom(format!(
+                    "expected `Ok` or `Err` variant, found `{other}`"
+                ))),
+            },
+            _ => Err(Error::expected("a single-entry `Ok`/`Err` map", v)),
+        }
+    }
+}
+
 impl Serialize for () {
     fn to_value(&self) -> Value {
         Value::Null

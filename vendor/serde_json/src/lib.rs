@@ -133,9 +133,28 @@ fn push_indent(out: &mut String, levels: usize) {
     }
 }
 
+/// Render a finite f64 so that parsing the text recovers the exact same
+/// bit pattern.
+///
+/// Rust's float formatting (both `{}` and `{:e}`) emits the *shortest*
+/// decimal string that parses back to the identical value, and
+/// `str::parse::<f64>` is correctly rounded — so encode → decode is
+/// bitwise lossless for every finite value, including `-0.0` and
+/// subnormals (pinned by the `webevo-store` proptest). Extreme magnitudes
+/// use exponent notation: real serde_json (ryu) does the same, and it
+/// keeps `5e-324` from expanding to hundreds of positional digits.
+///
+/// Non-finite floats serialize as `null`, like real serde_json; callers
+/// that must round-trip ±∞/NaN (e.g. snapshot codecs) encode the bit
+/// pattern instead.
 fn write_f64(x: f64, out: &mut String) {
     if x.is_finite() {
-        let text = format!("{x}");
+        let magnitude = x.abs();
+        let text = if x != 0.0 && !(1e-5..1e16).contains(&magnitude) {
+            format!("{x:e}")
+        } else {
+            format!("{x}")
+        };
         out.push_str(&text);
         // Keep floats round-trippable as floats: `1.0` must not become `1`.
         if !text.contains(['.', 'e', 'E']) {
@@ -392,6 +411,60 @@ mod tests {
         assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
         assert_eq!(from_str::<f64>("1.0").unwrap(), 1.0);
     }
+
+    #[test]
+    fn extreme_floats_roundtrip_bitwise() {
+        for x in [
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),           // smallest positive subnormal
+            f64::from_bits((1 << 63) | 1), // smallest negative subnormal
+            -0.0,
+            0.0,
+            1e300,
+            // The infamous slow-parse value, by bit pattern (the literal
+            // would trip clippy::excessive_precision).
+            -f64::from_bits(0x000f_ffff_ffff_ffff),
+            std::f64::consts::PI,
+        ] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "json={json}");
+        }
+    }
+
+    #[test]
+    fn extreme_floats_use_exponent_form() {
+        // Compactness parity with real serde_json (ryu): huge and tiny
+        // magnitudes must not expand into hundreds of positional digits.
+        assert_eq!(to_string(&1e300f64).unwrap(), "1e300");
+        assert_eq!(to_string(&5e-324f64).unwrap(), "5e-324");
+        assert!(to_string(&f64::MAX).unwrap().len() < 30);
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&f64::NEG_INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn result_roundtrips_externally_tagged() {
+        let ok: Result2<u32, String> = Ok(7);
+        let err: Result2<u32, String> = Err("boom".to_string());
+        assert_eq!(to_string(&ok).unwrap(), "{\"Ok\":7}");
+        assert_eq!(to_string(&err).unwrap(), "{\"Err\":\"boom\"}");
+        assert_eq!(from_str::<Result2<u32, String>>("{\"Ok\":7}").unwrap(), ok);
+        assert_eq!(
+            from_str::<Result2<u32, String>>("{\"Err\":\"boom\"}").unwrap(),
+            err
+        );
+    }
+
+    /// `Result` under test (the crate's own `Result` alias shadows std's).
+    type Result2<T, E> = std::result::Result<T, E>;
 
     #[test]
     fn string_escapes() {
