@@ -25,26 +25,33 @@ fn incremental_cfg(capacity: usize, cycle: f64, ranking_interval: f64) -> Increm
 fn print_comparison(universe: &WebUniverse) {
     let capacity = 150;
     let cycle = 10.0;
-    let mut inc = IncrementalCrawler::new(incremental_cfg(capacity, cycle, 1.0));
-    let mut f1 = SimFetcher::new(universe);
-    inc.run(universe, &mut f1, 0.0, 60.0);
-    let mut per = PeriodicCrawler::new(PeriodicConfig {
-        capacity,
-        cycle_days: cycle,
-        window_days: cycle / 4.0,
-        sample_interval_days: 1.0,
-    });
-    let mut f2 = SimFetcher::new(universe);
-    per.run(universe, &mut f2, 0.0, 60.0);
+    let run = |kind: EngineKind| {
+        let mut session = CrawlSession::builder()
+            .engine(kind)
+            .incremental(incremental_cfg(capacity, cycle, 1.0))
+            .periodic(PeriodicConfig {
+                capacity,
+                cycle_days: cycle,
+                window_days: cycle / 4.0,
+                sample_interval_days: 1.0,
+            })
+            .universe(universe)
+            .build()
+            .expect("a valid session");
+        session.run(60.0).expect("the crawl runs");
+        session.metrics().clone()
+    };
+    let inc = run(EngineKind::Incremental);
+    let per = run(EngineKind::Periodic);
     println!("\n[ablation_crawler_architectures] incremental vs periodic (60 days):");
     println!(
         "  freshness {:.3} vs {:.3} | found->visible {:.2}d vs {:.2}d | peak {:.0} vs {:.0} pages/day",
-        inc.metrics().average_freshness_from(20.0),
-        per.metrics().average_freshness_from(20.0),
-        inc.metrics().discovery_latency.mean(),
-        per.metrics().discovery_latency.mean(),
-        inc.metrics().peak_speed,
-        per.metrics().peak_speed,
+        inc.average_freshness_from(20.0),
+        per.average_freshness_from(20.0),
+        inc.discovery_latency.mean(),
+        per.discovery_latency.mean(),
+        inc.peak_speed,
+        per.peak_speed,
     );
 }
 
@@ -55,23 +62,31 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("incremental_30d", |b| {
         b.iter(|| {
-            let mut crawler = IncrementalCrawler::new(incremental_cfg(100, 10.0, 1.0));
-            let mut fetcher = SimFetcher::new(&universe);
-            crawler.run(&universe, &mut fetcher, 0.0, 30.0);
-            black_box(crawler.metrics().fetches)
+            let mut session = CrawlSession::builder()
+                .engine(EngineKind::Incremental)
+                .incremental(incremental_cfg(100, 10.0, 1.0))
+                .universe(&universe)
+                .build()
+                .expect("a valid session");
+            session.run(30.0).expect("the crawl runs");
+            black_box(session.metrics().fetches)
         })
     });
     g.bench_function("periodic_30d", |b| {
         b.iter(|| {
-            let mut crawler = PeriodicCrawler::new(PeriodicConfig {
-                capacity: 100,
-                cycle_days: 10.0,
-                window_days: 2.5,
-                sample_interval_days: 1.0,
-            });
-            let mut fetcher = SimFetcher::new(&universe);
-            crawler.run(&universe, &mut fetcher, 0.0, 30.0);
-            black_box(crawler.metrics().fetches)
+            let mut session = CrawlSession::builder()
+                .engine(EngineKind::Periodic)
+                .periodic(PeriodicConfig {
+                    capacity: 100,
+                    cycle_days: 10.0,
+                    window_days: 2.5,
+                    sample_interval_days: 1.0,
+                })
+                .universe(&universe)
+                .build()
+                .expect("a valid session");
+            session.run(30.0).expect("the crawl runs");
+            black_box(session.metrics().fetches)
         })
     });
     // §5.3 decision separation: a fast ranking cadence costs crawl-loop
@@ -82,11 +97,14 @@ fn bench(c: &mut Criterion) {
             format!("incremental_ranking_every_{ranking_interval}d"),
             |b| {
                 b.iter(|| {
-                    let mut crawler =
-                        IncrementalCrawler::new(incremental_cfg(100, 10.0, ranking_interval));
-                    let mut fetcher = SimFetcher::new(&universe);
-                    crawler.run(&universe, &mut fetcher, 0.0, 30.0);
-                    black_box(crawler.metrics().fetches)
+                    let mut session = CrawlSession::builder()
+                        .engine(EngineKind::Incremental)
+                        .incremental(incremental_cfg(100, 10.0, ranking_interval))
+                        .universe(&universe)
+                        .build()
+                        .expect("a valid session");
+                    session.run(30.0).expect("the crawl runs");
+                    black_box(session.metrics().fetches)
                 })
             },
         );

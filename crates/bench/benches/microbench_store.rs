@@ -12,6 +12,7 @@ use std::hint::black_box;
 use webevo::prelude::*;
 use webevo::store::{decode_snapshot, encode_snapshot, WalWriter};
 use webevo::core::{CrawlModule, EngineClock, EngineKind, QueueEntry, UpdateModule};
+use webevo::prelude::EngineConfig;
 
 /// Build a synthetic engine state with `pages` stored pages carrying
 /// realistic per-page baggage: a few links, a populated change history,
@@ -37,13 +38,12 @@ fn synthetic_state(pages: u64) -> CrawlerState {
     }
     CrawlerState {
         engine: EngineKind::Incremental,
-        workers: 0,
         run_start: 0.0,
         seeded: true,
         clock: EngineClock { t: 4.0, next_ranking: 5.0, next_sample: 5.0 },
         fetch_seq: pages * 5,
         update: UpdateModule::new(config.revisit, config.estimator, 30.0),
-        config,
+        config: EngineConfig::Incremental(config),
         collection,
         all_urls,
         queue,
@@ -53,6 +53,7 @@ fn synthetic_state(pages: u64) -> CrawlerState {
         ranking_applied: 0,
         rank_pending: false,
         crawl: CrawlModule::default(),
+        periodic: None,
         metrics: CrawlMetrics::default(),
         fetcher: None,
     }

@@ -283,59 +283,54 @@ fn main() {
                 let capacity = universe.site_count() * universe.config().pages_per_site;
                 let cycle = 15.0;
                 let horizon = 75.0;
-                eprintln!("[repro] running incremental crawler ({horizon} days)...");
-                let mut inc = IncrementalCrawler::new(IncrementalConfig {
-                    capacity,
-                    crawl_rate_per_day: capacity as f64 / cycle,
-                    ranking_interval_days: 1.0,
-                    revisit: RevisitStrategy::Optimal,
-                    estimator: EstimatorKind::Ep,
-                    history_window: 200,
-                    sample_interval_days: 1.0,
-                    ranking: RankingConfig::default(),
-                });
-                let mut f1 = SimFetcher::new(&universe);
-                inc.run(&universe, &mut f1, 0.0, horizon);
-                eprintln!("[repro] running periodic crawler ({horizon} days)...");
-                let mut per = PeriodicCrawler::new(PeriodicConfig {
-                    capacity,
-                    cycle_days: cycle,
-                    window_days: cycle / 4.0,
-                    sample_interval_days: 1.0,
-                });
-                let mut f2 = SimFetcher::new(&universe);
-                per.run(&universe, &mut f2, 0.0, horizon);
+                // One budget, two engines: the comparison the paper runs.
+                let budget = CrawlBudget::paper_monthly(capacity)
+                    .with_cycle_days(cycle)
+                    .with_batch_window_days(cycle / 4.0);
+                let face_off = |kind: EngineKind| {
+                    eprintln!("[repro] running {} crawler ({horizon} days)...", kind.name());
+                    let mut session = CrawlSession::builder()
+                        .engine(kind)
+                        .budget(budget)
+                        .universe(&universe)
+                        .build()
+                        .expect("a valid session");
+                    session.run(horizon).expect("the crawl runs");
+                    session.metrics().clone()
+                };
+                let inc = face_off(EngineKind::Incremental);
+                let per = face_off(EngineKind::Periodic);
                 let warmup = 2.0 * cycle;
                 println!("{:<34}{:>13}{:>11}", "metric", "incremental", "periodic");
                 println!(
                     "{:<34}{:>13.3}{:>11.3}",
                     "avg freshness (post-warmup)",
-                    inc.metrics().average_freshness_from(warmup),
-                    per.metrics().average_freshness_from(warmup)
+                    inc.average_freshness_from(warmup),
+                    per.average_freshness_from(warmup)
                 );
                 println!(
                     "{:<34}{:>13.2}{:>11.2}",
                     "avg copy age (days)",
-                    inc.metrics().age.time_average(),
-                    per.metrics().age.time_average()
+                    inc.age.time_average(),
+                    per.age.time_average()
                 );
                 println!(
                     "{:<34}{:>13.2}{:>11.2}",
                     "found->visible latency (days)",
-                    inc.metrics().discovery_latency.mean(),
-                    per.metrics().discovery_latency.mean()
+                    inc.discovery_latency.mean(),
+                    per.discovery_latency.mean()
                 );
                 println!(
                     "{:<34}{:>13.2}{:>11.2}",
                     "birth->visible latency (days)",
-                    inc.metrics().new_page_latency.mean(),
-                    per.metrics().new_page_latency.mean()
+                    inc.new_page_latency.mean(),
+                    per.new_page_latency.mean()
                 );
                 println!(
                     "{:<34}{:>13.1}{:>11.1}",
                     "peak crawl speed (pages/day)",
-                    inc.metrics().peak_speed,
-                    per.metrics().peak_speed
+                    inc.peak_speed,
+                    per.peak_speed
                 );
                 println!();
             }
@@ -343,88 +338,80 @@ fn main() {
                 println!("Durable incremental crawl ({days} simulated days)");
                 let universe = repro_universe();
                 let capacity = universe.site_count() * universe.config().pages_per_site;
-                let fresh_config = IncrementalConfig {
-                    capacity,
-                    crawl_rate_per_day: capacity as f64 / 15.0,
-                    ranking_interval_days: 1.0,
-                    revisit: RevisitStrategy::Optimal,
-                    estimator: EstimatorKind::Ep,
-                    history_window: 200,
-                    sample_interval_days: 1.0,
-                    ranking: RankingConfig::default(),
-                };
-                let mut fetcher = SimFetcher::new(&universe);
-                let mut resumed_from: Option<f64> = None;
-                let (mut crawler, mut checkpointer) = if resume {
-                    let dir = checkpoint_dir
-                        .clone()
-                        .expect("--resume requires --checkpoint-dir");
-                    let recovered = recover(&dir)
-                        .expect("checkpoint directory decodes")
-                        .expect("no snapshot found: run without --resume first");
+                let budget = CrawlBudget::paper_monthly(capacity).with_cycle_days(15.0);
+                let mut builder = CrawlSession::builder()
+                    .engine(EngineKind::Incremental)
+                    .budget(budget)
+                    .universe(&universe);
+                if let Some(dir) = checkpoint_dir.clone() {
+                    builder = builder.checkpoint(dir, checkpoint_every);
+                }
+                let mut session = builder.build().unwrap_or_else(|e| {
+                    eprintln!("[repro] invalid crawl session: {e}");
+                    std::process::exit(1);
+                });
+                if resume {
+                    let Some(dir) = checkpoint_dir.clone() else {
+                        eprintln!("[repro] --resume requires --checkpoint-dir");
+                        std::process::exit(1);
+                    };
+                    // A reporting-only peek at the snapshot before
+                    // session.resume() recovers it for real: decoding
+                    // twice costs ~a second at 100k pages, which a CLI
+                    // accepts for an informative banner.
+                    let on_disk = match recover(&dir) {
+                        Ok(Some(recovered)) => recovered,
+                        Ok(None) => {
+                            eprintln!(
+                                "[repro] no snapshot in {dir:?}: run without --resume first"
+                            );
+                            std::process::exit(1);
+                        }
+                        Err(e) => {
+                            eprintln!("[repro] checkpoint directory does not decode: {e}");
+                            std::process::exit(1);
+                        }
+                    };
                     eprintln!(
                         "[repro] recovered snapshot at day {:.2} (fetch #{}) + {} WAL records",
-                        recovered.state.clock.t,
-                        recovered.state.fetch_seq,
-                        recovered.wal.len()
+                        on_disk.state.clock.t,
+                        on_disk.state.fetch_seq,
+                        on_disk.wal.len()
                     );
-                    let (mut crawler, fetcher_state) =
-                        IncrementalCrawler::from_state(recovered.state);
-                    if let Some(state) = fetcher_state {
-                        fetcher.restore_state(state);
+                    if days <= on_disk.state.clock.t {
+                        eprintln!(
+                            "[repro] checkpoint already covers day {:.2} (requested --days \
+                             {days}); reporting recovered state as-is",
+                            on_disk.state.clock.t
+                        );
+                    } else {
+                        eprintln!("[repro] resuming to day {days}");
                     }
-                    crawler.replay(&universe, &mut fetcher, &recovered.wal);
-                    let mut state = crawler.export_state();
-                    state.fetcher = Fetcher::export_state(&fetcher);
-                    let ckpt = Checkpointer::continue_from(
-                        CheckpointConfig::new(dir, checkpoint_every),
-                        &state,
-                    )
-                    .expect("checkpoint directory writable");
-                    resumed_from = Some(state.clock.t);
-                    (crawler, Some(ckpt))
-                } else {
-                    let ckpt = checkpoint_dir.clone().map(|dir| {
-                        Checkpointer::create(CheckpointConfig::new(dir, checkpoint_every))
-                            .expect("checkpoint directory writable")
+                    drop(on_disk);
+                    session.resume(days).unwrap_or_else(|e| {
+                        eprintln!("[repro] resume failed: {e}");
+                        std::process::exit(1);
                     });
-                    (IncrementalCrawler::new(fresh_config), ckpt)
-                };
-                let mut noop = NoopHook;
-                let hook: &mut dyn CrawlHook = match checkpointer.as_mut() {
-                    Some(ckpt) => ckpt,
-                    None => &mut noop,
-                };
-                match resumed_from {
-                    Some(from) if days > from => {
-                        eprintln!("[repro] resuming from day {from:.2} to day {days}");
-                        crawler.resume(&universe, &mut fetcher, days, hook);
-                    }
-                    Some(from) => eprintln!(
-                        "[repro] checkpoint already covers day {from:.2} (requested --days \
-                         {days}); reporting recovered state as-is"
-                    ),
-                    None => {
-                        crawler.run_hooked(&universe, &mut fetcher, 0.0, days, hook);
-                    }
+                } else {
+                    session.run(days).expect("the crawl runs");
                 }
                 println!(
                     "{:<34}{:>13}",
-                    "pages in collection", crawler.collection().len()
+                    "pages in collection",
+                    session.collection_len()
                 );
-                println!("{:<34}{:>13}", "fetches", crawler.metrics().fetches);
+                println!("{:<34}{:>13}", "fetches", session.metrics().fetches);
                 println!(
                     "{:<34}{:>13.3}",
                     "avg freshness (post-warmup)",
-                    crawler.metrics().average_freshness_from(days / 2.0)
+                    session.metrics().average_freshness_from(days / 2.0)
                 );
                 println!(
                     "{:<34}{:>13.2}",
                     "avg copy age (days)",
-                    crawler.metrics().age.time_average()
+                    session.metrics().age.time_average()
                 );
-                if let Some(ckpt) = &checkpointer {
-                    let stats = ckpt.stats();
+                if let Some(stats) = session.checkpoint_stats() {
                     println!(
                         "{:<34}{:>13}",
                         "snapshots written", stats.snapshots

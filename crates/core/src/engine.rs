@@ -1,0 +1,471 @@
+//! One driver API over all three crawler engines.
+//!
+//! The paper's argument is *comparative*: periodic vs. incremental
+//! crawling under one shared fetch budget and one freshness metric
+//! (Figure 10). That comparison needs one crawl-loop contract, not three —
+//! [`CrawlEngine`] is that contract, implemented by
+//! [`crate::PeriodicCrawler`], [`crate::IncrementalCrawler`], and
+//! [`crate::ThreadedCrawler`] alike:
+//!
+//! * [`CrawlEngine::drive`] advances the engine to a target day — it
+//!   starts a fresh run on a new engine and continues a started (or
+//!   checkpoint-restored) one, observing every fetch and pass boundary
+//!   through a [`CrawlHook`].
+//! * [`CrawlEngine::export_state`] / [`restore`] round-trip the full
+//!   engine state through [`CrawlerState`] — every engine is
+//!   checkpointable.
+//! * [`CrawlEngine::replay`] re-applies a write-ahead-log tail after a
+//!   restore, landing bit-identically on the pre-crash state.
+//! * [`CrawlEngine::metrics`] / [`CrawlEngine::collection`] /
+//!   [`CrawlEngine::passes`] expose the observable outcomes uniformly.
+//!
+//! [`CrawlBudget`] carries the fetch-budget knobs the engines share
+//! (capacity, revisit cycle, cadences), so the periodic and incremental
+//! configurations derive from one source and cannot drift — e.g.
+//! [`CrawlBudget::paper_monthly`] is the paper's Table 2 shape for both.
+//!
+//! The supported entry point for applications is the `CrawlSession`
+//! builder in `webevo-store` (re-exported at `webevo::prelude`), which
+//! layers checkpointing, recovery, and validation on top of this trait:
+//!
+//! ```
+//! use webevo_core::engine::{CrawlBudget, EngineKind};
+//! use webevo_sim::{SimFetcher, UniverseConfig, WebUniverse};
+//! use webevo_store::CrawlSession;
+//!
+//! let universe = WebUniverse::generate(UniverseConfig::test_scale(7));
+//! let dir = std::env::temp_dir().join(format!("webevo-engine-doc-{}", std::process::id()));
+//! let mut fetcher = SimFetcher::new(&universe);
+//!
+//! // One builder drives any engine: periodic, incremental, or threaded.
+//! let mut session = CrawlSession::builder()
+//!     .engine(EngineKind::Incremental)
+//!     .budget(CrawlBudget::paper_monthly(60).with_cycle_days(10.0))
+//!     .universe(&universe)
+//!     .fetcher(&mut fetcher)
+//!     .checkpoint(&dir, 5.0)
+//!     .build()
+//!     .expect("a valid session");
+//! let metrics = session.run(30.0).expect("the crawl runs");
+//! assert!(metrics.fetches > 0);
+//! assert!(session.collection_len() > 0);
+//!
+//! // The checkpoint directory now holds `snapshot + WAL tail`; a fresh
+//! // session resumes the crawl exactly where it left off.
+//! let mut fetcher = SimFetcher::new(&universe);
+//! let mut resumed = CrawlSession::builder()
+//!     .engine(EngineKind::Incremental)
+//!     .budget(CrawlBudget::paper_monthly(60).with_cycle_days(10.0))
+//!     .universe(&universe)
+//!     .fetcher(&mut fetcher)
+//!     .checkpoint(&dir, 5.0)
+//!     .build()
+//!     .expect("a valid session");
+//! let metrics = resumed.resume(45.0).expect("the checkpoint recovers");
+//! assert!(metrics.fetches > 0);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use crate::collection::Collection;
+use crate::hooks::{CrawlHook, FetchRecord};
+use crate::incremental::{IncrementalConfig, IncrementalCrawler};
+use crate::metrics::CrawlMetrics;
+use crate::modules::{EstimatorKind, RankingConfig, RevisitStrategy};
+use crate::periodic::{PeriodicConfig, PeriodicCrawler};
+use crate::state::{CrawlerState, EngineClock};
+use crate::threaded::ThreadedCrawler;
+use serde::{Deserialize, Serialize};
+use webevo_sim::{FetchError, FetchOutcome, Fetcher, FetcherState, WebUniverse};
+use webevo_types::{Url, WebEvoError};
+
+// The engine selector and config carrier live in [`crate::state`] (they
+// are part of the serialized snapshot layout) but belong to this module's
+// API surface; re-export them so `engine::{EngineKind, EngineConfig}`
+// works as the builder idiom reads.
+pub use crate::state::{EngineConfig, EngineKind};
+
+/// The shared fetch-budget shape both crawler families consume: how many
+/// pages to hold, how fast to revisit them, and how often the periodic
+/// activities (metrics sampling, ranking passes, batch windows) recur.
+///
+/// Deriving [`IncrementalConfig`] and [`PeriodicConfig`] from one budget
+/// keeps the comparison honest — the paper's Table 2 budget exists once,
+/// as [`CrawlBudget::paper_monthly`], instead of being hardcoded per
+/// engine.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrawlBudget {
+    /// Collection capacity in pages (§5.2's fixed size).
+    pub capacity: usize,
+    /// Days per full revisit of the collection: the steady crawl rate is
+    /// `capacity / cycle_days` fetches per day, and the periodic crawler
+    /// recrawls everything once per cycle.
+    pub cycle_days: f64,
+    /// The periodic crawler's batch window: each cycle's crawl must finish
+    /// within this many days (ignored by the incremental engines, whose
+    /// load is steady by construction).
+    pub batch_window_days: f64,
+    /// Period of the RankingModule pass and the revisit reallocation
+    /// (incremental engines only).
+    pub ranking_interval_days: f64,
+    /// Metrics sampling period in days.
+    pub sample_interval_days: f64,
+}
+
+impl CrawlBudget {
+    /// The paper's Table 2 budget: a monthly revisit cycle with a one-week
+    /// batch window, daily ranking and daily metrics samples.
+    pub fn paper_monthly(capacity: usize) -> CrawlBudget {
+        CrawlBudget {
+            capacity,
+            cycle_days: 30.0,
+            batch_window_days: 7.0,
+            ranking_interval_days: 1.0,
+            sample_interval_days: 1.0,
+        }
+    }
+
+    /// Shorten or stretch the revisit cycle, scaling the batch window to
+    /// keep the paper's cycle/window ratio.
+    pub fn with_cycle_days(mut self, cycle_days: f64) -> CrawlBudget {
+        let ratio = if self.cycle_days > 0.0 {
+            self.batch_window_days / self.cycle_days
+        } else {
+            0.25
+        };
+        self.cycle_days = cycle_days;
+        self.batch_window_days = cycle_days * ratio;
+        self
+    }
+
+    /// Override the batch window.
+    pub fn with_batch_window_days(mut self, window_days: f64) -> CrawlBudget {
+        self.batch_window_days = window_days;
+        self
+    }
+
+    /// Override the metrics sampling cadence.
+    pub fn with_sample_interval_days(mut self, days: f64) -> CrawlBudget {
+        self.sample_interval_days = days;
+        self
+    }
+
+    /// Override the ranking cadence.
+    pub fn with_ranking_interval_days(mut self, days: f64) -> CrawlBudget {
+        self.ranking_interval_days = days;
+        self
+    }
+
+    /// Steady crawl speed (fetches/day amortized over the cycle) — the
+    /// budget both engine families spend.
+    pub fn steady_rate(&self) -> f64 {
+        self.capacity as f64 / self.cycle_days
+    }
+
+    /// The incremental-engine configuration this budget implies
+    /// (§5.3 defaults: optimal revisit, estimator EP).
+    pub fn incremental_config(&self) -> IncrementalConfig {
+        IncrementalConfig {
+            capacity: self.capacity,
+            crawl_rate_per_day: self.steady_rate(),
+            ranking_interval_days: self.ranking_interval_days,
+            revisit: RevisitStrategy::Optimal,
+            estimator: EstimatorKind::Ep,
+            history_window: 200,
+            sample_interval_days: self.sample_interval_days,
+            ranking: RankingConfig::default(),
+        }
+    }
+
+    /// The periodic-engine configuration this budget implies.
+    pub fn periodic_config(&self) -> PeriodicConfig {
+        PeriodicConfig {
+            capacity: self.capacity,
+            cycle_days: self.cycle_days,
+            window_days: self.batch_window_days,
+            sample_interval_days: self.sample_interval_days,
+        }
+    }
+}
+
+/// The step-wise crawl-loop contract every engine implements. See the
+/// module docs for the shape; `tests/determinism.rs` pins that driving an
+/// engine through this trait is bit-identical to the pre-redesign
+/// per-engine `run`/`resume` surface.
+pub trait CrawlEngine {
+    /// Which engine this is (including the worker count for the threaded
+    /// engine).
+    fn kind(&self) -> EngineKind;
+
+    /// Whether the run has started (seed URLs injected). A started engine
+    /// continues from its frozen clock on the next [`CrawlEngine::drive`].
+    fn started(&self) -> bool;
+
+    /// The engine's discrete-event clock.
+    fn clock(&self) -> EngineClock;
+
+    /// Advance the crawl to day `until`, fetching through `fetcher` and
+    /// reporting every fetch and pass boundary to `hook`. The first call
+    /// on a fresh engine starts the run at day 0; later calls continue
+    /// from the frozen clock (including after [`restore`] + replay).
+    ///
+    /// The threaded engine spawns its own per-worker fetchers against
+    /// `universe` and ignores `fetcher` (its workers run unrestricted
+    /// politeness; the simulated fetch is a pure function of `(url, t)`
+    /// for them).
+    ///
+    /// Errors (typed, never panics): `until` not beyond the current
+    /// clock.
+    fn drive(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        hook: &mut dyn CrawlHook,
+        until: f64,
+    ) -> Result<&CrawlMetrics, WebEvoError>;
+
+    /// Re-apply a write-ahead-log tail after [`restore`]: records already
+    /// covered by the snapshot (seq ≤ the restored `fetch_seq`) are
+    /// skipped, the rest drive the normal slot loop with logged outcomes
+    /// instead of live fetches, advancing `fetcher` alongside via
+    /// [`Fetcher::observe_replay`]. Afterwards the engine sits at the
+    /// exact state of the last flushed boundary; call
+    /// [`CrawlEngine::drive`] to continue crawling for real.
+    fn replay(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        records: &[FetchRecord],
+    ) -> Result<(), WebEvoError>;
+
+    /// Capture the full engine state. The fetcher state is left `None`;
+    /// the caller (the session or checkpoint layer, which owns the
+    /// fetcher) merges it in.
+    fn export_state(&self) -> CrawlerState;
+
+    /// Collected metrics.
+    fn metrics(&self) -> &CrawlMetrics;
+
+    /// The Figure 12 `Collection`, for engines that maintain one (`None`
+    /// for the periodic engine, whose user-visible snapshot has no
+    /// importance scores or change histories).
+    fn collection(&self) -> Option<&Collection>;
+
+    /// Pages currently visible to users.
+    fn collection_len(&self) -> usize;
+
+    /// Completed refinement passes: RankingModule runs for the
+    /// incremental engine, applied ranking outcomes for the threaded one,
+    /// shadow swaps for the periodic one.
+    fn passes(&self) -> u64;
+
+    /// Whether [`CrawlEngine::drive`] fetches through the caller-supplied
+    /// fetcher (`false` for the threaded engine; see
+    /// [`CrawlEngine::drive`]).
+    fn uses_external_fetcher(&self) -> bool {
+        true
+    }
+}
+
+/// Rebuild the right engine from a checkpointed state. Returns the engine
+/// and the fetcher state the caller must install into its fetcher (via
+/// [`Fetcher::restore_state`]) before replaying or resuming.
+pub fn restore(
+    state: CrawlerState,
+) -> Result<(Box<dyn CrawlEngine>, Option<FetcherState>), WebEvoError> {
+    match state.engine {
+        EngineKind::Periodic => {
+            let (engine, fetcher) = PeriodicCrawler::from_state(state)?;
+            Ok((Box::new(engine), fetcher))
+        }
+        EngineKind::Incremental => {
+            let (engine, fetcher) = IncrementalCrawler::from_state(state)?;
+            Ok((Box::new(engine), fetcher))
+        }
+        EngineKind::Threaded { .. } => {
+            let engine = ThreadedCrawler::from_state(state)?;
+            Ok((Box::new(engine), None))
+        }
+    }
+}
+
+/// Evaluation-only: a collection's quality (§5.1 goal 2) as the mean
+/// ground-truth PageRank of its pages at time `t`, normalized by the best
+/// achievable mean with the same size. 1.0 = the collection holds exactly
+/// the top pages.
+pub fn collection_quality(collection: &Collection, universe: &WebUniverse, t: f64) -> f64 {
+    use webevo_graph::pagerank::{pagerank, PageRankConfig};
+    let graph = universe.snapshot_graph(t);
+    let Ok(scores) = pagerank(&graph, &PageRankConfig::conventional()) else {
+        return 0.0;
+    };
+    let mut all: Vec<f64> = scores.iter().map(|(_, s)| s).collect();
+    all.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let k = collection.len().min(all.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let ideal: f64 = all[..k].iter().sum::<f64>() / k as f64;
+    let actual: f64 = collection.iter().map(|(&p, _)| scores.get(p)).sum::<f64>() / k as f64;
+    if ideal > 0.0 {
+        actual / ideal
+    } else {
+        0.0
+    }
+}
+
+/// Where a fetch slot's result comes from: a live fetcher, or the
+/// write-ahead log during recovery. Replay feeds recorded outcomes through
+/// the exact state transitions of a live crawl (including the fetcher's
+/// own counters, via [`Fetcher::observe_replay`]) and cross-checks that
+/// the deterministic schedule reproduces the log record-for-record.
+/// Shared by the single-threaded engines; the threaded engine replays
+/// through its own batch scheduler.
+pub(crate) enum FetchSource<'a> {
+    /// Fetch for real.
+    Live(&'a mut dyn Fetcher),
+    /// Re-apply logged outcomes, advancing `fetcher` alongside.
+    Replay {
+        /// The committed WAL tail (snapshot-covered records already
+        /// skipped).
+        records: &'a [FetchRecord],
+        /// Next record to consume.
+        pos: usize,
+        /// The fetcher to advance via [`Fetcher::observe_replay`].
+        fetcher: &'a mut dyn Fetcher,
+    },
+}
+
+impl FetchSource<'_> {
+    /// True once a replay source has no records left (a live source never
+    /// exhausts).
+    pub(crate) fn exhausted(&self) -> bool {
+        match self {
+            FetchSource::Live(_) => false,
+            FetchSource::Replay { records, pos, .. } => *pos >= records.len(),
+        }
+    }
+
+    /// The underlying fetcher's exportable state.
+    pub(crate) fn fetcher_state(&self) -> Option<FetcherState> {
+        match self {
+            FetchSource::Live(f) => f.export_state(),
+            FetchSource::Replay { fetcher, .. } => fetcher.export_state(),
+        }
+    }
+
+    /// Produce the result for fetch attempt `seq` of `url` at `t`.
+    pub(crate) fn fetch(
+        &mut self,
+        seq: u64,
+        url: Url,
+        t: f64,
+    ) -> Result<FetchOutcome, FetchError> {
+        match self {
+            FetchSource::Live(f) => f.fetch(url, t),
+            FetchSource::Replay { records, pos, fetcher } => {
+                let record = &records[*pos];
+                assert_eq!(record.seq, seq, "WAL replay out of sync at seq {seq}");
+                assert_eq!(
+                    record.url, url,
+                    "WAL replay diverged at seq {seq}: engine scheduled {url:?}, log has {:?}",
+                    record.url
+                );
+                assert_eq!(
+                    record.t.to_bits(),
+                    t.to_bits(),
+                    "WAL replay diverged at seq {seq}: slot time {t} vs logged {}",
+                    record.t
+                );
+                fetcher.observe_replay(url, t, &record.result);
+                *pos += 1;
+                record.result.clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoopHook;
+    use webevo_sim::{SimFetcher, UniverseConfig};
+
+    #[test]
+    fn budget_derives_both_configs_from_one_source() {
+        let budget = CrawlBudget::paper_monthly(90);
+        let inc = budget.incremental_config();
+        let per = budget.periodic_config();
+        assert_eq!(inc.capacity, per.capacity);
+        assert_eq!(inc.crawl_rate_per_day, per.average_speed());
+        assert_eq!(per.cycle_days, 30.0);
+        assert_eq!(per.window_days, 7.0);
+        assert_eq!(inc.sample_interval_days, per.sample_interval_days);
+        // The public `monthly` constructors are the same derivation.
+        let inc2 = IncrementalConfig::monthly(90);
+        assert_eq!(inc.capacity, inc2.capacity);
+        assert_eq!(inc.crawl_rate_per_day, inc2.crawl_rate_per_day);
+        let per2 = PeriodicConfig::monthly(90);
+        assert_eq!(per.cycle_days, per2.cycle_days);
+        assert_eq!(per.window_days, per2.window_days);
+    }
+
+    #[test]
+    fn with_cycle_days_scales_the_window() {
+        let budget = CrawlBudget::paper_monthly(100).with_cycle_days(15.0);
+        assert_eq!(budget.cycle_days, 15.0);
+        assert!((budget.batch_window_days - 3.5).abs() < 1e-12);
+        assert!((budget.steady_rate() - 100.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_engine_drives_through_the_trait() {
+        let u = WebUniverse::generate(UniverseConfig::test_scale(64));
+        let budget = CrawlBudget::paper_monthly(40).with_cycle_days(5.0);
+        let engines: Vec<Box<dyn CrawlEngine>> = vec![
+            Box::new(PeriodicCrawler::new(budget.periodic_config())),
+            Box::new(IncrementalCrawler::new(budget.incremental_config())),
+            Box::new(ThreadedCrawler::new(budget.incremental_config(), 2)),
+        ];
+        for mut engine in engines {
+            let kind = engine.kind();
+            assert!(!engine.started());
+            let mut fetcher = SimFetcher::new(&u);
+            engine
+                .drive(&u, &mut fetcher, &mut NoopHook, 20.0)
+                .unwrap_or_else(|e| panic!("{kind} drive failed: {e}"));
+            assert!(engine.started());
+            assert!(engine.metrics().fetches > 0, "{kind} fetched nothing");
+            assert!(engine.collection_len() > 0, "{kind} holds no pages");
+            assert!(engine.passes() > 0, "{kind} completed no passes");
+            // The clock freezes at (or, for the periodic engine's idle
+            // phase, before) the horizon — never beyond it.
+            assert!(engine.clock().t <= 20.0, "{kind} clock overran the horizon");
+            // Driving backwards is a typed error, not a panic.
+            let mut fetcher = SimFetcher::new(&u);
+            assert!(matches!(
+                engine.drive(&u, &mut fetcher, &mut NoopHook, 10.0),
+                Err(WebEvoError::InvalidState(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_nothing_but_rebuilds_the_right_engine() {
+        let u = WebUniverse::generate(UniverseConfig::test_scale(65));
+        let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
+        let engines: Vec<Box<dyn CrawlEngine>> = vec![
+            Box::new(PeriodicCrawler::new(budget.periodic_config())),
+            Box::new(IncrementalCrawler::new(budget.incremental_config())),
+            Box::new(ThreadedCrawler::new(budget.incremental_config(), 3)),
+        ];
+        for mut engine in engines {
+            let mut fetcher = SimFetcher::new(&u);
+            engine.drive(&u, &mut fetcher, &mut NoopHook, 12.0).expect("drives");
+            let state = engine.export_state();
+            let (rebuilt, _) = restore(state).expect("state restores");
+            assert_eq!(rebuilt.kind(), engine.kind());
+            assert_eq!(rebuilt.collection_len(), engine.collection_len());
+            assert_eq!(rebuilt.clock(), engine.clock());
+        }
+    }
+}

@@ -7,23 +7,27 @@
 //! The contract mirrors §5.3's separation of the crawl loop from periodic
 //! refinement:
 //!
-//! * [`CrawlHook::on_fetch`] fires once per fetch attempt with the
+//! * [`CrawlHook::on_fetch`] fires once per fetch attempt with a borrowed
 //!   [`FetchRecord`] delta. Implementations must only buffer in memory —
 //!   the engines call it on the fetch hot path.
-//! * [`CrawlHook::on_pass`] fires at each completed RankingModule pass
-//!   boundary, when no fetch is in flight and no ranking response is
-//!   pending: the one point where the full engine state is quiescent and
-//!   cheap to capture. Durable I/O belongs here.
+//! * [`CrawlHook::on_pass_boundary`] fires at each completed pass
+//!   boundary — a RankingModule pass for the incremental engines, a
+//!   shadow swap for the periodic one — when no fetch is in flight and no
+//!   ranking response is pending: the one point where the full engine
+//!   state is quiescent and cheap to capture. The engine announces the
+//!   boundary explicitly; observers never have to infer it from ranking
+//!   or cycle counters. Durable I/O belongs here.
 //!
-//! Recovery replays `snapshot + WAL tail` through the engines' `replay`
-//! methods: each logged [`FetchRecord`] is re-applied through the same
-//! state transitions as a live fetch, so the restored engine is
-//! bit-identical to the pre-crash one at the last flushed boundary.
+//! Recovery replays `snapshot + WAL tail` through the engines'
+//! [`crate::engine::CrawlEngine::replay`]: each logged [`FetchRecord`] is
+//! re-applied through the same state transitions as a live fetch, so the
+//! restored engine is bit-identical to the pre-crash one at the last
+//! flushed boundary.
 
 use crate::state::CrawlerState;
+use serde::{Deserialize, Serialize};
 use webevo_sim::{FetchError, FetchOutcome};
 use webevo_types::Url;
-use serde::{Deserialize, Serialize};
 
 /// One fetch attempt's outcome — the unit of the write-ahead log.
 ///
@@ -53,15 +57,16 @@ pub trait CrawlHook {
         true
     }
 
-    /// One fetch attempt completed. Buffer only; no I/O.
-    fn on_fetch(&mut self, record: FetchRecord);
+    /// One fetch attempt completed. The record is borrowed: clone it if it
+    /// must outlive the call. Buffer only; no I/O.
+    fn on_fetch(&mut self, record: &FetchRecord);
 
-    /// A ranking pass completed at time `t` with the engine quiescent.
+    /// A pass boundary completed at time `t` with the engine quiescent.
     /// `export` lazily captures the full engine state (including the
     /// fetcher's, when the fetcher is stateful) — call it only when a
     /// snapshot is actually due; flushing buffered records needs no
     /// export.
-    fn on_pass(&mut self, t: f64, export: &mut dyn FnMut() -> CrawlerState);
+    fn on_pass_boundary(&mut self, t: f64, export: &mut dyn FnMut() -> CrawlerState);
 }
 
 /// The inert hook: engines run exactly as if uninstrumented.
@@ -73,7 +78,37 @@ impl CrawlHook for NoopHook {
         false
     }
 
-    fn on_fetch(&mut self, _record: FetchRecord) {}
+    fn on_fetch(&mut self, _record: &FetchRecord) {}
 
-    fn on_pass(&mut self, _t: f64, _export: &mut dyn FnMut() -> CrawlerState) {}
+    fn on_pass_boundary(&mut self, _t: f64, _export: &mut dyn FnMut() -> CrawlerState) {}
+}
+
+/// Fan-out to two hooks — how `CrawlSession` runs a user hook and the
+/// checkpointer side by side. Active when either side is.
+pub struct PairHook<'a> {
+    first: &'a mut dyn CrawlHook,
+    second: &'a mut dyn CrawlHook,
+}
+
+impl<'a> PairHook<'a> {
+    /// Combine two hooks; both observe every fetch and pass boundary.
+    pub fn new(first: &'a mut dyn CrawlHook, second: &'a mut dyn CrawlHook) -> PairHook<'a> {
+        PairHook { first, second }
+    }
+}
+
+impl CrawlHook for PairHook<'_> {
+    fn active(&self) -> bool {
+        self.first.active() || self.second.active()
+    }
+
+    fn on_fetch(&mut self, record: &FetchRecord) {
+        self.first.on_fetch(record);
+        self.second.on_fetch(record);
+    }
+
+    fn on_pass_boundary(&mut self, t: f64, export: &mut dyn FnMut() -> CrawlerState) {
+        self.first.on_pass_boundary(t, export);
+        self.second.on_pass_boundary(t, export);
+    }
 }

@@ -15,22 +15,28 @@
 //! Ground truth (`WebUniverse`) is used **only** by the metrics sampler;
 //! every crawl decision flows from checksums and link observations, as in
 //! a real deployment.
+//!
+//! The engine is driven through the [`CrawlEngine`] trait
+//! ([`CrawlEngine::drive`] starts and continues runs); applications go
+//! through the `CrawlSession` builder in `webevo-store`.
 
 use crate::allurls::AllUrls;
 use crate::collection::Collection;
+use crate::engine::{CrawlBudget, CrawlEngine, FetchSource};
 use crate::hooks::{CrawlHook, FetchRecord, NoopHook};
 use crate::metrics::CrawlMetrics;
 use crate::modules::{
     CrawlModule, EstimatorKind, RankingConfig, RankingModule, RevisitStrategy, UpdateModule,
 };
 use crate::state::{
-    entries_to_queue, queue_to_entries, set_to_sorted, CrawlerState, EngineClock, EngineKind,
+    entries_to_queue, queue_to_entries, set_to_sorted, CrawlerState, EngineClock, EngineConfig,
+    EngineKind,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use webevo_schedule::RevisitQueue;
-use webevo_sim::{FetchError, FetchOutcome, Fetcher, FetcherState, WebUniverse};
-use webevo_types::{PageId, Url};
+use webevo_sim::{FetchError, Fetcher, FetcherState, WebUniverse};
+use webevo_types::{PageId, Url, WebEvoError};
 
 /// Configuration of the incremental crawler.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -54,79 +60,11 @@ pub struct IncrementalConfig {
 }
 
 impl IncrementalConfig {
-    /// A reasonable default for a collection of `capacity` pages revisited
-    /// roughly monthly: budget = capacity/30 fetches/day, daily ranking.
+    /// The paper's Table 2 budget (monthly revisit cycle, daily ranking),
+    /// derived from [`CrawlBudget::paper_monthly`] — the one place that
+    /// budget is defined.
     pub fn monthly(capacity: usize) -> IncrementalConfig {
-        IncrementalConfig {
-            capacity,
-            crawl_rate_per_day: capacity as f64 / 30.0,
-            ranking_interval_days: 1.0,
-            revisit: RevisitStrategy::Optimal,
-            estimator: EstimatorKind::Ep,
-            history_window: 200,
-            sample_interval_days: 1.0,
-            ranking: RankingConfig::default(),
-        }
-    }
-}
-
-/// Where a fetch slot's result comes from: a live fetcher, or the
-/// write-ahead log during recovery. Replay feeds recorded outcomes through
-/// the exact state transitions of a live crawl (including the fetcher's
-/// own counters, via [`Fetcher::observe_replay`]) and cross-checks that
-/// the deterministic schedule reproduces the log record-for-record.
-enum FetchSource<'a> {
-    /// Fetch for real.
-    Live(&'a mut dyn Fetcher),
-    /// Re-apply logged outcomes, advancing `fetcher` alongside.
-    Replay {
-        records: &'a [FetchRecord],
-        pos: usize,
-        fetcher: &'a mut dyn Fetcher,
-    },
-}
-
-impl FetchSource<'_> {
-    /// True once a replay source has no records left (a live source never
-    /// exhausts).
-    fn exhausted(&self) -> bool {
-        match self {
-            FetchSource::Live(_) => false,
-            FetchSource::Replay { records, pos, .. } => *pos >= records.len(),
-        }
-    }
-
-    /// The underlying fetcher's exportable state.
-    fn fetcher_state(&self) -> Option<FetcherState> {
-        match self {
-            FetchSource::Live(f) => f.export_state(),
-            FetchSource::Replay { fetcher, .. } => fetcher.export_state(),
-        }
-    }
-
-    /// Produce the result for fetch attempt `seq` of `url` at `t`.
-    fn fetch(&mut self, seq: u64, url: Url, t: f64) -> Result<FetchOutcome, FetchError> {
-        match self {
-            FetchSource::Live(f) => f.fetch(url, t),
-            FetchSource::Replay { records, pos, fetcher } => {
-                let record = &records[*pos];
-                assert_eq!(record.seq, seq, "WAL replay out of sync at seq {seq}");
-                assert_eq!(
-                    record.url, url,
-                    "WAL replay diverged at seq {seq}: engine scheduled {url:?}, log has {:?}",
-                    record.url
-                );
-                assert_eq!(
-                    record.t.to_bits(),
-                    t.to_bits(),
-                    "WAL replay diverged at seq {seq}: slot time {t} vs logged {}",
-                    record.t
-                );
-                fetcher.observe_replay(url, t, &record.result);
-                *pos += 1;
-                record.result.clone()
-            }
-        }
+        CrawlBudget::paper_monthly(capacity).incremental_config()
     }
 }
 
@@ -184,12 +122,16 @@ impl IncrementalCrawler {
     /// Rebuild an engine from a checkpointed state. Returns the engine and
     /// the fetcher state the caller must install into its fetcher (via
     /// e.g. `SimFetcher::restore_state`) before replaying or resuming.
-    pub fn from_state(state: CrawlerState) -> (IncrementalCrawler, Option<FetcherState>) {
-        assert_eq!(
-            state.engine,
-            EngineKind::Incremental,
-            "state was written by a different engine"
-        );
+    pub fn from_state(
+        state: CrawlerState,
+    ) -> Result<(IncrementalCrawler, Option<FetcherState>), WebEvoError> {
+        if state.engine != EngineKind::Incremental {
+            return Err(WebEvoError::InvalidState(format!(
+                "state was written by the {} engine, not the incremental one",
+                state.engine
+            )));
+        }
+        let config = state.config.as_incremental()?.clone();
         let crawler = IncrementalCrawler {
             collection: state.collection,
             all_urls: state.all_urls,
@@ -197,58 +139,21 @@ impl IncrementalCrawler {
             queued: state.queued.into_iter().collect(),
             admissions: state.admissions.into_iter().collect(),
             update: state.update,
-            ranking: RankingModule::with_runs(state.config.ranking.clone(), state.ranking_runs),
+            ranking: RankingModule::with_runs(config.ranking.clone(), state.ranking_runs),
             crawl: state.crawl,
             metrics: state.metrics,
             run_start: state.run_start,
             clock: state.clock,
             seeded: state.seeded,
             fetch_seq: state.fetch_seq,
-            config: state.config,
+            config,
         };
-        (crawler, state.fetcher)
-    }
-
-    /// Capture the full engine state (fetcher state excluded; the
-    /// checkpoint layer merges it in, since only the run loop can reach
-    /// the fetcher).
-    pub fn export_state(&self) -> CrawlerState {
-        CrawlerState {
-            engine: EngineKind::Incremental,
-            config: self.config.clone(),
-            workers: 0,
-            run_start: self.run_start,
-            seeded: self.seeded,
-            clock: self.clock,
-            fetch_seq: self.fetch_seq,
-            collection: self.collection.clone(),
-            all_urls: self.all_urls.clone(),
-            queue: queue_to_entries(&self.queue),
-            queued: set_to_sorted(&self.queued),
-            admissions: set_to_sorted(&self.admissions),
-            update: self.update.clone(),
-            ranking_runs: self.ranking.runs(),
-            ranking_applied: 0,
-            rank_pending: false,
-            crawl: self.crawl.clone(),
-            metrics: self.metrics.clone(),
-            fetcher: None,
-        }
-    }
-
-    /// The collection (for inspection).
-    pub fn collection(&self) -> &Collection {
-        &self.collection
+        Ok((crawler, state.fetcher))
     }
 
     /// All discovered URLs (for inspection).
     pub fn all_urls(&self) -> &AllUrls {
         &self.all_urls
-    }
-
-    /// Collected metrics.
-    pub fn metrics(&self) -> &CrawlMetrics {
-        &self.metrics
     }
 
     /// Ranking passes completed.
@@ -266,107 +171,6 @@ impl IncrementalCrawler {
         if self.queued.insert(url.page) {
             self.queue.push_front(url);
         }
-    }
-
-    /// Run against `universe` (metrics ground truth) and `fetcher` (the
-    /// crawler's only view of the web) from `start` to `end` days.
-    pub fn run(
-        &mut self,
-        universe: &WebUniverse,
-        fetcher: &mut dyn Fetcher,
-        start: f64,
-        end: f64,
-    ) -> &CrawlMetrics {
-        self.run_hooked(universe, fetcher, start, end, &mut NoopHook)
-    }
-
-    /// [`IncrementalCrawler::run`] with a [`CrawlHook`] observing every
-    /// fetch and pass boundary (the checkpointing entry point).
-    pub fn run_hooked(
-        &mut self,
-        universe: &WebUniverse,
-        fetcher: &mut dyn Fetcher,
-        start: f64,
-        end: f64,
-        hook: &mut dyn CrawlHook,
-    ) -> &CrawlMetrics {
-        assert!(end > start);
-        assert!(!self.seeded, "engine already started: use resume() to continue");
-        self.run_start = start;
-        self.clock = EngineClock {
-            t: start,
-            next_ranking: start + self.config.ranking_interval_days,
-            next_sample: start,
-        };
-        // Seed URLs: the site roots (§1's "initial set of URLs, called
-        // seed URLs").
-        for site in universe.sites() {
-            if let Some(root) = universe.occupant(site.id, 0, start) {
-                let url = Url::new(site.id, root);
-                self.all_urls.discover(url, start);
-                self.enqueue(url, start);
-            }
-        }
-        self.seeded = true;
-        self.metrics.observe_speed(self.config.crawl_rate_per_day);
-        self.advance(universe, &mut FetchSource::Live(fetcher), end, hook);
-        self.sample_metrics(universe, end);
-        &self.metrics
-    }
-
-    /// Continue a previously started (typically checkpoint-restored) run
-    /// to `end`. Picks up exactly where the clock froze; no re-seeding.
-    ///
-    /// The bit-identical-to-uninterrupted guarantee applies to the
-    /// *recovery* path (a state captured at a pass boundary, optionally
-    /// replayed forward). Resuming an engine whose `run` already finished
-    /// also works, but such a run carries its end-of-run metrics sample —
-    /// one freshness/age row at the old horizon that a single longer run
-    /// would not have.
-    pub fn resume(
-        &mut self,
-        universe: &WebUniverse,
-        fetcher: &mut dyn Fetcher,
-        end: f64,
-        hook: &mut dyn CrawlHook,
-    ) -> &CrawlMetrics {
-        assert!(self.seeded, "resume requires a started engine (run, or a restored checkpoint)");
-        assert!(end > self.clock.t, "resume target must lie beyond the restored clock");
-        self.metrics.observe_speed(self.config.crawl_rate_per_day);
-        self.advance(universe, &mut FetchSource::Live(fetcher), end, hook);
-        self.sample_metrics(universe, end);
-        &self.metrics
-    }
-
-    /// Re-apply the write-ahead-log tail after restoring a snapshot:
-    /// records already covered by the snapshot (seq ≤ the restored
-    /// `fetch_seq`) are skipped, the rest drive the normal slot loop with
-    /// logged outcomes instead of live fetches. Afterwards the engine (and
-    /// `fetcher`, advanced via [`Fetcher::observe_replay`]) sit at the
-    /// exact state of the last flushed pass boundary; call
-    /// [`IncrementalCrawler::resume`] to continue crawling for real.
-    pub fn replay(
-        &mut self,
-        universe: &WebUniverse,
-        fetcher: &mut dyn Fetcher,
-        records: &[FetchRecord],
-    ) {
-        assert!(self.seeded, "replay requires a restored engine");
-        let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
-        let tail = &records[skip..];
-        if let Some(first) = tail.first() {
-            assert_eq!(
-                first.seq,
-                self.fetch_seq + 1,
-                "WAL gap: snapshot ends at seq {} but the log resumes at {}",
-                self.fetch_seq,
-                first.seq
-            );
-        }
-        let mut source = FetchSource::Replay { records: tail, pos: 0, fetcher };
-        // The log is finite and each non-idle slot consumes one record, so
-        // the unbounded horizon is only ever reached by exhaustion.
-        self.advance(universe, &mut source, f64::INFINITY, &mut NoopHook);
     }
 
     /// The discrete-event loop over fetch slots, shared by live runs and
@@ -403,7 +207,7 @@ impl IncrementalCrawler {
                     // engine nor the fetcher state should be captured
                     // unless a snapshot is actually due.
                     let source = &*source;
-                    hook.on_pass(t, &mut || {
+                    hook.on_pass_boundary(t, &mut || {
                         let mut state = self.export_state();
                         state.fetcher = source.fetcher_state();
                         state
@@ -435,7 +239,7 @@ impl IncrementalCrawler {
         let result = source.fetch(self.fetch_seq, url, t);
         self.crawl.observe(result.is_err());
         if hook.active() {
-            hook.on_fetch(FetchRecord { seq: self.fetch_seq, url, t, result: result.clone() });
+            hook.on_fetch(&FetchRecord { seq: self.fetch_seq, url, t, result: result.clone() });
         }
         match result {
             Ok(outcome) => {
@@ -558,41 +362,156 @@ impl IncrementalCrawler {
         }
         self.metrics.sample(t, fresh as f64 / n as f64, age_sum / n as f64);
     }
+}
 
-    /// Evaluation-only: the collection's quality (§5.1 goal 2) as the mean
-    /// ground-truth PageRank of its pages at time `t`, normalized by the
-    /// best achievable mean with the same capacity. 1.0 = the collection
-    /// holds exactly the top-capacity pages.
-    pub fn quality(&self, universe: &WebUniverse, t: f64) -> f64 {
-        use webevo_graph::pagerank::{pagerank, PageRankConfig};
-        let graph = universe.snapshot_graph(t);
-        let Ok(scores) = pagerank(&graph, &PageRankConfig::conventional()) else {
-            return 0.0;
-        };
-        let mut all: Vec<f64> = scores.iter().map(|(_, s)| s).collect();
-        all.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
-        let k = self.collection.len().min(all.len());
-        if k == 0 {
-            return 0.0;
+impl CrawlEngine for IncrementalCrawler {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Incremental
+    }
+
+    fn started(&self) -> bool {
+        self.seeded
+    }
+
+    fn clock(&self) -> EngineClock {
+        self.clock
+    }
+
+    /// Advance to day `until`. The first call starts the run at day 0 and
+    /// injects the seed URLs (§1's "initial set of URLs, called seed
+    /// URLs"); later calls continue from the frozen clock — including
+    /// after a checkpoint restore, where the continuation is
+    /// bit-identical to a never-interrupted run (`tests/determinism.rs`).
+    ///
+    /// Each call closes with a metrics sample at `until`. A continued
+    /// in-memory run therefore carries one extra freshness/age row at the
+    /// earlier horizon that a single longer run would not have; the
+    /// checkpoint-recovery path (restore + replay + drive) does not,
+    /// because snapshots are captured at pass boundaries before the
+    /// closing sample.
+    fn drive(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        hook: &mut dyn CrawlHook,
+        until: f64,
+    ) -> Result<&CrawlMetrics, WebEvoError> {
+        if !self.seeded {
+            let start = self.clock.t;
+            if until <= start {
+                return Err(WebEvoError::InvalidState(format!(
+                    "drive target {until} must lie beyond the start day {start}"
+                )));
+            }
+            self.run_start = start;
+            self.clock = EngineClock {
+                t: start,
+                next_ranking: start + self.config.ranking_interval_days,
+                next_sample: start,
+            };
+            for site in universe.sites() {
+                if let Some(root) = universe.occupant(site.id, 0, start) {
+                    let url = Url::new(site.id, root);
+                    self.all_urls.discover(url, start);
+                    self.enqueue(url, start);
+                }
+            }
+            self.seeded = true;
+        } else if until <= self.clock.t {
+            return Err(WebEvoError::InvalidState(format!(
+                "drive target {until} must lie beyond the engine clock {}",
+                self.clock.t
+            )));
         }
-        let ideal: f64 = all[..k].iter().sum::<f64>() / k as f64;
-        let actual: f64 = self
-            .collection
-            .iter()
-            .map(|(&p, _)| scores.get(p))
-            .sum::<f64>()
-            / k as f64;
-        if ideal > 0.0 {
-            actual / ideal
-        } else {
-            0.0
+        self.metrics.observe_speed(self.config.crawl_rate_per_day);
+        self.advance(universe, &mut FetchSource::Live(fetcher), until, hook);
+        self.sample_metrics(universe, until);
+        Ok(&self.metrics)
+    }
+
+    /// Re-apply the write-ahead-log tail after restoring a snapshot:
+    /// records already covered by the snapshot (seq ≤ the restored
+    /// `fetch_seq`) are skipped, the rest drive the normal slot loop with
+    /// logged outcomes instead of live fetches. Afterwards the engine (and
+    /// `fetcher`, advanced via [`Fetcher::observe_replay`]) sit at the
+    /// exact state of the last flushed pass boundary; call
+    /// [`CrawlEngine::drive`] to continue crawling for real.
+    fn replay(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        records: &[FetchRecord],
+    ) -> Result<(), WebEvoError> {
+        if !self.seeded {
+            return Err(WebEvoError::InvalidState(
+                "replay requires a restored engine".into(),
+            ));
         }
+        let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
+        let tail = &records[skip..];
+        if let Some(first) = tail.first() {
+            if first.seq != self.fetch_seq + 1 {
+                return Err(WebEvoError::InvalidState(format!(
+                    "WAL gap: snapshot ends at seq {} but the log resumes at {}",
+                    self.fetch_seq, first.seq
+                )));
+            }
+        }
+        let mut source = FetchSource::Replay { records: tail, pos: 0, fetcher };
+        // The log is finite and each non-idle slot consumes one record, so
+        // the unbounded horizon is only ever reached by exhaustion.
+        self.advance(universe, &mut source, f64::INFINITY, &mut NoopHook);
+        Ok(())
+    }
+
+    /// Capture the full engine state (fetcher state excluded; the
+    /// checkpoint layer merges it in, since only the run loop can reach
+    /// the fetcher).
+    fn export_state(&self) -> CrawlerState {
+        CrawlerState {
+            engine: EngineKind::Incremental,
+            config: EngineConfig::Incremental(self.config.clone()),
+            run_start: self.run_start,
+            seeded: self.seeded,
+            clock: self.clock,
+            fetch_seq: self.fetch_seq,
+            collection: self.collection.clone(),
+            all_urls: self.all_urls.clone(),
+            queue: queue_to_entries(&self.queue),
+            queued: set_to_sorted(&self.queued),
+            admissions: set_to_sorted(&self.admissions),
+            update: self.update.clone(),
+            ranking_runs: self.ranking.runs(),
+            ranking_applied: 0,
+            rank_pending: false,
+            crawl: self.crawl.clone(),
+            periodic: None,
+            metrics: self.metrics.clone(),
+            fetcher: None,
+        }
+    }
+
+    fn metrics(&self) -> &CrawlMetrics {
+        &self.metrics
+    }
+
+    fn collection(&self) -> Option<&Collection> {
+        Some(&self.collection)
+    }
+
+    fn collection_len(&self) -> usize {
+        self.collection.len()
+    }
+
+    fn passes(&self) -> u64 {
+        self.ranking.runs()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::collection_quality;
     use webevo_sim::{SimFetcher, UniverseConfig, WebUniverse};
 
     fn universe() -> WebUniverse {
@@ -612,16 +531,20 @@ mod tests {
         }
     }
 
+    fn run(crawler: &mut IncrementalCrawler, u: &WebUniverse, f: &mut SimFetcher, days: f64) {
+        crawler.drive(u, f, &mut NoopHook, days).expect("drive succeeds");
+    }
+
     #[test]
     fn fills_collection_and_stays_fresh() {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u);
         let mut crawler = IncrementalCrawler::new(config(60));
-        crawler.run(&u, &mut fetcher, 0.0, 60.0);
+        run(&mut crawler, &u, &mut fetcher, 60.0);
         assert!(
-            crawler.collection().len() >= 55,
+            crawler.collection_len() >= 55,
             "collection should fill: {}",
-            crawler.collection().len()
+            crawler.collection_len()
         );
         let f = crawler.metrics().average_freshness_from(20.0);
         // Calibration: the analytic per-page ceiling for this universe's
@@ -637,7 +560,7 @@ mod tests {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u);
         let mut crawler = IncrementalCrawler::new(config(40));
-        crawler.run(&u, &mut fetcher, 0.0, 30.0);
+        run(&mut crawler, &u, &mut fetcher, 30.0);
         assert!(
             crawler.all_urls().len() > u.site_count(),
             "link extraction should discover non-seed URLs"
@@ -649,17 +572,17 @@ mod tests {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u);
         let mut crawler = IncrementalCrawler::new(config(50));
-        crawler.run(&u, &mut fetcher, 0.0, 100.0);
+        run(&mut crawler, &u, &mut fetcher, 100.0);
         // After 100 days of churn, every stored page must still be alive
         // recently (dead ones evicted on NotFound).
         let mut stale_dead = 0;
-        for (&p, stored) in crawler.collection().iter() {
+        for (&p, stored) in crawler.collection().expect("incremental has one").iter() {
             if !u.alive(p, 100.0) && (100.0 - stored.last_crawl) > 10.0 {
                 stale_dead += 1;
             }
         }
         assert!(
-            stale_dead <= crawler.collection().len() / 5,
+            stale_dead <= crawler.collection_len() / 5,
             "too many dead pages lingering: {stale_dead}"
         );
     }
@@ -669,7 +592,7 @@ mod tests {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u);
         let mut crawler = IncrementalCrawler::new(config(50));
-        crawler.run(&u, &mut fetcher, 0.0, 60.0);
+        run(&mut crawler, &u, &mut fetcher, 60.0);
         assert!(crawler.metrics().new_page_latency.count() > 10);
         assert!(crawler.metrics().new_page_latency.mean() >= 0.0);
     }
@@ -677,17 +600,17 @@ mod tests {
     #[test]
     fn deterministic_given_same_inputs() {
         let u = universe();
-        let run = || {
+        let run_once = || {
             let mut fetcher = SimFetcher::new(&u);
             let mut crawler = IncrementalCrawler::new(config(40));
-            crawler.run(&u, &mut fetcher, 0.0, 40.0);
+            run(&mut crawler, &u, &mut fetcher, 40.0);
             (
-                crawler.collection().len(),
+                crawler.collection_len(),
                 crawler.metrics().fetches,
                 crawler.metrics().freshness.values().to_vec(),
             )
         };
-        assert_eq!(run(), run());
+        assert_eq!(run_once(), run_once());
     }
 
     #[test]
@@ -695,12 +618,12 @@ mod tests {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u).with_failure_rate(0.2);
         let mut crawler = IncrementalCrawler::new(config(50));
-        crawler.run(&u, &mut fetcher, 0.0, 60.0);
+        run(&mut crawler, &u, &mut fetcher, 60.0);
         assert!(crawler.metrics().failed_fetches > 0);
         assert!(
-            crawler.collection().len() >= 40,
+            crawler.collection_len() >= 40,
             "collection should still fill under failures: {}",
-            crawler.collection().len()
+            crawler.collection_len()
         );
         let f = crawler.metrics().average_freshness_from(30.0);
         assert!(f > 0.4, "freshness under failures: {f}");
@@ -711,8 +634,8 @@ mod tests {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u);
         let mut crawler = IncrementalCrawler::new(config(30));
-        crawler.run(&u, &mut fetcher, 0.0, 60.0);
-        let q = crawler.quality(&u, 60.0);
+        run(&mut crawler, &u, &mut fetcher, 60.0);
+        let q = collection_quality(crawler.collection().expect("has one"), &u, 60.0);
         assert!(q > 0.2 && q <= 1.0 + 1e-9, "quality={q}");
     }
 
@@ -724,7 +647,7 @@ mod tests {
         cfg.revisit = RevisitStrategy::Optimal;
         cfg.estimator = EstimatorKind::Eb;
         let mut crawler = IncrementalCrawler::new(cfg);
-        crawler.run(&u, &mut fetcher, 0.0, 80.0);
+        run(&mut crawler, &u, &mut fetcher, 80.0);
         let f = crawler.metrics().average_freshness_from(40.0);
         assert!(f > 0.38, "optimal steady-state freshness: {f}");
 
@@ -737,7 +660,7 @@ mod tests {
         prop_cfg.estimator = EstimatorKind::Eb;
         let mut prop_fetcher = SimFetcher::new(&u);
         let mut prop = IncrementalCrawler::new(prop_cfg);
-        prop.run(&u, &mut prop_fetcher, 0.0, 80.0);
+        run(&mut prop, &u, &mut prop_fetcher, 80.0);
         let f_prop = prop.metrics().average_freshness_from(40.0);
         assert!(f > f_prop, "optimal {f} should beat proportional {f_prop}");
     }

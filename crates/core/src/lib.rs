@@ -29,18 +29,24 @@
 //!   (the right-hand column of Figure 10).
 //! * [`metrics`] — freshness/age/new-page-latency instrumentation against
 //!   simulator ground truth.
+//! * [`engine`] — the [`CrawlEngine`] trait all three engines implement:
+//!   one step-wise `drive`/`replay`/`export_state` contract, plus the
+//!   shared [`CrawlBudget`] both configuration families derive from. The
+//!   application-facing `CrawlSession` builder in `webevo-store` drives
+//!   engines exclusively through this trait.
 //! * [`state`] + [`hooks`] — the durability surface: the full serializable
 //!   engine state captured at pass boundaries, and the [`CrawlHook`]
 //!   observer that `webevo-store` implements to persist snapshots and
-//!   per-fetch write-ahead-log deltas. Both engines expose
-//!   `export_state` / `from_state` / `replay` / `resume` on top of it, so
-//!   a killed crawl continues bit-identically after restart.
+//!   per-fetch write-ahead-log deltas. Every engine restores via
+//!   [`engine::restore`] and replays its write-ahead log, so a killed
+//!   crawl continues bit-identically after restart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allurls;
 pub mod collection;
+pub mod engine;
 pub mod hooks;
 pub mod incremental;
 pub mod metrics;
@@ -51,12 +57,13 @@ pub mod threaded;
 
 pub use allurls::AllUrls;
 pub use collection::{Collection, StoredPage};
-pub use hooks::{CrawlHook, FetchRecord, NoopHook};
+pub use engine::{collection_quality, restore, CrawlBudget, CrawlEngine};
+pub use hooks::{CrawlHook, FetchRecord, NoopHook, PairHook};
 pub use incremental::{IncrementalConfig, IncrementalCrawler};
 pub use metrics::CrawlMetrics;
 pub use modules::{
     CrawlModule, EstimatorKind, RankingConfig, RankingModule, RevisitStrategy, UpdateModule,
 };
-pub use periodic::{PeriodicConfig, PeriodicCrawler};
-pub use state::{CrawlerState, EngineClock, EngineKind, QueueEntry};
+pub use periodic::{PeriodicConfig, PeriodicCrawler, PeriodicState};
+pub use state::{CrawlerState, EngineClock, EngineConfig, EngineKind, QueueEntry};
 pub use threaded::ThreadedCrawler;

@@ -7,14 +7,28 @@
 //! description of the traditional crawler, §4's shadowing semantics).
 //! Between windows the crawler idles — which is exactly what gives it the
 //! high peak speed §4 warns about (peak = cycle/window × the steady rate).
+//!
+//! The engine is a resumable state machine with full [`CrawlEngine`]
+//! parity: the cycle clock, the mid-window shadow/frontier, and the
+//! user-visible collection all live on the struct, so a checkpoint can
+//! freeze the crawl anywhere and a restored engine continues
+//! bit-identically. Pass boundaries — the durability flush points the
+//! [`CrawlHook`] observes — are the shadow swaps: the one moment the
+//! engine is quiescent between cycles.
 
+use crate::collection::Collection;
+use crate::engine::{CrawlBudget, CrawlEngine, FetchSource};
+use crate::hooks::{CrawlHook, FetchRecord, NoopHook};
 use crate::metrics::CrawlMetrics;
+use crate::modules::{CrawlModule, EstimatorKind, RevisitStrategy, UpdateModule};
+use crate::state::{CrawlerState, EngineClock, EngineConfig, EngineKind};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use webevo_sim::{FetchError, Fetcher, WebUniverse};
-use webevo_types::{Checksum, PageId, Url};
+use webevo_sim::{FetchError, Fetcher, FetcherState, WebUniverse};
+use webevo_types::{Checksum, PageId, Url, WebEvoError};
 
 /// Configuration of the periodic crawler.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PeriodicConfig {
     /// Collection capacity in pages.
     pub capacity: usize,
@@ -28,14 +42,11 @@ pub struct PeriodicConfig {
 }
 
 impl PeriodicConfig {
-    /// The paper's Table 2 shape: monthly cycle, one-week window.
+    /// The paper's Table 2 shape (monthly cycle, one-week window), derived
+    /// from [`CrawlBudget::paper_monthly`] — the one place that budget is
+    /// defined.
     pub fn monthly(capacity: usize) -> PeriodicConfig {
-        PeriodicConfig {
-            capacity,
-            cycle_days: 30.0,
-            window_days: 7.0,
-            sample_interval_days: 1.0,
-        }
+        CrawlBudget::paper_monthly(capacity).periodic_config()
     }
 
     /// Average crawl speed (fetches/day amortized over the cycle).
@@ -50,12 +61,47 @@ impl PeriodicConfig {
     }
 }
 
-/// A snapshot entry in the current (user-visible) collection.
-#[derive(Clone, Debug)]
-struct SnapshotPage {
-    crawl_time: f64,
-    #[allow(dead_code)]
-    checksum: Checksum,
+/// One page of a periodic collection (current or shadow): when it was
+/// crawled and what digest came back.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicPage {
+    /// When the batch crawl fetched this copy (days).
+    pub crawl_time: f64,
+    /// Digest of the fetched content.
+    pub checksum: Checksum,
+}
+
+/// The in-flight state of one batch window: the shadow collection under
+/// construction and its BFS frontier. Serialized inside
+/// [`PeriodicState`] so a checkpoint can freeze a crawl mid-window.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchWindow {
+    /// The shadow collection being built this cycle.
+    pub shadow: BTreeMap<PageId, PeriodicPage>,
+    /// BFS frontier, front = next URL to crawl.
+    pub frontier: VecDeque<Url>,
+    /// Pages ever enqueued this window (BFS dedup guard).
+    pub seen: BTreeSet<PageId>,
+}
+
+/// The periodic engine's cycle/shadow payload inside
+/// [`CrawlerState`] (the incremental fields of the shared state are empty
+/// for this engine).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PeriodicState {
+    /// The user-visible collection.
+    pub current: BTreeMap<PageId, PeriodicPage>,
+    /// When each page first became visible to users.
+    pub first_visible: BTreeMap<PageId, f64>,
+    /// Completed shadow swaps.
+    pub cycles: u64,
+    /// Start day of the cycle in progress.
+    pub cycle_start: f64,
+    /// `true` between a swap and the next cycle start; `false` during the
+    /// batch window.
+    pub idle: bool,
+    /// The mid-window state, when frozen inside a batch window.
+    pub window: Option<BatchWindow>,
 }
 
 /// The periodic crawler.
@@ -64,11 +110,21 @@ pub struct PeriodicCrawler {
     /// The user-visible collection (page → crawl info).
     // Ordered for the replay contract: the swap loop and metric sampling
     // accumulate floats over this map's iteration order.
-    current: BTreeMap<PageId, SnapshotPage>,
+    current: BTreeMap<PageId, PeriodicPage>,
     /// When each page first became visible to users (for latency metrics).
     first_visible: BTreeMap<PageId, f64>,
     metrics: CrawlMetrics,
     cycles: u64,
+    run_start: f64,
+    started: bool,
+    fetch_seq: u64,
+    /// `t` is the next fetch-slot time during a window; `next_ranking` is
+    /// unused (this engine's boundaries are swaps, not ranking passes).
+    clock: EngineClock,
+    cycle_start: f64,
+    /// See [`PeriodicState::idle`].
+    idle: bool,
+    window: Option<BatchWindow>,
 }
 
 impl PeriodicCrawler {
@@ -76,13 +132,54 @@ impl PeriodicCrawler {
     pub fn new(config: PeriodicConfig) -> PeriodicCrawler {
         assert!(config.capacity > 0);
         assert!(config.window_days > 0.0 && config.window_days <= config.cycle_days);
+        assert!(config.sample_interval_days > 0.0);
         PeriodicCrawler {
             config,
             current: BTreeMap::new(),
             first_visible: BTreeMap::new(),
             metrics: CrawlMetrics::default(),
             cycles: 0,
+            run_start: 0.0,
+            started: false,
+            fetch_seq: 0,
+            clock: EngineClock { t: 0.0, next_ranking: 0.0, next_sample: 0.0 },
+            cycle_start: 0.0,
+            idle: false,
+            window: None,
         }
+    }
+
+    /// Rebuild an engine from a checkpointed state. Returns the engine and
+    /// the fetcher state the caller must install into its fetcher before
+    /// replaying or resuming.
+    pub fn from_state(
+        state: CrawlerState,
+    ) -> Result<(PeriodicCrawler, Option<FetcherState>), WebEvoError> {
+        if state.engine != EngineKind::Periodic {
+            return Err(WebEvoError::InvalidState(format!(
+                "state was written by the {} engine, not the periodic one",
+                state.engine
+            )));
+        }
+        let config = state.config.as_periodic()?.clone();
+        let periodic = state.periodic.ok_or_else(|| {
+            WebEvoError::InvalidState("periodic state payload missing from snapshot".into())
+        })?;
+        let crawler = PeriodicCrawler {
+            config,
+            current: periodic.current,
+            first_visible: periodic.first_visible,
+            metrics: state.metrics,
+            cycles: periodic.cycles,
+            run_start: state.run_start,
+            started: state.seeded,
+            fetch_seq: state.fetch_seq,
+            clock: state.clock,
+            cycle_start: periodic.cycle_start,
+            idle: periodic.idle,
+            window: periodic.window,
+        };
+        Ok((crawler, state.fetcher))
     }
 
     /// Completed cycles.
@@ -95,121 +192,168 @@ impl PeriodicCrawler {
         self.current.len()
     }
 
-    /// Collected metrics.
-    pub fn metrics(&self) -> &CrawlMetrics {
-        &self.metrics
-    }
-
-    /// Run from `start` to `end` days.
-    pub fn run(
-        &mut self,
-        universe: &WebUniverse,
-        fetcher: &mut dyn Fetcher,
-        start: f64,
-        end: f64,
-    ) -> &CrawlMetrics {
-        assert!(end > start);
-        self.metrics.observe_speed(self.config.peak_speed());
-        let mut next_sample = start;
-        let mut cycle_start = start;
-        while cycle_start < end {
-            // --- Batch window: build the shadow collection. ---
-            let shadow = self.batch_crawl(
-                universe,
-                fetcher,
-                cycle_start,
-                &mut next_sample,
-                end,
-            );
-            let swap_time = (cycle_start + self.config.window_days).min(end);
-            // --- Swap: the shadow becomes the current collection. ---
-            if swap_time <= end {
-                for (&p, snap) in shadow.iter() {
-                    if let std::collections::btree_map::Entry::Vacant(slot) =
-                        self.first_visible.entry(p)
-                    {
-                        slot.insert(swap_time);
-                        let birth = universe.page(p).birth;
-                        if birth >= start {
-                            self.metrics.record_admission_latency(swap_time - birth);
-                            // The page was "found" when the batch crawl
-                            // fetched it; it sat invisible until the swap.
-                            self.metrics
-                                .record_discovery_latency(swap_time - snap.crawl_time);
-                        }
-                    }
-                }
-                self.current = shadow;
-                self.cycles += 1;
-            }
-            // --- Idle until the next cycle, sampling metrics. ---
-            let cycle_end = (cycle_start + self.config.cycle_days).min(end);
-            while next_sample <= cycle_end {
-                self.sample_metrics(universe, next_sample);
-                next_sample += self.config.sample_interval_days;
-            }
-            cycle_start += self.config.cycle_days;
-        }
-        &self.metrics
-    }
-
-    /// One batch crawl: BFS from the seed roots into a fresh shadow,
-    /// paced so `capacity` fetches fill `window_days`.
-    fn batch_crawl(
-        &mut self,
-        universe: &WebUniverse,
-        fetcher: &mut dyn Fetcher,
-        cycle_start: f64,
-        next_sample: &mut f64,
-        end: f64,
-    ) -> BTreeMap<PageId, SnapshotPage> {
-        let step = self.config.window_days / self.config.capacity as f64;
-        let mut shadow: BTreeMap<PageId, SnapshotPage> = BTreeMap::new();
-        let mut frontier: VecDeque<Url> = VecDeque::new();
-        let mut seen: BTreeSet<PageId> = BTreeSet::new();
+    /// Seed the BFS frontier for the cycle starting at `self.cycle_start`.
+    fn seed_window(&mut self, universe: &WebUniverse) {
+        let mut window = BatchWindow {
+            shadow: BTreeMap::new(),
+            frontier: VecDeque::new(),
+            seen: BTreeSet::new(),
+        };
         for site in universe.sites() {
-            if let Some(root) = universe.occupant(site.id, 0, cycle_start) {
+            if let Some(root) = universe.occupant(site.id, 0, self.cycle_start) {
                 let url = Url::new(site.id, root);
-                if seen.insert(url.page) {
-                    frontier.push_back(url);
+                if window.seen.insert(url.page) {
+                    window.frontier.push_back(url);
                 }
             }
         }
-        let mut t = cycle_start;
-        while shadow.len() < self.config.capacity && t < end {
-            // Sampling continues during the crawl: users still query the
-            // *current* collection while the shadow builds (§4).
-            while *next_sample <= t {
-                self.sample_metrics(universe, *next_sample);
-                *next_sample += self.config.sample_interval_days;
+        self.window = Some(window);
+    }
+
+    /// The shared event loop: samples, batch fetches, shadow swaps, and
+    /// idle periods, driven either live or from the write-ahead log.
+    /// Stops when the clock would cross `until` (the kill horizon — never
+    /// baked into engine state) or, for replay sources, at log exhaustion.
+    /// The exhaustion check sits before the swap handler so a resumed run
+    /// re-enters at exactly the point the interrupted one left.
+    fn advance(
+        &mut self,
+        universe: &WebUniverse,
+        source: &mut FetchSource<'_>,
+        until: f64,
+        hook: &mut dyn CrawlHook,
+    ) {
+        let capacity = self.config.capacity;
+        let step = self.config.window_days / capacity as f64;
+        loop {
+            if source.exhausted() {
+                return;
             }
-            let Some(url) = frontier.pop_front() else {
-                break; // frontier exhausted before capacity
-            };
-            match fetcher.fetch(url, t) {
-                Ok(outcome) => {
-                    self.metrics.record_fetch(true);
-                    shadow.insert(
-                        url.page,
-                        SnapshotPage { crawl_time: t, checksum: outcome.checksum },
-                    );
-                    for link in outcome.links {
-                        if seen.insert(link.page) {
-                            frontier.push_back(link);
-                        }
+            if !self.idle {
+                // --- Batch window: build the shadow collection. ---
+                if self.clock.t >= until {
+                    return;
+                }
+                if self.window.is_none() {
+                    self.seed_window(universe);
+                }
+                loop {
+                    if source.exhausted() {
+                        return;
+                    }
+                    let window = self.window.as_ref().expect("window in progress");
+                    if window.shadow.len() >= capacity {
+                        break;
+                    }
+                    if self.clock.t >= until {
+                        return;
+                    }
+                    // Sampling continues during the crawl: users still
+                    // query the *current* collection while the shadow
+                    // builds (§4).
+                    while self.clock.next_sample <= self.clock.t {
+                        let ts = self.clock.next_sample;
+                        self.sample_metrics(universe, ts);
+                        self.clock.next_sample += self.config.sample_interval_days;
+                    }
+                    let Some(url) = self.window.as_mut().expect("window").frontier.pop_front()
+                    else {
+                        break; // frontier exhausted before capacity
+                    };
+                    self.fetch_one(source, url, hook);
+                    self.clock.t += step;
+                }
+                self.swap(universe, source, hook);
+            } else {
+                // --- Idle until the next cycle, sampling metrics. ---
+                let cycle_end = self.cycle_start + self.config.cycle_days;
+                while self.clock.next_sample <= cycle_end {
+                    if self.clock.next_sample >= until {
+                        return;
+                    }
+                    let ts = self.clock.next_sample;
+                    self.sample_metrics(universe, ts);
+                    self.clock.next_sample += self.config.sample_interval_days;
+                }
+                self.cycle_start += self.config.cycle_days;
+                self.clock.t = self.cycle_start;
+                self.idle = false;
+            }
+        }
+    }
+
+    /// One batch fetch slot at `self.clock.t`.
+    fn fetch_one(&mut self, source: &mut FetchSource<'_>, url: Url, hook: &mut dyn CrawlHook) {
+        let t = self.clock.t;
+        self.fetch_seq += 1;
+        let result = source.fetch(self.fetch_seq, url, t);
+        if hook.active() {
+            hook.on_fetch(&FetchRecord { seq: self.fetch_seq, url, t, result: result.clone() });
+        }
+        let window = self.window.as_mut().expect("window in progress");
+        match result {
+            Ok(outcome) => {
+                self.metrics.record_fetch(true);
+                window
+                    .shadow
+                    .insert(url.page, PeriodicPage { crawl_time: t, checksum: outcome.checksum });
+                for link in outcome.links {
+                    if window.seen.insert(link.page) {
+                        window.frontier.push_back(link);
                     }
                 }
-                Err(FetchError::NotFound) | Err(FetchError::Transient) => {
-                    self.metrics.record_fetch(false);
-                }
-                Err(FetchError::RateLimited { .. }) => {
-                    // Batch crawlers just retry later in the window.
-                    frontier.push_back(url);
+            }
+            Err(FetchError::NotFound) | Err(FetchError::Transient) => {
+                self.metrics.record_fetch(false);
+            }
+            Err(FetchError::RateLimited { .. }) => {
+                // Batch crawlers just retry later in the window.
+                window.frontier.push_back(url);
+            }
+        }
+    }
+
+    /// Swap the completed shadow in as the current collection, fire the
+    /// pass boundary, and enter the idle phase. Pages become *visible* at
+    /// the nominal window end (`cycle_start + window_days`), which the
+    /// latency metrics account against, even when the batch finished its
+    /// fetch budget earlier.
+    fn swap(
+        &mut self,
+        universe: &WebUniverse,
+        source: &mut FetchSource<'_>,
+        hook: &mut dyn CrawlHook,
+    ) {
+        let window = self.window.take().expect("window in progress");
+        let swap_time = self.cycle_start + self.config.window_days;
+        for (&p, snap) in window.shadow.iter() {
+            if let std::collections::btree_map::Entry::Vacant(slot) = self.first_visible.entry(p)
+            {
+                slot.insert(swap_time);
+                let birth = universe.page(p).birth;
+                if birth >= self.run_start {
+                    self.metrics.record_admission_latency(swap_time - birth);
+                    // The page was "found" when the batch crawl fetched
+                    // it; it sat invisible until the swap.
+                    self.metrics.record_discovery_latency(swap_time - snap.crawl_time);
                 }
             }
-            t += step;
         }
-        shadow
+        self.current = window.shadow;
+        self.cycles += 1;
+        self.idle = true;
+        if hook.active() {
+            // The boundary fires with the swap done and the idle phase
+            // entered: a snapshot taken here resumes into pure sampling,
+            // never re-runs the swap.
+            let t = self.clock.t;
+            let source = &*source;
+            hook.on_pass_boundary(t, &mut || {
+                let mut state = self.export_state();
+                state.fetcher = source.fetcher_state();
+                state
+            });
+        }
     }
 
     /// Evaluation-only freshness/age sampling of the current collection.
@@ -238,6 +382,138 @@ impl PeriodicCrawler {
     }
 }
 
+impl CrawlEngine for PeriodicCrawler {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Periodic
+    }
+
+    fn started(&self) -> bool {
+        self.started
+    }
+
+    fn clock(&self) -> EngineClock {
+        self.clock
+    }
+
+    /// Advance to day `until`. The first call starts the run at day 0;
+    /// later calls continue from the frozen clock — mid-window, mid-idle,
+    /// wherever it stopped. Unlike the incremental engines this engine
+    /// never samples off the sampling grid, so a continued run's metric
+    /// rows are exactly those of a single longer run.
+    fn drive(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        hook: &mut dyn CrawlHook,
+        until: f64,
+    ) -> Result<&CrawlMetrics, WebEvoError> {
+        if !self.started {
+            let start = self.clock.t;
+            if until <= start {
+                return Err(WebEvoError::InvalidState(format!(
+                    "drive target {until} must lie beyond the start day {start}"
+                )));
+            }
+            self.run_start = start;
+            self.cycle_start = start;
+            self.clock.next_sample = start;
+            self.started = true;
+        } else if until <= self.clock.t {
+            return Err(WebEvoError::InvalidState(format!(
+                "drive target {until} must lie beyond the engine clock {}",
+                self.clock.t
+            )));
+        }
+        self.metrics.observe_speed(self.config.peak_speed());
+        self.advance(universe, &mut FetchSource::Live(fetcher), until, hook);
+        Ok(&self.metrics)
+    }
+
+    /// Re-apply the write-ahead-log tail after restoring a snapshot. The
+    /// BFS window is re-derived deterministically from the restored cycle
+    /// state; each logged outcome feeds the live code path and advances
+    /// `fetcher` via [`Fetcher::observe_replay`].
+    fn replay(
+        &mut self,
+        universe: &WebUniverse,
+        fetcher: &mut dyn Fetcher,
+        records: &[FetchRecord],
+    ) -> Result<(), WebEvoError> {
+        if !self.started {
+            return Err(WebEvoError::InvalidState(
+                "replay requires a restored engine".into(),
+            ));
+        }
+        let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
+        let tail = &records[skip..];
+        if let Some(first) = tail.first() {
+            if first.seq != self.fetch_seq + 1 {
+                return Err(WebEvoError::InvalidState(format!(
+                    "WAL gap: snapshot ends at seq {} but the log resumes at {}",
+                    self.fetch_seq, first.seq
+                )));
+            }
+        }
+        let mut source = FetchSource::Replay { records: tail, pos: 0, fetcher };
+        self.advance(universe, &mut source, f64::INFINITY, &mut NoopHook);
+        Ok(())
+    }
+
+    /// Capture the full engine state. The incremental fields of the
+    /// shared layout are empty; the cycle/shadow state rides in
+    /// [`CrawlerState::periodic`].
+    fn export_state(&self) -> CrawlerState {
+        CrawlerState {
+            engine: EngineKind::Periodic,
+            config: EngineConfig::Periodic(self.config.clone()),
+            run_start: self.run_start,
+            seeded: self.started,
+            clock: self.clock,
+            fetch_seq: self.fetch_seq,
+            collection: Collection::new(self.config.capacity, 1),
+            all_urls: crate::allurls::AllUrls::new(),
+            queue: Vec::new(),
+            queued: Vec::new(),
+            admissions: Vec::new(),
+            update: UpdateModule::new(
+                RevisitStrategy::Uniform,
+                EstimatorKind::Ep,
+                self.config.cycle_days,
+            ),
+            ranking_runs: 0,
+            ranking_applied: 0,
+            rank_pending: false,
+            crawl: CrawlModule::default(),
+            periodic: Some(PeriodicState {
+                current: self.current.clone(),
+                first_visible: self.first_visible.clone(),
+                cycles: self.cycles,
+                cycle_start: self.cycle_start,
+                idle: self.idle,
+                window: self.window.clone(),
+            }),
+            metrics: self.metrics.clone(),
+            fetcher: None,
+        }
+    }
+
+    fn metrics(&self) -> &CrawlMetrics {
+        &self.metrics
+    }
+
+    fn collection(&self) -> Option<&Collection> {
+        None
+    }
+
+    fn collection_len(&self) -> usize {
+        self.current.len()
+    }
+
+    fn passes(&self) -> u64 {
+        self.cycles
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,12 +532,16 @@ mod tests {
         }
     }
 
+    fn run(crawler: &mut PeriodicCrawler, u: &WebUniverse, f: &mut SimFetcher, days: f64) {
+        crawler.drive(u, f, &mut NoopHook, days).expect("drive succeeds");
+    }
+
     #[test]
     fn cycles_and_swaps() {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u);
         let mut crawler = PeriodicCrawler::new(config());
-        crawler.run(&u, &mut fetcher, 0.0, 40.0);
+        run(&mut crawler, &u, &mut fetcher, 40.0);
         assert_eq!(crawler.cycles(), 4);
         assert!(crawler.current_size() > 40, "size={}", crawler.current_size());
     }
@@ -271,7 +551,7 @@ mod tests {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u);
         let mut crawler = PeriodicCrawler::new(config());
-        crawler.run(&u, &mut fetcher, 0.0, 40.0);
+        run(&mut crawler, &u, &mut fetcher, 40.0);
         // The first samples (before day 2.5) must show freshness 0 — no
         // current collection exists yet.
         let rows: Vec<(f64, f64)> = crawler.metrics().freshness.rows().collect();
@@ -291,7 +571,7 @@ mod tests {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u);
         let mut crawler = PeriodicCrawler::new(c);
-        crawler.run(&u, &mut fetcher, 0.0, 20.0);
+        run(&mut crawler, &u, &mut fetcher, 20.0);
         assert!((crawler.metrics().peak_speed - 24.0).abs() < 1e-9);
     }
 
@@ -300,7 +580,7 @@ mod tests {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u);
         let mut crawler = PeriodicCrawler::new(config());
-        crawler.run(&u, &mut fetcher, 0.0, 40.0);
+        run(&mut crawler, &u, &mut fetcher, 40.0);
         let rows: Vec<(f64, f64)> = crawler.metrics().freshness.rows().collect();
         // Find freshness right after the second swap (t≈12.5) and right
         // before the third (t≈22.5): it must decay.
@@ -327,19 +607,75 @@ mod tests {
         let u = universe();
         let mut fetcher = SimFetcher::new(&u);
         let mut crawler = PeriodicCrawler::new(config());
-        crawler.run(&u, &mut fetcher, 0.0, 40.0);
+        run(&mut crawler, &u, &mut fetcher, 40.0);
         assert!(crawler.metrics().new_page_latency.count() > 0);
     }
 
     #[test]
     fn deterministic() {
         let u = universe();
-        let run = || {
+        let run_once = || {
             let mut fetcher = SimFetcher::new(&u);
             let mut crawler = PeriodicCrawler::new(config());
-            crawler.run(&u, &mut fetcher, 0.0, 30.0);
+            run(&mut crawler, &u, &mut fetcher, 30.0);
             (crawler.current_size(), crawler.metrics().fetches)
         };
-        assert_eq!(run(), run());
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn driving_in_two_legs_matches_one_run() {
+        // The periodic engine freezes anywhere — mid-window, mid-idle —
+        // and a continued drive retraces the single-run trajectory
+        // exactly (its samples always lie on the sampling grid).
+        let u = universe();
+        let mut f1 = SimFetcher::new(&u);
+        let mut split = PeriodicCrawler::new(config());
+        run(&mut split, &u, &mut f1, 11.3); // mid-window of cycle 2
+        run(&mut split, &u, &mut f1, 27.8); // mid-idle of cycle 3
+        run(&mut split, &u, &mut f1, 40.0);
+
+        let mut f2 = SimFetcher::new(&u);
+        let mut whole = PeriodicCrawler::new(config());
+        run(&mut whole, &u, &mut f2, 40.0);
+
+        assert_eq!(split.metrics().fetches, whole.metrics().fetches);
+        assert_eq!(split.cycles(), whole.cycles());
+        let rows_a: Vec<(f64, f64)> = split.metrics().freshness.rows().collect();
+        let rows_b: Vec<(f64, f64)> = whole.metrics().freshness.rows().collect();
+        assert_eq!(rows_a, rows_b, "split drive diverged from one run");
+    }
+
+    #[test]
+    fn state_roundtrip_mid_window_preserves_continuation() {
+        let u = universe();
+        let mut f1 = SimFetcher::new(&u);
+        let mut original = PeriodicCrawler::new(config());
+        run(&mut original, &u, &mut f1, 21.7); // mid-window of cycle 3
+        let mut state = original.export_state();
+        state.fetcher = webevo_sim::Fetcher::export_state(&f1);
+        let (mut restored, fstate) = PeriodicCrawler::from_state(state).expect("restores");
+        let mut f2 = SimFetcher::new(&u);
+        f2.restore_state(fstate.expect("sim fetcher state persisted"));
+        run(&mut original, &u, &mut f1, 35.0);
+        run(&mut restored, &u, &mut f2, 35.0);
+        assert_eq!(original.metrics().fetches, restored.metrics().fetches);
+        let rows_a: Vec<(f64, f64)> = original.metrics().freshness.rows().collect();
+        let rows_b: Vec<(f64, f64)> = restored.metrics().freshness.rows().collect();
+        assert_eq!(rows_a, rows_b, "restored engine diverged");
+    }
+
+    #[test]
+    fn from_state_rejects_foreign_states() {
+        let u = universe();
+        let mut fetcher = SimFetcher::new(&u);
+        let mut crawler = PeriodicCrawler::new(config());
+        run(&mut crawler, &u, &mut fetcher, 5.0);
+        let mut state = crawler.export_state();
+        state.engine = EngineKind::Incremental;
+        assert!(matches!(
+            PeriodicCrawler::from_state(state),
+            Err(WebEvoError::InvalidState(_))
+        ));
     }
 }

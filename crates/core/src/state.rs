@@ -5,8 +5,14 @@
 //! `AllUrls`, `CollUrls`), the module states, the metrics accumulated so
 //! far, the discrete-event clock, and — for fetchers that carry replay
 //! state — the fetcher's counters. It is captured at pass boundaries via
-//! [`crate::CrawlHook::on_pass`] and rebuilt through the engines'
-//! `from_state` constructors.
+//! [`crate::CrawlHook::on_pass_boundary`] and rebuilt through
+//! [`crate::engine::restore`] (or the engines' `from_state`
+//! constructors).
+//!
+//! All three engines share the layout. The incremental fields are empty
+//! for the periodic engine, whose cycle/shadow state lives in the
+//! [`PeriodicState`] payload instead; [`EngineKind`] records which engine
+//! wrote a state so recovery can rebuild the right one.
 //!
 //! Two encoding details keep restoration *bit-identical* rather than
 //! merely approximate:
@@ -22,20 +28,98 @@ use crate::collection::Collection;
 use crate::incremental::IncrementalConfig;
 use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, UpdateModule};
+use crate::periodic::{PeriodicConfig, PeriodicState};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use webevo_schedule::{RevisitQueue, ScheduledVisit};
 use webevo_sim::FetcherState;
-use webevo_types::{PageId, Url};
+use webevo_types::{PageId, Url, WebEvoError};
 
-/// Which engine wrote a state (they share the layout but differ in which
-/// fields are meaningful).
+/// Which engine a [`CrawlerState`] belongs to — and, in the
+/// `CrawlSession` builder, which engine to construct.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EngineKind {
+    /// The batch-mode, shadowing baseline [`crate::PeriodicCrawler`].
+    Periodic,
     /// The single-threaded [`crate::IncrementalCrawler`].
     Incremental,
-    /// The concurrent [`crate::ThreadedCrawler`].
-    Threaded,
+    /// The concurrent [`crate::ThreadedCrawler`] with `workers` parallel
+    /// CrawlModules.
+    Threaded {
+        /// Number of crawl workers.
+        workers: usize,
+    },
+}
+
+impl EngineKind {
+    /// The engine family's display name (worker counts elided).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Periodic => "periodic",
+            EngineKind::Incremental => "incremental",
+            EngineKind::Threaded { .. } => "threaded",
+        }
+    }
+
+    /// Whether two kinds name the same engine family. `Threaded { 2 }`
+    /// and `Threaded { 4 }` are the same family: a checkpoint written by
+    /// one can seed a session configured for the other (the snapshot's
+    /// worker count wins, preserving the deterministic schedule).
+    pub fn same_family(&self, other: &EngineKind) -> bool {
+        self.name() == other.name()
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Threaded { workers } => write!(f, "threaded({workers} workers)"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// The engine-specific configuration carried inside a [`CrawlerState`],
+/// so `--resume` needs no re-specification.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum EngineConfig {
+    /// Configuration of the incremental engines (single-threaded and
+    /// threaded alike).
+    Incremental(IncrementalConfig),
+    /// Configuration of the periodic baseline.
+    Periodic(PeriodicConfig),
+}
+
+impl EngineConfig {
+    /// The incremental configuration, or a typed error when the state was
+    /// written by the periodic engine.
+    pub fn as_incremental(&self) -> Result<&IncrementalConfig, WebEvoError> {
+        match self {
+            EngineConfig::Incremental(config) => Ok(config),
+            EngineConfig::Periodic(_) => Err(WebEvoError::InvalidState(
+                "state carries a periodic configuration, not an incremental one".into(),
+            )),
+        }
+    }
+
+    /// The periodic configuration, or a typed error when the state was
+    /// written by an incremental engine.
+    pub fn as_periodic(&self) -> Result<&PeriodicConfig, WebEvoError> {
+        match self {
+            EngineConfig::Periodic(config) => Ok(config),
+            EngineConfig::Incremental(_) => Err(WebEvoError::InvalidState(
+                "state carries an incremental configuration, not a periodic one".into(),
+            )),
+        }
+    }
+
+    /// Collection capacity, common to both configurations.
+    pub fn capacity(&self) -> usize {
+        match self {
+            EngineConfig::Incremental(config) => config.capacity,
+            EngineConfig::Periodic(config) => config.capacity,
+        }
+    }
 }
 
 /// The engine's discrete-event clock: the current fetch-slot time plus the
@@ -44,7 +128,8 @@ pub enum EngineKind {
 pub struct EngineClock {
     /// Current simulated time (days).
     pub t: f64,
-    /// When the next RankingModule pass is due.
+    /// When the next RankingModule pass is due (unused by the periodic
+    /// engine, whose boundaries are shadow swaps).
     pub next_ranking: f64,
     /// When the next metrics sample is due.
     pub next_sample: f64,
@@ -63,27 +148,27 @@ pub struct QueueEntry {
 /// Complete serializable engine state. See the module docs.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CrawlerState {
-    /// Which engine wrote this state.
+    /// Which engine wrote this state (including the worker count for the
+    /// threaded engine, whose deterministic schedule depends on it).
     pub engine: EngineKind,
     /// The engine configuration (restored verbatim so `--resume` needs no
     /// re-specification).
-    pub config: IncrementalConfig,
-    /// Crawl-worker count (threaded engine; 0 for the incremental one).
-    pub workers: usize,
+    pub config: EngineConfig,
     /// When the run began (baseline for new-page latency accounting).
     pub run_start: f64,
-    /// Whether seed URLs have been injected (always true in practice:
-    /// states are only captured at pass boundaries).
+    /// Whether the run has started (seed URLs injected; always true in
+    /// practice: states are only captured at pass boundaries).
     pub seeded: bool,
     /// The discrete-event clock.
     pub clock: EngineClock,
     /// Fetch attempts issued so far (pairs with [`crate::FetchRecord::seq`]).
     pub fetch_seq: u64,
-    /// The local page store.
+    /// The local page store (incremental engines; empty for periodic).
     pub collection: Collection,
-    /// Every URL ever discovered.
+    /// Every URL ever discovered (incremental engines).
     pub all_urls: AllUrls,
-    /// `CollUrls`: the scheduled visits, earliest first.
+    /// `CollUrls`: the scheduled visits, earliest first (incremental
+    /// engines).
     pub queue: Vec<QueueEntry>,
     /// Pages currently scheduled (dedup guard), sorted.
     pub queued: Vec<PageId>,
@@ -102,6 +187,9 @@ pub struct CrawlerState {
     pub rank_pending: bool,
     /// CrawlModule counters.
     pub crawl: CrawlModule,
+    /// The periodic engine's cycle/shadow state (`None` for the
+    /// incremental engines).
+    pub periodic: Option<PeriodicState>,
     /// Metrics accumulated so far.
     pub metrics: CrawlMetrics,
     /// Fetcher replay state, when the fetcher is stateful.
@@ -160,5 +248,34 @@ mod tests {
     fn sets_serialize_sorted() {
         let set: HashSet<PageId> = [PageId(9), PageId(2), PageId(5)].into_iter().collect();
         assert_eq!(set_to_sorted(&set), vec![PageId(2), PageId(5), PageId(9)]);
+    }
+
+    #[test]
+    fn engine_kind_families() {
+        let a = EngineKind::Threaded { workers: 2 };
+        let b = EngineKind::Threaded { workers: 4 };
+        assert_ne!(a, b, "worker counts distinguish kinds");
+        assert!(a.same_family(&b), "but not families");
+        assert!(!a.same_family(&EngineKind::Incremental));
+        assert_eq!(EngineKind::Periodic.to_string(), "periodic");
+        assert_eq!(b.to_string(), "threaded(4 workers)");
+    }
+
+    #[test]
+    fn engine_config_accessors_are_typed() {
+        let periodic = EngineConfig::Periodic(PeriodicConfig::monthly(10));
+        assert_eq!(periodic.capacity(), 10);
+        assert!(periodic.as_periodic().is_ok());
+        assert!(matches!(
+            periodic.as_incremental(),
+            Err(WebEvoError::InvalidState(_))
+        ));
+        let incremental = EngineConfig::Incremental(IncrementalConfig::monthly(20));
+        assert_eq!(incremental.capacity(), 20);
+        assert!(incremental.as_incremental().is_ok());
+        assert!(matches!(
+            incremental.as_periodic(),
+            Err(WebEvoError::InvalidState(_))
+        ));
     }
 }

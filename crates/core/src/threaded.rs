@@ -35,18 +35,20 @@
 
 use crate::allurls::AllUrls;
 use crate::collection::Collection;
+use crate::engine::CrawlEngine;
 use crate::hooks::{CrawlHook, FetchRecord, NoopHook};
 use crate::incremental::IncrementalConfig;
 use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, RankingModule, UpdateModule};
 use crate::state::{
-    entries_to_queue, queue_to_entries, set_to_sorted, CrawlerState, EngineClock, EngineKind,
+    entries_to_queue, queue_to_entries, set_to_sorted, CrawlerState, EngineClock, EngineConfig,
+    EngineKind,
 };
 use crossbeam::channel;
 use std::collections::HashSet;
 use webevo_schedule::RevisitQueue;
-use webevo_sim::{FetchError, FetchOutcome, Politeness, SimFetcher, WebUniverse};
-use webevo_types::{PageId, Url};
+use webevo_sim::{FetchError, FetchOutcome, Fetcher, Politeness, SimFetcher, WebUniverse};
+use webevo_types::{PageId, Url, WebEvoError};
 
 /// A fetch completion flowing back from a crawl worker. `seq` is the slot
 /// sequence number assigned at dispatch; the coordinator applies a batch
@@ -138,15 +140,21 @@ impl ThreadedCrawler {
     }
 
     /// Rebuild an engine from a checkpointed state.
-    pub fn from_state(state: CrawlerState) -> ThreadedCrawler {
-        assert_eq!(
-            state.engine,
-            EngineKind::Threaded,
-            "state was written by a different engine"
-        );
-        assert!(state.workers >= 1, "threaded state must carry a worker count");
+    pub fn from_state(state: CrawlerState) -> Result<ThreadedCrawler, WebEvoError> {
+        let EngineKind::Threaded { workers } = state.engine else {
+            return Err(WebEvoError::InvalidState(format!(
+                "state was written by the {} engine, not the threaded one",
+                state.engine
+            )));
+        };
+        if workers == 0 {
+            return Err(WebEvoError::InvalidState(
+                "threaded state must carry a positive worker count".into(),
+            ));
+        }
+        let config = state.config.as_incremental()?.clone();
         let mut crawler = ThreadedCrawler {
-            workers: state.workers,
+            workers,
             collection: state.collection,
             all_urls: state.all_urls,
             queue: entries_to_queue(&state.queue),
@@ -161,7 +169,7 @@ impl ThreadedCrawler {
             fetch_seq: state.fetch_seq,
             rank_pending: state.rank_pending,
             unsent_rank_request: None,
-            config: state.config,
+            config,
         };
         if crawler.rank_pending {
             // Snapshots are taken at pass boundaries, after the previous
@@ -172,44 +180,7 @@ impl ThreadedCrawler {
                 all_urls: crawler.all_urls.clone(),
             });
         }
-        crawler
-    }
-
-    /// Capture the full engine state (worker fetchers are stateless: the
-    /// simulated fetch is a pure function of `(url, t)` under the
-    /// unrestricted politeness the workers run with).
-    pub fn export_state(&self) -> CrawlerState {
-        CrawlerState {
-            engine: EngineKind::Threaded,
-            config: self.config.clone(),
-            workers: self.workers,
-            run_start: self.run_start,
-            seeded: self.seeded,
-            clock: self.clock,
-            fetch_seq: self.fetch_seq,
-            collection: self.collection.clone(),
-            all_urls: self.all_urls.clone(),
-            queue: queue_to_entries(&self.queue),
-            queued: set_to_sorted(&self.queued),
-            admissions: set_to_sorted(&self.admissions),
-            update: self.update.clone(),
-            ranking_runs: 0,
-            ranking_applied: self.ranking_applied,
-            rank_pending: self.rank_pending,
-            crawl: CrawlModule::default(),
-            metrics: self.metrics.clone(),
-            fetcher: None,
-        }
-    }
-
-    /// The collection (for inspection).
-    pub fn collection(&self) -> &Collection {
-        &self.collection
-    }
-
-    /// Collected metrics.
-    pub fn metrics(&self) -> &CrawlMetrics {
-        &self.metrics
+        Ok(crawler)
     }
 
     /// Ranking outcomes applied.
@@ -223,91 +194,13 @@ impl ThreadedCrawler {
         }
     }
 
-    /// Run against the universe from `start` to `end` days.
-    pub fn run(&mut self, universe: &WebUniverse, start: f64, end: f64) -> &CrawlMetrics {
-        self.run_hooked(universe, start, end, &mut NoopHook)
-    }
-
-    /// [`ThreadedCrawler::run`] with a [`CrawlHook`] observing every fetch
-    /// and pass boundary (the checkpointing entry point).
-    pub fn run_hooked(
-        &mut self,
-        universe: &WebUniverse,
-        start: f64,
-        end: f64,
-        hook: &mut dyn CrawlHook,
-    ) -> &CrawlMetrics {
-        assert!(end > start);
-        assert!(!self.seeded, "engine already started: use resume() to continue");
-        self.run_start = start;
-        self.clock = EngineClock {
-            t: start,
-            next_ranking: start + self.config.ranking_interval_days,
-            next_sample: start,
-        };
-        for site in universe.sites() {
-            if let Some(root) = universe.occupant(site.id, 0, start) {
-                let url = Url::new(site.id, root);
-                self.all_urls.discover(url, start);
-                self.enqueue(url, start);
-            }
-        }
-        self.seeded = true;
-        self.metrics.observe_speed(self.config.crawl_rate_per_day);
-        self.advance_live(universe, end, hook);
-        self.sample_metrics(universe, end);
-        &self.metrics
-    }
-
-    /// Continue a previously started (typically checkpoint-restored) run
-    /// to `end`.
-    ///
-    /// The bit-identical-to-uninterrupted guarantee applies to the
-    /// *recovery* path (a state captured at a pass boundary, optionally
-    /// replayed forward). Resuming an engine whose `run` already finished
-    /// also works, but the finished run carries its end-of-run metrics
-    /// sample and has already applied its in-flight ranking response —
-    /// artifacts a single longer run would not have at that point.
-    pub fn resume(
-        &mut self,
-        universe: &WebUniverse,
-        end: f64,
-        hook: &mut dyn CrawlHook,
-    ) -> &CrawlMetrics {
-        assert!(self.seeded, "resume requires a started engine (run, or a restored checkpoint)");
-        assert!(end > self.clock.t, "resume target must lie beyond the restored clock");
-        self.metrics.observe_speed(self.config.crawl_rate_per_day);
-        self.advance_live(universe, end, hook);
-        self.sample_metrics(universe, end);
-        &self.metrics
-    }
-
-    /// Re-apply the write-ahead-log tail after restoring a snapshot: the
-    /// deterministic batch schedule is re-derived from the restored state
-    /// and each slot consumes its logged outcome instead of fetching.
-    /// Ranking passes crossed during replay run synchronously (same
-    /// request/response pipeline, no thread). Records already covered by
-    /// the snapshot are skipped.
-    ///
-    /// This loop deliberately mirrors `advance_live`'s
+    /// The replay inner loop. This deliberately mirrors `advance_live`'s
     /// slot scheduling (boundary order, horizon, batch dispatch,
     /// empty-slot burning) without the channels. Any change to the live
     /// coordinator's scheduling MUST be mirrored here — the
     /// `WAL replay diverged` asserts and the recovery determinism tests
     /// will catch a missed mirror loudly.
-    pub fn replay(&mut self, universe: &WebUniverse, records: &[FetchRecord]) {
-        assert!(self.seeded, "replay requires a restored engine");
-        let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
-        let tail = &records[skip..];
-        if let Some(first) = tail.first() {
-            assert_eq!(
-                first.seq,
-                self.fetch_seq + 1,
-                "WAL gap: snapshot ends at seq {} but the log resumes at {}",
-                self.fetch_seq,
-                first.seq
-            );
-        }
+    fn replay_tail(&mut self, universe: &WebUniverse, tail: &[FetchRecord]) {
         let step = 1.0 / self.config.crawl_rate_per_day;
         let mut ranking = RankingModule::new(self.config.ranking.clone());
         let mut pos = 0usize;
@@ -447,7 +340,7 @@ impl ThreadedCrawler {
                     // would run the boundary twice.
                     self.clock.next_ranking += self.config.ranking_interval_days;
                     if hook.active() {
-                        hook.on_pass(t, &mut || self.export_state());
+                        hook.on_pass_boundary(t, &mut || self.export_state());
                     }
                     let req = RankRequest {
                         collection: self.collection.clone(),
@@ -504,7 +397,7 @@ impl ThreadedCrawler {
     fn apply_result(&mut self, universe: &WebUniverse, done: CrawlDone, hook: &mut dyn CrawlHook) {
         let CrawlDone { seq, url, t, result } = done;
         if hook.active() {
-            hook.on_fetch(FetchRecord { seq, url, t, result: result.clone() });
+            hook.on_fetch(&FetchRecord { seq, url, t, result: result.clone() });
         }
         match result {
             Ok(outcome) => {
@@ -617,13 +510,162 @@ impl ThreadedCrawler {
     }
 }
 
+impl CrawlEngine for ThreadedCrawler {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Threaded { workers: self.workers }
+    }
+
+    fn started(&self) -> bool {
+        self.seeded
+    }
+
+    fn clock(&self) -> EngineClock {
+        self.clock
+    }
+
+    /// Advance to day `until`. The first call starts the run at day 0;
+    /// later calls continue from the frozen clock (including after
+    /// [`crate::engine::restore`] + replay, where the continuation is
+    /// bit-identical to a never-interrupted run).
+    ///
+    /// `fetcher` is ignored: the workers spawn their own
+    /// [`SimFetcher`]s against `universe` with unrestricted politeness,
+    /// under which the simulated fetch is a pure function of `(url, t)` —
+    /// that is what makes the worker pool deterministic and the engine
+    /// checkpointable without fetcher state.
+    ///
+    /// Each call closes with a metrics sample at `until` and applies the
+    /// in-flight ranking response. A continued in-memory run therefore
+    /// carries artifacts a single longer run would not have at that
+    /// point; the checkpoint-recovery path does not, because snapshots
+    /// are captured at pass boundaries.
+    fn drive(
+        &mut self,
+        universe: &WebUniverse,
+        _fetcher: &mut dyn Fetcher,
+        hook: &mut dyn CrawlHook,
+        until: f64,
+    ) -> Result<&CrawlMetrics, WebEvoError> {
+        if !self.seeded {
+            let start = self.clock.t;
+            if until <= start {
+                return Err(WebEvoError::InvalidState(format!(
+                    "drive target {until} must lie beyond the start day {start}"
+                )));
+            }
+            self.run_start = start;
+            self.clock = EngineClock {
+                t: start,
+                next_ranking: start + self.config.ranking_interval_days,
+                next_sample: start,
+            };
+            for site in universe.sites() {
+                if let Some(root) = universe.occupant(site.id, 0, start) {
+                    let url = Url::new(site.id, root);
+                    self.all_urls.discover(url, start);
+                    self.enqueue(url, start);
+                }
+            }
+            self.seeded = true;
+        } else if until <= self.clock.t {
+            return Err(WebEvoError::InvalidState(format!(
+                "drive target {until} must lie beyond the engine clock {}",
+                self.clock.t
+            )));
+        }
+        self.metrics.observe_speed(self.config.crawl_rate_per_day);
+        self.advance_live(universe, until, hook);
+        self.sample_metrics(universe, until);
+        Ok(&self.metrics)
+    }
+
+    /// Re-apply the write-ahead-log tail after restoring a snapshot: the
+    /// deterministic batch schedule is re-derived from the restored state
+    /// and each slot consumes its logged outcome instead of fetching.
+    /// Ranking passes crossed during replay run synchronously (same
+    /// request/response pipeline, no thread). Records already covered by
+    /// the snapshot are skipped. `fetcher` is ignored, as in
+    /// [`CrawlEngine::drive`].
+    fn replay(
+        &mut self,
+        universe: &WebUniverse,
+        _fetcher: &mut dyn Fetcher,
+        records: &[FetchRecord],
+    ) -> Result<(), WebEvoError> {
+        if !self.seeded {
+            return Err(WebEvoError::InvalidState(
+                "replay requires a restored engine".into(),
+            ));
+        }
+        let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
+        let tail = &records[skip..];
+        if let Some(first) = tail.first() {
+            if first.seq != self.fetch_seq + 1 {
+                return Err(WebEvoError::InvalidState(format!(
+                    "WAL gap: snapshot ends at seq {} but the log resumes at {}",
+                    self.fetch_seq, first.seq
+                )));
+            }
+        }
+        self.replay_tail(universe, tail);
+        Ok(())
+    }
+
+    /// Capture the full engine state (worker fetchers are stateless: the
+    /// simulated fetch is a pure function of `(url, t)` under the
+    /// unrestricted politeness the workers run with).
+    fn export_state(&self) -> CrawlerState {
+        CrawlerState {
+            engine: EngineKind::Threaded { workers: self.workers },
+            config: EngineConfig::Incremental(self.config.clone()),
+            run_start: self.run_start,
+            seeded: self.seeded,
+            clock: self.clock,
+            fetch_seq: self.fetch_seq,
+            collection: self.collection.clone(),
+            all_urls: self.all_urls.clone(),
+            queue: queue_to_entries(&self.queue),
+            queued: set_to_sorted(&self.queued),
+            admissions: set_to_sorted(&self.admissions),
+            update: self.update.clone(),
+            ranking_runs: 0,
+            ranking_applied: self.ranking_applied,
+            rank_pending: self.rank_pending,
+            crawl: CrawlModule::default(),
+            periodic: None,
+            metrics: self.metrics.clone(),
+            fetcher: None,
+        }
+    }
+
+    fn metrics(&self) -> &CrawlMetrics {
+        &self.metrics
+    }
+
+    fn collection(&self) -> Option<&Collection> {
+        Some(&self.collection)
+    }
+
+    fn collection_len(&self) -> usize {
+        self.collection.len()
+    }
+
+    fn passes(&self) -> u64 {
+        self.ranking_applied
+    }
+
+    fn uses_external_fetcher(&self) -> bool {
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::incremental::{IncrementalCrawler, IncrementalConfig};
     use crate::modules::{EstimatorKind, RevisitStrategy};
     use crate::modules::RankingConfig;
-    use webevo_sim::UniverseConfig;
+    use webevo_sim::{SimFetcher, UniverseConfig};
 
     fn config(capacity: usize) -> IncrementalConfig {
         IncrementalConfig {
@@ -638,15 +680,21 @@ mod tests {
         }
     }
 
+    /// Drive through the trait; the threaded engine ignores the fetcher.
+    fn run(crawler: &mut ThreadedCrawler, u: &WebUniverse, days: f64) {
+        let mut unused = SimFetcher::new(u);
+        crawler.drive(u, &mut unused, &mut NoopHook, days).expect("drive succeeds");
+    }
+
     #[test]
     fn threaded_fills_collection() {
         let u = WebUniverse::generate(UniverseConfig::test_scale(55));
         let mut crawler = ThreadedCrawler::new(config(50), 4);
-        crawler.run(&u, 0.0, 50.0);
+        run(&mut crawler, &u, 50.0);
         assert!(
-            crawler.collection().len() >= 45,
+            crawler.collection_len() >= 45,
             "len={}",
-            crawler.collection().len()
+            crawler.collection_len()
         );
         assert!(crawler.ranking_applied() > 5);
     }
@@ -666,10 +714,10 @@ mod tests {
         let u = WebUniverse::generate(ucfg);
         let capacity = 200; // 10 sites × 20 slots: everything fits
         let mut threaded = ThreadedCrawler::new(config(capacity), 4);
-        threaded.run(&u, 0.0, 60.0);
-        let mut fetcher = webevo_sim::SimFetcher::new(&u);
+        run(&mut threaded, &u, 60.0);
+        let mut fetcher = SimFetcher::new(&u);
         let mut single = IncrementalCrawler::new(config(capacity));
-        single.run(&u, &mut fetcher, 0.0, 60.0);
+        single.drive(&u, &mut fetcher, &mut NoopHook, 60.0).expect("drive succeeds");
         let f_threaded = threaded.metrics().average_freshness_from(30.0);
         let f_single = single.metrics().average_freshness_from(30.0);
         assert!(
@@ -682,20 +730,20 @@ mod tests {
     fn single_worker_still_works() {
         let u = WebUniverse::generate(UniverseConfig::test_scale(57));
         let mut crawler = ThreadedCrawler::new(config(30), 1);
-        crawler.run(&u, 0.0, 30.0);
-        assert!(crawler.collection().len() >= 25);
+        run(&mut crawler, &u, 30.0);
+        assert!(crawler.collection_len() >= 25);
     }
 
     #[test]
     fn threaded_replays_identically() {
         // The deterministic coordinator is a replay contract: same
         // universe, same config, same worker count → bit-identical
-        // metrics, run to run. (The old free-running coordinator could
-        // not promise this; checkpoint recovery builds on it.)
+        // metrics, run to run. (A free-running coordinator could not
+        // promise this; checkpoint recovery builds on it.)
         let u = WebUniverse::generate(UniverseConfig::test_scale(58));
-        let run = || {
+        let run_once = || {
             let mut crawler = ThreadedCrawler::new(config(40), 4);
-            crawler.run(&u, 0.0, 40.0);
+            run(&mut crawler, &u, 40.0);
             (
                 crawler.metrics().fetches,
                 crawler.metrics().failed_fetches,
@@ -706,9 +754,9 @@ mod tests {
                     .collect::<Vec<(f64, f64)>>(),
             )
         };
-        let a = run();
+        let a = run_once();
         assert!(a.0 > 0, "the run should actually crawl");
-        assert_eq!(a, run());
+        assert_eq!(a, run_once());
     }
 
     #[test]
@@ -719,11 +767,11 @@ mod tests {
         let u = WebUniverse::generate(UniverseConfig::test_scale(59));
         for workers in [1, 3, 8] {
             let mut crawler = ThreadedCrawler::new(config(40), workers);
-            crawler.run(&u, 0.0, 40.0);
+            run(&mut crawler, &u, 40.0);
             assert!(
-                crawler.collection().len() >= 35,
+                crawler.collection_len() >= 35,
                 "workers={workers} len={}",
-                crawler.collection().len()
+                crawler.collection_len()
             );
         }
     }
@@ -734,14 +782,28 @@ mod tests {
         // the original and the restored copy must stay in lockstep.
         let u = WebUniverse::generate(UniverseConfig::test_scale(60));
         let mut original = ThreadedCrawler::new(config(30), 2);
-        original.run(&u, 0.0, 21.0);
+        run(&mut original, &u, 21.0);
         let state = original.export_state();
-        let mut restored = ThreadedCrawler::from_state(state);
-        original.resume(&u, 35.0, &mut NoopHook);
-        restored.resume(&u, 35.0, &mut NoopHook);
+        assert_eq!(state.engine, EngineKind::Threaded { workers: 2 });
+        let mut restored = ThreadedCrawler::from_state(state).expect("state restores");
+        run(&mut original, &u, 35.0);
+        run(&mut restored, &u, 35.0);
         assert_eq!(original.metrics().fetches, restored.metrics().fetches);
         let rows_a: Vec<(f64, f64)> = original.metrics().freshness.rows().collect();
         let rows_b: Vec<(f64, f64)> = restored.metrics().freshness.rows().collect();
         assert_eq!(rows_a, rows_b, "restored engine diverged");
+    }
+
+    #[test]
+    fn from_state_rejects_foreign_states() {
+        let u = WebUniverse::generate(UniverseConfig::test_scale(61));
+        let mut crawler = ThreadedCrawler::new(config(20), 2);
+        run(&mut crawler, &u, 8.0);
+        let mut state = crawler.export_state();
+        state.engine = EngineKind::Incremental;
+        assert!(matches!(
+            ThreadedCrawler::from_state(state),
+            Err(WebEvoError::InvalidState(_))
+        ));
     }
 }

@@ -61,6 +61,14 @@ pub trait Fetcher {
     fn observe_replay(&mut self, url: Url, t: f64, result: &Result<FetchOutcome, FetchError>) {
         let _ = (url, t, result);
     }
+
+    /// Install replay-relevant state previously captured by
+    /// [`Fetcher::export_state`] — the recovery-side counterpart, callable
+    /// through a trait object so session-level recovery works with any
+    /// fetcher. Stateless fetchers ignore it.
+    fn restore_state(&mut self, state: FetcherState) {
+        let _ = state;
+    }
 }
 
 /// The replay-relevant mutable state of a fetcher: everything that can
@@ -280,6 +288,10 @@ impl Fetcher for SimFetcher<'_> {
             attempt_counter: self.attempt_counter,
             stats: self.stats,
         })
+    }
+
+    fn restore_state(&mut self, state: FetcherState) {
+        SimFetcher::restore_state(self, state);
     }
 
     /// Mirror of [`SimFetcher::fetch`]'s state transitions, keyed on the

@@ -7,17 +7,17 @@
 //! 1. [`Checkpointer::create`] starts a fresh lineage (any previous
 //!    snapshot/WAL in the directory is superseded).
 //! 2. During the run, [`CrawlHook::on_fetch`] buffers records in memory;
-//!    [`CrawlHook::on_pass`] appends the buffer to the WAL under one
-//!    commit marker, and writes a snapshot whenever
+//!    [`CrawlHook::on_pass_boundary`] appends the buffer to the WAL under
+//!    one commit marker, and writes a snapshot whenever
 //!    [`CheckpointConfig::snapshot_every_days`] simulated days have passed
 //!    since the last one (the first pass always snapshots). Snapshot
 //!    writes are atomic (temp file + rename) and reset the WAL.
 //! 3. After a crash, [`recover`] returns the newest snapshot and the
 //!    committed WAL tail; the caller rebuilds the engine
-//!    (`from_state` → `replay` → `resume`) and creates the follow-up
-//!    checkpointer with [`Checkpointer::continue_from`], which
-//!    re-snapshots the recovered state so the old lineage is never needed
-//!    twice.
+//!    (`webevo_core::engine::restore` → `replay` → `drive`) and creates
+//!    the follow-up checkpointer with [`Checkpointer::continue_from`],
+//!    which re-snapshots the recovered state so the old lineage is never
+//!    needed twice. `CrawlSession::resume` packages all of this.
 //!
 //! I/O failures inside the hook panic: the hook signature is infallible by
 //! design (the engines cannot meaningfully continue a run whose durability
@@ -131,13 +131,13 @@ impl Checkpointer {
 }
 
 impl CrawlHook for Checkpointer {
-    fn on_fetch(&mut self, record: FetchRecord) {
+    fn on_fetch(&mut self, record: &FetchRecord) {
         self.last_seq = record.seq;
-        self.buffer.push(record);
+        self.buffer.push(record.clone());
         self.stats.records_logged += 1;
     }
 
-    fn on_pass(&mut self, t: f64, export: &mut dyn FnMut() -> CrawlerState) {
+    fn on_pass_boundary(&mut self, t: f64, export: &mut dyn FnMut() -> CrawlerState) {
         // Flush first: should the snapshot below tear, the WAL still
         // carries everything up to this boundary on top of the *previous*
         // snapshot.
@@ -213,7 +213,9 @@ pub fn recover(dir: &Path) -> Result<Option<Recovered>, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use webevo_core::{IncrementalConfig, IncrementalCrawler, NoopHook};
+    use webevo_core::{
+        engine, CrawlEngine, IncrementalConfig, IncrementalCrawler, NoopHook,
+    };
     use webevo_sim::{Fetcher, SimFetcher, UniverseConfig, WebUniverse};
 
     fn temp_dir(name: &str) -> PathBuf {
@@ -243,25 +245,26 @@ mod tests {
             Checkpointer::create(CheckpointConfig::new(&dir, 3.0)).expect("create checkpointer");
         let mut killed = IncrementalCrawler::new(config(40));
         let mut killed_fetcher = SimFetcher::new(&u);
-        killed.run_hooked(&u, &mut killed_fetcher, 0.0, 20.0, &mut ckpt);
+        killed.drive(&u, &mut killed_fetcher, &mut ckpt, 20.0).expect("drive");
         assert!(ckpt.stats().snapshots >= 2, "stats={:?}", ckpt.stats());
         assert!(ckpt.stats().flushes > ckpt.stats().snapshots);
         drop(killed);
         drop(ckpt);
 
-        // Recover from disk and continue to day 30.
+        // Recover from disk and continue to day 30 — through the engine
+        // trait, exactly as `CrawlSession::resume` does.
         let recovered = recover(&dir).expect("clean dir decodes").expect("snapshot exists");
-        let (mut restored, fetcher_state) = IncrementalCrawler::from_state(recovered.state);
+        let (mut restored, fetcher_state) = engine::restore(recovered.state).expect("restores");
         let mut fetcher2 = SimFetcher::new(&u);
         fetcher2.restore_state(fetcher_state.expect("sim fetcher state persisted"));
-        restored.replay(&u, &mut fetcher2, &recovered.wal);
-        restored.resume(&u, &mut fetcher2, 30.0, &mut NoopHook);
+        restored.replay(&u, &mut fetcher2, &recovered.wal).expect("replay");
+        restored.drive(&u, &mut fetcher2, &mut NoopHook, 30.0).expect("drive");
 
         // Reference: one uninterrupted run to day 30. Every metric channel
         // must agree bit-for-bit.
         let mut reference = IncrementalCrawler::new(config(40));
         let mut ref_fetcher = SimFetcher::new(&u);
-        reference.run(&u, &mut ref_fetcher, 0.0, 30.0);
+        reference.drive(&u, &mut ref_fetcher, &mut NoopHook, 30.0).expect("drive");
         assert_eq!(reference.metrics().fetches, restored.metrics().fetches);
         let a: Vec<(f64, f64)> = reference.metrics().freshness.rows().collect();
         let b: Vec<(f64, f64)> = restored.metrics().freshness.rows().collect();
@@ -289,15 +292,15 @@ mod tests {
         let mut ckpt = Checkpointer::create(CheckpointConfig::new(&dir, 2.0)).unwrap();
         let mut crawler = IncrementalCrawler::new(config(30));
         let mut fetcher = SimFetcher::new(&u);
-        crawler.run_hooked(&u, &mut fetcher, 0.0, 10.0, &mut ckpt);
+        crawler.drive(&u, &mut fetcher, &mut ckpt, 10.0).expect("drive");
 
         let recovered = recover(&dir).unwrap().unwrap();
-        let (mut restored, fstate) = IncrementalCrawler::from_state(recovered.state);
+        let (mut restored, fstate) = engine::restore(recovered.state).expect("restores");
         let mut fetcher2 = SimFetcher::new(&u);
         fetcher2.restore_state(fstate.unwrap());
-        restored.replay(&u, &mut fetcher2, &recovered.wal);
+        restored.replay(&u, &mut fetcher2, &recovered.wal).expect("replay");
         let mut state = restored.export_state();
-        state.fetcher = fetcher2.export_state();
+        state.fetcher = Fetcher::export_state(&fetcher2);
         let ckpt2 =
             Checkpointer::continue_from(CheckpointConfig::new(&dir, 2.0), &state).unwrap();
         assert_eq!(ckpt2.stats().snapshots, 1);

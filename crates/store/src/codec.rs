@@ -7,7 +7,14 @@ use webevo_core::CrawlerState;
 /// Magic token opening every snapshot header.
 pub const SNAPSHOT_MAGIC: &str = "WEBEVO-SNAPSHOT";
 /// The snapshot format version this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — the original incremental/threaded layout (`workers` as a state
+///   field, `config` as a bare `IncrementalConfig`).
+/// * 2 — the unified-engine layout: `config` is the `EngineConfig` enum,
+///   `EngineKind::Threaded` carries its worker count, and the periodic
+///   engine's cycle/shadow state rides in a `periodic` payload.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot or WAL could not be decoded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,7 +93,7 @@ pub fn decode_snapshot(text: &str) -> Result<CrawlerState, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use webevo_core::{IncrementalConfig, IncrementalCrawler};
+    use webevo_core::{CrawlEngine, IncrementalConfig, IncrementalCrawler, NoopHook};
     use webevo_sim::{SimFetcher, UniverseConfig, WebUniverse};
 
     fn sample_state() -> CrawlerState {
@@ -97,7 +104,7 @@ mod tests {
             ..IncrementalConfig::monthly(30)
         });
         let mut fetcher = SimFetcher::new(&u);
-        crawler.run(&u, &mut fetcher, 0.0, 10.0);
+        crawler.drive(&u, &mut fetcher, &mut NoopHook, 10.0).expect("drive");
         let mut state = crawler.export_state();
         state.fetcher = webevo_sim::Fetcher::export_state(&fetcher);
         state
@@ -117,7 +124,11 @@ mod tests {
     fn version_and_checksum_are_enforced() {
         let state = sample_state();
         let doc = encode_snapshot(&state);
-        let future = doc.replacen("WEBEVO-SNAPSHOT 1", "WEBEVO-SNAPSHOT 9", 1);
+        let future = doc.replacen(
+            &format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION}"),
+            &format!("{SNAPSHOT_MAGIC} 9"),
+            1,
+        );
         assert_eq!(
             decode_snapshot(&future).unwrap_err(),
             StoreError::UnsupportedVersion(9)

@@ -19,16 +19,20 @@
 //!
 //! Recovery loads `snapshot + WAL tail` and replays the tail through the
 //! engine's own state transitions, landing bit-identically on the state at
-//! the last flushed boundary; the engines' `resume` then continues the
+//! the last flushed boundary; driving the engine onward then continues the
 //! crawl as if the crash never happened (`tests/determinism.rs` pins this
 //! end to end).
 //!
-//! # Snapshot format (version 1)
+//! Applications do not wire any of this by hand: the [`CrawlSession`]
+//! builder in [`session`] is the supported entry point — engine choice,
+//! budget, checkpointing, and recovery in one validated API.
+//!
+//! # Snapshot format (version 2)
 //!
 //! A snapshot is a text file of exactly two lines:
 //!
 //! ```text
-//! WEBEVO-SNAPSHOT 1 <fnv64 of payload, 16 hex digits>
+//! WEBEVO-SNAPSHOT 2 <fnv64 of payload, 16 hex digits>
 //! <payload: the CrawlerState as one line of JSON>
 //! ```
 //!
@@ -68,10 +72,12 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod session;
 pub mod wal;
 
 pub use checkpoint::{
     recover, CheckpointConfig, CheckpointStats, Checkpointer, Recovered, SNAPSHOT_FILE, WAL_FILE,
 };
 pub use codec::{decode_snapshot, encode_snapshot, fnv64, StoreError};
+pub use session::{CrawlSession, CrawlSessionBuilder};
 pub use wal::{read_wal, WalWriter};

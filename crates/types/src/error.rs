@@ -41,6 +41,11 @@ impl std::error::Error for Error {}
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// The workspace error under its public-facing name: API layers
+/// (`CrawlSession`, the `CrawlEngine` trait) surface validation and state
+/// problems as `WebEvoError` values rather than panics.
+pub type WebEvoError = Error;
+
 impl Error {
     /// Shorthand constructor for invalid-parameter errors.
     pub fn invalid(msg: impl Into<String>) -> Error {

@@ -27,7 +27,7 @@ pub mod time;
 pub mod url;
 
 pub use domain::Domain;
-pub use error::{Error, Result};
+pub use error::{Error, Result, WebEvoError};
 pub use id::{PageId, SiteId};
 pub use page::{Checksum, ChangeRate, PageVersion};
 pub use time::{SimDuration, SimTime, DAY, FOUR_MONTHS, MONTH, WEEK, YEAR};

@@ -17,17 +17,20 @@
 //! //    measurements.
 //! let universe = WebUniverse::generate(UniverseConfig::test_scale(42));
 //!
-//! // 2. Run the incremental crawler for 30 simulated days.
-//! let mut crawler = IncrementalCrawler::new(IncrementalConfig {
-//!     capacity: 50,
-//!     crawl_rate_per_day: 10.0,
-//!     ..IncrementalConfig::monthly(50)
-//! });
-//! let mut fetcher = SimFetcher::new(&universe);
-//! crawler.run(&universe, &mut fetcher, 0.0, 30.0);
+//! // 2. Run the incremental crawler for 30 simulated days. CrawlSession
+//! //    is the one entry point for every engine (periodic, incremental,
+//! //    threaded); swap the EngineKind to compare them under the same
+//! //    budget.
+//! let mut session = CrawlSession::builder()
+//!     .engine(EngineKind::Incremental)
+//!     .budget(CrawlBudget::paper_monthly(50).with_cycle_days(5.0))
+//!     .universe(&universe)
+//!     .build()
+//!     .expect("a valid session");
+//! session.run(30.0).expect("the crawl runs");
 //!
 //! // 3. Inspect steady-state freshness.
-//! let freshness = crawler.metrics().average_freshness_from(15.0);
+//! let freshness = session.metrics().average_freshness_from(15.0);
 //! assert!(freshness > 0.3);
 //! ```
 //!
@@ -43,8 +46,8 @@
 //! | [`freshness`] | §4 | freshness/age analytics, Figures 7/8, Table 2 |
 //! | [`estimate`] | §5.3 | estimators EP and EB |
 //! | [`schedule`] | §4.3 | uniform/proportional/optimal revisit, Figure 9 |
-//! | [`core`] | §5 | the incremental crawler + periodic baseline |
-//! | [`store`] | §5 | durable crawl state: snapshots, WAL, checkpointing |
+//! | [`core`] | §5 | all three crawl engines behind one `CrawlEngine` trait |
+//! | [`store`] | §5 | durable crawl state + the `CrawlSession` entry point |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,8 +66,9 @@ pub use webevo_types as types;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use webevo_core::{
-        AllUrls, Collection, CrawlHook, CrawlMetrics, CrawlerState, EstimatorKind,
-        FetchRecord, IncrementalConfig, IncrementalCrawler, NoopHook, PeriodicConfig,
+        collection_quality, AllUrls, Collection, CrawlBudget, CrawlEngine, CrawlHook,
+        CrawlMetrics, CrawlerState, EngineConfig, EngineKind, EstimatorKind, FetchRecord,
+        IncrementalConfig, IncrementalCrawler, NoopHook, PairHook, PeriodicConfig,
         PeriodicCrawler, RankingConfig, RevisitStrategy, ThreadedCrawler,
     };
     pub use webevo_estimate::{
@@ -93,8 +97,10 @@ pub mod prelude {
         Histogram, IntervalBin, IntervalHistogram, LifespanBin, LifespanHistogram,
         PoissonProcess, SimRng, Summary, SurvivalCurve,
     };
-    pub use webevo_store::{recover, CheckpointConfig, Checkpointer, Recovered};
+    pub use webevo_store::{
+        recover, CheckpointConfig, Checkpointer, CrawlSession, CrawlSessionBuilder, Recovered,
+    };
     pub use webevo_types::{
-        ChangeRate, Checksum, Domain, PageId, SimDuration, SimTime, SiteId, Url,
+        ChangeRate, Checksum, Domain, PageId, SimDuration, SimTime, SiteId, Url, WebEvoError,
     };
 }

@@ -1,6 +1,7 @@
 //! The Figure 10 face-off: incremental crawler (steady, in-place,
 //! variable frequency) versus periodic crawler (batch, shadowing, fixed
-//! frequency) on the same evolving web with the same average crawl budget.
+//! frequency) on the same evolving web with the same average crawl budget
+//! — one `CrawlSession` builder, two `EngineKind`s.
 //!
 //! ```sh
 //! cargo run --release --example crawler_comparison
@@ -15,34 +16,28 @@ fn main() {
     let capacity = universe.site_count() * universe.config().pages_per_site + 20;
     let cycle_days = 15.0;
     let horizon = 90.0;
+    // One budget drives both engines: same capacity, same average speed.
+    let budget = CrawlBudget::paper_monthly(capacity)
+        .with_cycle_days(cycle_days)
+        .with_batch_window_days(cycle_days / 4.0)
+        .with_sample_interval_days(0.5);
 
+    let run = |kind: EngineKind| {
+        let mut session = CrawlSession::builder()
+            .engine(kind)
+            .budget(budget)
+            .universe(&universe)
+            .build()
+            .expect("a valid session");
+        session.run(horizon).expect("the crawl runs");
+        session.metrics().clone()
+    };
     // --- Incremental: steady + in-place + optimal revisit. ---
-    let mut incremental = IncrementalCrawler::new(IncrementalConfig {
-        capacity,
-        crawl_rate_per_day: capacity as f64 / cycle_days,
-        ranking_interval_days: 1.0,
-        revisit: RevisitStrategy::Optimal,
-        estimator: EstimatorKind::Ep,
-        history_window: 200,
-        sample_interval_days: 0.5,
-        ranking: RankingConfig::default(),
-    });
-    let mut fetcher = SimFetcher::new(&universe);
-    incremental.run(&universe, &mut fetcher, 0.0, horizon);
-
+    let inc = run(EngineKind::Incremental);
     // --- Periodic: batch (1/4-cycle window) + shadow swap. ---
-    let mut periodic = PeriodicCrawler::new(PeriodicConfig {
-        capacity,
-        cycle_days,
-        window_days: cycle_days / 4.0,
-        sample_interval_days: 0.5,
-    });
-    let mut fetcher2 = SimFetcher::new(&universe);
-    periodic.run(&universe, &mut fetcher2, 0.0, horizon);
+    let per = run(EngineKind::Periodic);
 
     let warmup = 2.0 * cycle_days;
-    let inc = incremental.metrics();
-    let per = periodic.metrics();
     println!("metric                     incremental   periodic");
     println!(
         "avg freshness (post-warmup)   {:>8.3}   {:>8.3}",

@@ -1,5 +1,6 @@
 //! Quickstart: generate a synthetic web, run the incremental crawler for
-//! two simulated months, and print what it achieved.
+//! two simulated months through the `CrawlSession` builder, and print what
+//! it achieved.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -20,26 +21,22 @@ fn main() {
 
     // An incremental crawler: steady crawling, in-place updates, optimal
     // revisit frequencies from estimator EP (the left-hand column of the
-    // paper's Figure 10).
-    let capacity = 150;
-    let config = IncrementalConfig {
-        capacity,
-        crawl_rate_per_day: capacity as f64 / 10.0, // 10-day revisit cycle
-        ranking_interval_days: 1.0,
-        revisit: RevisitStrategy::Optimal,
-        estimator: EstimatorKind::Ep,
-        history_window: 200,
-        sample_interval_days: 1.0,
-        ranking: RankingConfig::default(),
-    };
-    let mut crawler = IncrementalCrawler::new(config);
-    let mut fetcher = SimFetcher::new(&universe);
-    crawler.run(&universe, &mut fetcher, 0.0, 60.0);
+    // paper's Figure 10). The budget sets capacity and cycle; `.incremental`
+    // would override the finer knobs (revisit strategy, estimator, ...).
+    let mut session = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(
+            CrawlBudget::paper_monthly(150).with_cycle_days(10.0), // 10-day revisit cycle
+        )
+        .universe(&universe)
+        .build()
+        .expect("a valid session");
+    session.run(60.0).expect("the crawl runs");
 
-    let m = crawler.metrics();
-    println!("collection size:        {}", crawler.collection().len());
+    let m = session.metrics();
+    println!("collection size:        {}", session.collection_len());
     println!("fetches issued:         {}", m.fetches);
-    println!("ranking passes:         {}", crawler.ranking_runs());
+    println!("ranking passes:         {}", session.passes());
     println!(
         "steady-state freshness: {:.3}",
         m.average_freshness_from(20.0)
@@ -51,6 +48,6 @@ fn main() {
     );
     println!(
         "collection quality:     {:.3} (1.0 = holds exactly the top pages)",
-        crawler.quality(&universe, 60.0)
+        session.quality(60.0).expect("incremental engines have a collection")
     );
 }

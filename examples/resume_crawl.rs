@@ -1,7 +1,8 @@
-//! Resume a crawl from durable state: run 30 simulated days under the
-//! checkpointer, drop the engine ("crash"), recover `snapshot + WAL tail`
-//! from disk, and continue to day 60 — then verify the freshness
-//! trajectory matches an uninterrupted 60-day run exactly.
+//! Resume a crawl from durable state: run 30 simulated days under a
+//! checkpointing `CrawlSession`, drop the session ("crash"), build a new
+//! session over the same checkpoint directory, and `resume()` to day 60 —
+//! then verify the freshness trajectory matches an uninterrupted 60-day
+//! run exactly.
 //!
 //! ```sh
 //! cargo run --release --example resume_crawl
@@ -11,67 +12,56 @@ use webevo::prelude::*;
 
 fn main() {
     let universe = WebUniverse::generate(UniverseConfig::test_scale(7));
-    let config = IncrementalConfig {
-        capacity: 60,
-        crawl_rate_per_day: 12.0,
-        ..IncrementalConfig::monthly(60)
-    };
+    let budget = CrawlBudget::paper_monthly(60).with_cycle_days(5.0); // 12 fetches/day
     let dir = std::env::temp_dir().join(format!("webevo-resume-example-{}", std::process::id()));
 
     // --- Day 0–30: crawl under the checkpointer. -----------------------
-    let mut checkpointer =
-        Checkpointer::create(CheckpointConfig::new(&dir, 5.0)).expect("checkpoint dir writable");
-    let mut crawler = IncrementalCrawler::new(config.clone());
-    let mut fetcher = SimFetcher::new(&universe);
-    crawler.run_hooked(&universe, &mut fetcher, 0.0, 30.0, &mut checkpointer);
-    let stats = checkpointer.stats();
+    let mut session = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(budget)
+        .universe(&universe)
+        .checkpoint(&dir, 5.0)
+        .build()
+        .expect("checkpoint dir writable");
+    session.run(30.0).expect("the crawl runs");
+    let stats = session.checkpoint_stats().expect("checkpointing active");
     println!(
         "day 30: {} pages in collection, {} fetches; checkpointing wrote \
          {} snapshots and {} WAL flushes ({} records)",
-        crawler.collection().len(),
-        crawler.metrics().fetches,
+        session.collection_len(),
+        session.metrics().fetches,
         stats.snapshots,
         stats.flushes,
         stats.records_logged,
     );
 
     // --- Crash: every in-memory structure is gone. ---------------------
-    drop(crawler);
-    drop(fetcher);
-    drop(checkpointer);
+    drop(session);
 
-    // --- Recover from disk and continue to day 60. ---------------------
-    let recovered = recover(&dir)
-        .expect("checkpoint decodes")
-        .expect("a snapshot was written");
-    println!(
-        "recovered: snapshot at day {:.2} (fetch #{}), WAL tail of {} records",
-        recovered.state.clock.t,
-        recovered.state.fetch_seq,
-        recovered.wal.len(),
-    );
-    let (mut resumed, fetcher_state) = IncrementalCrawler::from_state(recovered.state);
-    let mut resumed_fetcher = SimFetcher::new(&universe);
-    resumed_fetcher.restore_state(fetcher_state.expect("sim fetcher state persisted"));
-    resumed.replay(&universe, &mut resumed_fetcher, &recovered.wal);
-    // Keep checkpointing the continued run (fresh lineage over the
-    // recovered state).
-    let mut state = resumed.export_state();
-    state.fetcher = Fetcher::export_state(&resumed_fetcher);
-    let mut checkpointer = Checkpointer::continue_from(CheckpointConfig::new(&dir, 5.0), &state)
+    // --- Recover from disk and continue to day 60: one call. -----------
+    let mut resumed = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(budget)
+        .universe(&universe)
+        .checkpoint(&dir, 5.0)
+        .build()
         .expect("checkpoint dir writable");
-    resumed.resume(&universe, &mut resumed_fetcher, 60.0, &mut checkpointer);
+    resumed.resume(60.0).expect("snapshot + WAL tail recover");
     println!(
         "day 60 (resumed): {} pages, {} fetches, steady-state freshness {:.3}",
-        resumed.collection().len(),
+        resumed.collection_len(),
         resumed.metrics().fetches,
         resumed.metrics().average_freshness_from(30.0),
     );
 
     // --- Reference: the same 60 days, never interrupted. ---------------
-    let mut reference = IncrementalCrawler::new(config);
-    let mut reference_fetcher = SimFetcher::new(&universe);
-    reference.run(&universe, &mut reference_fetcher, 0.0, 60.0);
+    let mut reference = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(budget)
+        .universe(&universe)
+        .build()
+        .expect("a valid session");
+    reference.run(60.0).expect("the crawl runs");
 
     let resumed_rows: Vec<(f64, f64)> = resumed.metrics().freshness.rows().collect();
     let reference_rows: Vec<(f64, f64)> = reference.metrics().freshness.rows().collect();

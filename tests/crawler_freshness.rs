@@ -1,5 +1,6 @@
 //! Cross-crate integration: the crawler engines against the simulator,
-//! checking the §4/§5 design claims end to end.
+//! checking the §4/§5 design claims end to end — all through the
+//! `CrawlSession` driver API.
 
 use webevo::prelude::*;
 
@@ -31,44 +32,54 @@ fn incremental_beats_periodic_on_freshness_and_latency() {
     let cycle = 12.0;
     let horizon = 72.0;
 
-    let mut inc = IncrementalCrawler::new(IncrementalConfig {
-        revisit: RevisitStrategy::Optimal,
-        ..incremental_config(capacity, cycle)
-    });
-    let mut f1 = SimFetcher::new(&u);
-    inc.run(&u, &mut f1, 0.0, horizon);
+    let mut inc_session = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(IncrementalConfig {
+            revisit: RevisitStrategy::Optimal,
+            ..incremental_config(capacity, cycle)
+        })
+        .universe(&u)
+        .build()
+        .expect("a valid session");
+    inc_session.run(horizon).expect("the crawl runs");
+    let inc = inc_session.metrics();
 
-    let mut per = PeriodicCrawler::new(PeriodicConfig {
-        capacity,
-        cycle_days: cycle,
-        window_days: cycle / 4.0,
-        sample_interval_days: 0.5,
-    });
-    let mut f2 = SimFetcher::new(&u);
-    per.run(&u, &mut f2, 0.0, horizon);
+    let mut per_session = CrawlSession::builder()
+        .engine(EngineKind::Periodic)
+        .periodic(PeriodicConfig {
+            capacity,
+            cycle_days: cycle,
+            window_days: cycle / 4.0,
+            sample_interval_days: 0.5,
+        })
+        .universe(&u)
+        .build()
+        .expect("a valid session");
+    per_session.run(horizon).expect("the crawl runs");
+    let per = per_session.metrics();
 
     let warmup = 2.0 * cycle;
-    let f_inc = inc.metrics().average_freshness_from(warmup);
-    let f_per = per.metrics().average_freshness_from(warmup);
+    let f_inc = inc.average_freshness_from(warmup);
+    let f_per = per.average_freshness_from(warmup);
     assert!(
         f_inc > f_per - 0.02,
         "incremental freshness {f_inc} should be at least the periodic {f_per}"
     );
     // Peak speed: the batch crawler's defining cost (§4).
     assert!(
-        per.metrics().peak_speed > inc.metrics().peak_speed * 3.0,
+        per.peak_speed > inc.peak_speed * 3.0,
         "periodic peak {} vs incremental {}",
-        per.metrics().peak_speed,
-        inc.metrics().peak_speed
+        per.peak_speed,
+        inc.peak_speed
     );
     // §1: "the incremental crawler may immediately index the new page,
     // right after it is found" — found→visible latency must be near zero
     // for the incremental crawler, while the periodic crawler sits on
     // found pages until the shadow swap.
-    let d_inc = inc.metrics().discovery_latency.mean();
-    let d_per = per.metrics().discovery_latency.mean();
+    let d_inc = inc.discovery_latency.mean();
+    let d_per = per.discovery_latency.mean();
     assert!(
-        inc.metrics().discovery_latency.count() > 20,
+        inc.discovery_latency.count() > 20,
         "need enough admissions to compare"
     );
     assert!(
@@ -78,8 +89,8 @@ fn incremental_beats_periodic_on_freshness_and_latency() {
     assert!(d_inc < 1.0, "incremental indexes found pages within a day: {d_inc}");
     // Birth→visible is dominated by discovery physics and roughly
     // comparable; neither should be wildly worse.
-    let l_inc = inc.metrics().new_page_latency.mean();
-    let l_per = per.metrics().new_page_latency.mean();
+    let l_inc = inc.new_page_latency.mean();
+    let l_per = per.new_page_latency.mean();
     assert!(l_inc < l_per * 2.5 + 1.0, "inc {l_inc} vs per {l_per}");
 }
 
@@ -92,13 +103,17 @@ fn variable_frequency_beats_fixed_under_tight_budget() {
     let cycle = 30.0; // tight: each page only ~once a month
     let horizon = 120.0;
     let run = |revisit: RevisitStrategy| {
-        let mut crawler = IncrementalCrawler::new(IncrementalConfig {
-            revisit,
-            ..incremental_config(capacity, cycle)
-        });
-        let mut fetcher = SimFetcher::new(&u);
-        crawler.run(&u, &mut fetcher, 0.0, horizon);
-        crawler.metrics().average_freshness_from(cycle * 2.0)
+        let mut session = CrawlSession::builder()
+            .engine(EngineKind::Incremental)
+            .incremental(IncrementalConfig {
+                revisit,
+                ..incremental_config(capacity, cycle)
+            })
+            .universe(&u)
+            .build()
+            .expect("a valid session");
+        session.run(horizon).expect("the crawl runs");
+        session.metrics().average_freshness_from(cycle * 2.0)
     };
     let uniform = run(RevisitStrategy::Uniform);
     let optimal = run(RevisitStrategy::Optimal);
@@ -118,18 +133,26 @@ fn threaded_engine_agrees_with_sequential() {
     ucfg.window_size = 18;
     let u = WebUniverse::generate(ucfg);
     let cfg = incremental_config(180, 8.0);
-    let mut fetcher = SimFetcher::new(&u);
-    let mut single = IncrementalCrawler::new(cfg.clone());
-    single.run(&u, &mut fetcher, 0.0, 48.0);
-    let mut threaded = ThreadedCrawler::new(cfg, 4);
-    threaded.run(&u, 0.0, 48.0);
-    let f_single = single.metrics().average_freshness_from(24.0);
-    let f_threaded = threaded.metrics().average_freshness_from(24.0);
+    let run = |kind: EngineKind| {
+        let mut session = CrawlSession::builder()
+            .engine(kind)
+            .incremental(cfg.clone())
+            .universe(&u)
+            .build()
+            .expect("a valid session");
+        session.run(48.0).expect("the crawl runs");
+        (
+            session.metrics().average_freshness_from(24.0),
+            session.collection_len(),
+        )
+    };
+    let (f_single, n_single) = run(EngineKind::Incremental);
+    let (f_threaded, n_threaded) = run(EngineKind::Threaded { workers: 4 });
     assert!(
         (f_single - f_threaded).abs() < 0.08,
         "sequential {f_single} vs threaded {f_threaded}"
     );
-    assert!(threaded.collection().len() >= single.collection().len() * 9 / 10);
+    assert!(n_threaded >= n_single * 9 / 10);
 }
 
 #[test]
@@ -137,25 +160,36 @@ fn threaded_engine_handles_churn() {
     // Under churn the page sets drift apart, but the threaded engine must
     // still fill its collection and stay reasonably fresh.
     let u = universe(402);
-    let mut threaded = ThreadedCrawler::new(incremental_config(80, 8.0), 4);
-    threaded.run(&u, 0.0, 48.0);
-    assert!(threaded.collection().len() >= 70);
-    assert!(threaded.metrics().average_freshness_from(24.0) > 0.3);
+    let mut session = CrawlSession::builder()
+        .engine(EngineKind::Threaded { workers: 4 })
+        .incremental(incremental_config(80, 8.0))
+        .universe(&u)
+        .build()
+        .expect("a valid session");
+    session.run(48.0).expect("the crawl runs");
+    assert!(session.collection_len() >= 70);
+    assert!(session.metrics().average_freshness_from(24.0) > 0.3);
 }
 
 #[test]
 fn crawler_tolerates_failures_and_churn() {
     let u = universe(403);
-    let mut crawler = IncrementalCrawler::new(incremental_config(100, 10.0));
     let mut fetcher = SimFetcher::new(&u).with_failure_rate(0.25);
-    crawler.run(&u, &mut fetcher, 0.0, 90.0);
-    assert!(crawler.metrics().failed_fetches > 50);
+    let mut session = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(incremental_config(100, 10.0))
+        .universe(&u)
+        .fetcher(&mut fetcher)
+        .build()
+        .expect("a valid session");
+    session.run(90.0).expect("the crawl runs");
+    assert!(session.metrics().failed_fetches > 50);
     assert!(
-        crawler.collection().len() >= 70,
+        session.collection_len() >= 70,
         "collection holds up under 25% failures: {}",
-        crawler.collection().len()
+        session.collection_len()
     );
-    assert!(crawler.metrics().average_freshness_from(40.0) > 0.35);
+    assert!(session.metrics().average_freshness_from(40.0) > 0.35);
 }
 
 #[test]

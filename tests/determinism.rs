@@ -3,8 +3,10 @@
 //! Every stochastic component draws from a seeded [`SimRng`], so the whole
 //! pipeline — universe generation, fetch simulation, crawler scheduling —
 //! must replay bit-identically for a fixed `UniverseConfig` seed. These
-//! tests pin that contract at the integration level: future refactors
-//! (sharding, async engines) must not silently break replayability.
+//! tests pin that contract at the integration level, through the public
+//! `CrawlSession` API: future refactors (sharding, async engines) must not
+//! silently break replayability, and the session redesign itself is held
+//! to the pre-redesign engines' byte-identical metrics.
 
 use std::path::PathBuf;
 use webevo::prelude::*;
@@ -20,14 +22,18 @@ fn temp_dir(name: &str) -> PathBuf {
 /// from `seed` and return its metrics.
 fn crawl(seed: u64, days: f64) -> CrawlMetrics {
     let universe = WebUniverse::generate(UniverseConfig::test_scale(seed));
-    let mut crawler = IncrementalCrawler::new(IncrementalConfig {
-        capacity: 50,
-        crawl_rate_per_day: 10.0,
-        ..IncrementalConfig::monthly(50)
-    });
-    let mut fetcher = SimFetcher::new(&universe);
-    crawler.run(&universe, &mut fetcher, 0.0, days);
-    crawler.metrics().clone()
+    let mut session = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(IncrementalConfig {
+            capacity: 50,
+            crawl_rate_per_day: 10.0,
+            ..IncrementalConfig::monthly(50)
+        })
+        .universe(&universe)
+        .build()
+        .expect("a valid session");
+    session.run(days).expect("the crawl runs");
+    session.metrics().clone()
 }
 
 /// Exact equality of every observable metric channel. `CrawlMetrics` does
@@ -62,10 +68,14 @@ fn identical_seeds_replay_identical_metrics() {
 fn periodic_crawler_replays_identically() {
     let run = || {
         let universe = WebUniverse::generate(UniverseConfig::test_scale(42));
-        let mut crawler = PeriodicCrawler::new(PeriodicConfig::monthly(50));
-        let mut fetcher = SimFetcher::new(&universe);
-        crawler.run(&universe, &mut fetcher, 0.0, 65.0);
-        crawler.metrics().clone()
+        let mut session = CrawlSession::builder()
+            .engine(EngineKind::Periodic)
+            .periodic(PeriodicConfig::monthly(50))
+            .universe(&universe)
+            .build()
+            .expect("a valid session");
+        session.run(65.0).expect("the crawl runs");
+        session.metrics().clone()
     };
     let first = run();
     let second = run();
@@ -108,7 +118,8 @@ fn universe_generation_replays() {
 // The durable-state extension of the replay contract: a run that is
 // killed, recovered from `snapshot + WAL tail`, and continued must be
 // indistinguishable — bit for bit, on every metric channel — from a run
-// that was never interrupted. (webevo-store's acceptance bar.)
+// that was never interrupted. (webevo-store's acceptance bar, exercised
+// through CrawlSession::resume for every engine.)
 // --------------------------------------------------------------------
 
 #[test]
@@ -128,30 +139,54 @@ fn incremental_killed_and_recovered_matches_uninterrupted() {
     // Phase 1: crawl under the checkpointer, then "kill" the process by
     // dropping every in-memory structure. Day 23 is deliberately not a
     // checkpoint boundary.
-    let mut ckpt = Checkpointer::create(CheckpointConfig::new(&dir, 5.0))
-        .expect("checkpoint dir is writable");
-    let mut killed = IncrementalCrawler::new(config.clone());
     let mut killed_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
-    killed.run_hooked(&universe, &mut killed_fetcher, 0.0, 23.0, &mut ckpt);
-    assert!(ckpt.stats().snapshots >= 2, "stats={:?}", ckpt.stats());
-    drop((killed, killed_fetcher, ckpt));
+    let mut killed = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(config.clone())
+        .universe(&universe)
+        .fetcher(&mut killed_fetcher)
+        .checkpoint(&dir, 5.0)
+        .build()
+        .expect("checkpoint dir is writable");
+    killed.run(23.0).expect("the crawl runs");
+    let stats = killed.checkpoint_stats().expect("checkpointing active");
+    assert!(stats.snapshots >= 2, "stats={stats:?}");
+    drop(killed);
+    drop(killed_fetcher);
 
-    // Phase 2: recover from disk and continue to day 40.
-    let recovered = recover(&dir).expect("snapshot decodes").expect("snapshot exists");
-    assert!(recovered.state.clock.t < 23.0, "snapshot predates the kill point");
-    let (mut resumed, fetcher_state) = IncrementalCrawler::from_state(recovered.state);
+    // Sanity: what is on disk predates the kill point.
+    let on_disk = recover(&dir).expect("snapshot decodes").expect("snapshot exists");
+    assert!(on_disk.state.clock.t < 23.0, "snapshot predates the kill point");
+
+    // Phase 2: recover from disk and continue to day 40 — one call.
     let mut resumed_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
-    resumed_fetcher.restore_state(fetcher_state.expect("sim fetcher state persisted"));
-    resumed.replay(&universe, &mut resumed_fetcher, &recovered.wal);
-    resumed.resume(&universe, &mut resumed_fetcher, 40.0, &mut NoopHook);
+    let mut resumed = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(config.clone())
+        .universe(&universe)
+        .fetcher(&mut resumed_fetcher)
+        .checkpoint(&dir, 5.0)
+        .build()
+        .expect("checkpoint dir is writable");
+    resumed.resume(40.0).expect("snapshot + WAL tail recover");
+    let resumed_metrics = resumed.metrics().clone();
+    drop(resumed);
 
     // Reference: the same crawl, never interrupted.
-    let mut reference = IncrementalCrawler::new(config);
     let mut reference_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
-    reference.run(&universe, &mut reference_fetcher, 0.0, 40.0);
+    let mut reference = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(config)
+        .universe(&universe)
+        .fetcher(&mut reference_fetcher)
+        .build()
+        .expect("a valid session");
+    reference.run(40.0).expect("the crawl runs");
+    let reference_metrics = reference.metrics().clone();
+    drop(reference);
 
-    assert!(reference.metrics().failed_fetches > 0, "failure injection active");
-    assert_metrics_identical(reference.metrics(), resumed.metrics());
+    assert!(reference_metrics.failed_fetches > 0, "failure injection active");
+    assert_metrics_identical(&reference_metrics, &resumed_metrics);
     assert_eq!(
         Fetcher::export_state(&reference_fetcher),
         Fetcher::export_state(&resumed_fetcher),
@@ -171,23 +206,102 @@ fn threaded_killed_and_recovered_matches_uninterrupted() {
     };
     let workers = 4;
 
-    let mut ckpt = Checkpointer::create(CheckpointConfig::new(&dir, 4.0))
+    let mut killed = CrawlSession::builder()
+        .engine(EngineKind::Threaded { workers })
+        .incremental(config.clone())
+        .universe(&universe)
+        .checkpoint(&dir, 4.0)
+        .build()
         .expect("checkpoint dir is writable");
-    let mut killed = ThreadedCrawler::new(config.clone(), workers);
-    killed.run_hooked(&universe, 0.0, 21.0, &mut ckpt);
-    assert!(ckpt.stats().snapshots >= 2, "stats={:?}", ckpt.stats());
-    drop((killed, ckpt));
+    killed.run(21.0).expect("the crawl runs");
+    let stats = killed.checkpoint_stats().expect("checkpointing active");
+    assert!(stats.snapshots >= 2, "stats={stats:?}");
+    drop(killed);
 
-    let recovered = recover(&dir).expect("snapshot decodes").expect("snapshot exists");
-    let mut resumed = ThreadedCrawler::from_state(recovered.state);
-    resumed.replay(&universe, &recovered.wal);
-    resumed.resume(&universe, 35.0, &mut NoopHook);
+    let mut resumed = CrawlSession::builder()
+        .engine(EngineKind::Threaded { workers })
+        .incremental(config.clone())
+        .universe(&universe)
+        .checkpoint(&dir, 4.0)
+        .build()
+        .expect("checkpoint dir is writable");
+    resumed.resume(35.0).expect("snapshot + WAL tail recover");
 
-    let mut reference = ThreadedCrawler::new(config, workers);
-    reference.run(&universe, 0.0, 35.0);
+    let mut reference = CrawlSession::builder()
+        .engine(EngineKind::Threaded { workers })
+        .incremental(config)
+        .universe(&universe)
+        .build()
+        .expect("a valid session");
+    reference.run(35.0).expect("the crawl runs");
 
     assert!(reference.metrics().fetches > 0, "the run should actually crawl");
     assert_metrics_identical(reference.metrics(), resumed.metrics());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn periodic_killed_and_recovered_matches_uninterrupted() {
+    // The periodic engine's save → kill → restore → continue parity: the
+    // redesign brought it to full durability parity with the incremental
+    // engines, and this pins it the same way. Day 23 sits mid-idle of the
+    // first monthly cycle, past the first shadow swap (the engine's pass
+    // boundary), so recovery crosses both a snapshot and an idle stretch.
+    let dir = temp_dir("per-recover");
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(44));
+    let config = PeriodicConfig::monthly(50);
+    let failure_rate = 0.15;
+
+    let mut killed_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
+    let mut killed = CrawlSession::builder()
+        .engine(EngineKind::Periodic)
+        .periodic(config.clone())
+        .universe(&universe)
+        .fetcher(&mut killed_fetcher)
+        .checkpoint(&dir, 5.0)
+        .build()
+        .expect("checkpoint dir is writable");
+    killed.run(23.0).expect("the crawl runs");
+    assert!(
+        killed.checkpoint_stats().expect("checkpointing active").snapshots >= 1,
+        "the first swap must have checkpointed"
+    );
+    drop(killed);
+    drop(killed_fetcher);
+
+    let mut resumed_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
+    let mut resumed = CrawlSession::builder()
+        .engine(EngineKind::Periodic)
+        .periodic(config.clone())
+        .universe(&universe)
+        .fetcher(&mut resumed_fetcher)
+        .checkpoint(&dir, 5.0)
+        .build()
+        .expect("checkpoint dir is writable");
+    resumed.resume(70.0).expect("snapshot + WAL tail recover");
+    assert!(resumed.passes() >= 2, "the resumed run crosses the next swap");
+    let resumed_metrics = resumed.metrics().clone();
+    drop(resumed);
+
+    let mut reference_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
+    let mut reference = CrawlSession::builder()
+        .engine(EngineKind::Periodic)
+        .periodic(config)
+        .universe(&universe)
+        .fetcher(&mut reference_fetcher)
+        .build()
+        .expect("a valid session");
+    reference.run(70.0).expect("the crawl runs");
+    let reference_metrics = reference.metrics().clone();
+    drop(reference);
+
+    assert!(reference_metrics.failed_fetches > 0, "failure injection active");
+    assert_metrics_identical(&reference_metrics, &resumed_metrics);
+    assert_eq!(
+        Fetcher::export_state(&reference_fetcher),
+        Fetcher::export_state(&resumed_fetcher),
+        "fetcher replay state diverged"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -202,12 +316,15 @@ fn torn_wal_tail_is_discarded_not_misparsed() {
     };
 
     // Long snapshot cadence: plenty of WAL accumulates past the snapshot.
-    let mut ckpt = Checkpointer::create(CheckpointConfig::new(&dir, 50.0))
+    let mut killed = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(config.clone())
+        .universe(&universe)
+        .checkpoint(&dir, 50.0)
+        .build()
         .expect("checkpoint dir is writable");
-    let mut killed = IncrementalCrawler::new(config.clone());
-    let mut killed_fetcher = SimFetcher::new(&universe);
-    killed.run_hooked(&universe, &mut killed_fetcher, 0.0, 18.0, &mut ckpt);
-    drop((killed, killed_fetcher, ckpt));
+    killed.run(18.0).expect("the crawl runs");
+    drop(killed);
 
     let intact = recover(&dir).expect("decodes").expect("exists");
     assert!(!intact.wal.is_empty(), "test needs a WAL tail to tear");
@@ -228,15 +345,22 @@ fn torn_wal_tail_is_discarded_not_misparsed() {
     // Recovery from the torn log loses only the uncommitted work — the
     // continued crawl re-fetches it and still matches the uninterrupted
     // reference exactly.
-    let (mut resumed, fetcher_state) = IncrementalCrawler::from_state(torn.state);
-    let mut resumed_fetcher = SimFetcher::new(&universe);
-    resumed_fetcher.restore_state(fetcher_state.expect("fetcher state persisted"));
-    resumed.replay(&universe, &mut resumed_fetcher, &torn.wal);
-    resumed.resume(&universe, &mut resumed_fetcher, 25.0, &mut NoopHook);
+    let mut resumed = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(config.clone())
+        .universe(&universe)
+        .checkpoint(&dir, 50.0)
+        .build()
+        .expect("checkpoint dir is writable");
+    resumed.resume(25.0).expect("torn checkpoint recovers");
 
-    let mut reference = IncrementalCrawler::new(config);
-    let mut reference_fetcher = SimFetcher::new(&universe);
-    reference.run(&universe, &mut reference_fetcher, 0.0, 25.0);
+    let mut reference = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(config)
+        .universe(&universe)
+        .build()
+        .expect("a valid session");
+    reference.run(25.0).expect("the crawl runs");
     assert_metrics_identical(reference.metrics(), resumed.metrics());
     let _ = std::fs::remove_dir_all(&dir);
 }

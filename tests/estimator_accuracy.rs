@@ -136,22 +136,26 @@ fn estimators_converge_inside_the_crawler() {
     // than slow pages on average.
     let u = WebUniverse::generate(UniverseConfig::test_scale(500));
     let capacity = 100;
-    let mut crawler = IncrementalCrawler::new(IncrementalConfig {
-        capacity,
-        crawl_rate_per_day: capacity as f64 / 4.0, // frequent revisits
-        ranking_interval_days: 2.0,
-        revisit: RevisitStrategy::Uniform,
-        estimator: EstimatorKind::Ep,
-        history_window: 300,
-        sample_interval_days: 1.0,
-        ranking: RankingConfig::default(),
-    });
-    let mut fetcher = SimFetcher::new(&u);
-    crawler.run(&u, &mut fetcher, 0.0, 100.0);
+    let mut session = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(IncrementalConfig {
+            capacity,
+            crawl_rate_per_day: capacity as f64 / 4.0, // frequent revisits
+            ranking_interval_days: 2.0,
+            revisit: RevisitStrategy::Uniform,
+            estimator: EstimatorKind::Ep,
+            history_window: 300,
+            sample_interval_days: 1.0,
+            ranking: RankingConfig::default(),
+        })
+        .universe(&u)
+        .build()
+        .expect("a valid session");
+    session.run(100.0).expect("the crawl runs");
 
     let mut fast_true = Vec::new();
     let mut slow_true = Vec::new();
-    for (&p, stored) in crawler.collection().iter() {
+    for (&p, stored) in session.collection().expect("incremental has one").iter() {
         if stored.history.comparisons() < 10 {
             continue;
         }

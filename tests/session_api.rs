@@ -1,0 +1,264 @@
+//! `CrawlSession` builder validation: every misconfiguration surfaces as
+//! a typed [`WebEvoError`] from `build()` or `resume()` — never a panic
+//! and never a mid-crawl surprise.
+
+use webevo::prelude::*;
+
+fn universe() -> WebUniverse {
+    WebUniverse::generate(UniverseConfig::test_scale(9))
+}
+
+/// `build()` must reject, with an `InvalidParameter`, a session whose
+/// message mentions the offending knob.
+fn assert_invalid(result: Result<CrawlSession<'_>, WebEvoError>, needle: &str) {
+    match result {
+        Err(WebEvoError::InvalidParameter(msg)) => assert!(
+            msg.contains(needle),
+            "error should mention {needle:?}, got: {msg}"
+        ),
+        Err(other) => panic!("expected InvalidParameter mentioning {needle:?}, got {other}"),
+        Ok(_) => panic!("expected InvalidParameter mentioning {needle:?}, got a session"),
+    }
+}
+
+#[test]
+fn zero_capacity_is_a_typed_error() {
+    let u = universe();
+    for kind in [
+        EngineKind::Periodic,
+        EngineKind::Incremental,
+        EngineKind::Threaded { workers: 2 },
+    ] {
+        assert_invalid(
+            CrawlSession::builder()
+                .engine(kind)
+                .budget(CrawlBudget::paper_monthly(0))
+                .universe(&u)
+                .build(),
+            "capacity",
+        );
+    }
+}
+
+#[test]
+fn zero_workers_is_a_typed_error() {
+    let u = universe();
+    assert_invalid(
+        CrawlSession::builder()
+            .engine(EngineKind::Threaded { workers: 0 })
+            .budget(CrawlBudget::paper_monthly(10))
+            .universe(&u)
+            .build(),
+        "worker",
+    );
+}
+
+#[test]
+fn custom_fetcher_with_threaded_engine_is_a_typed_error() {
+    // The threaded engine's workers fetch through their own SimFetchers;
+    // silently dropping a failure- or politeness-configured fetcher would
+    // invalidate comparisons, so the builder refuses the combination.
+    let u = universe();
+    let mut fetcher = SimFetcher::new(&u).with_failure_rate(0.25);
+    assert_invalid(
+        CrawlSession::builder()
+            .engine(EngineKind::Threaded { workers: 2 })
+            .budget(CrawlBudget::paper_monthly(10))
+            .universe(&u)
+            .fetcher(&mut fetcher)
+            .build(),
+        "worker fetchers",
+    );
+}
+
+#[test]
+fn unwritable_checkpoint_dir_is_a_typed_error() {
+    // A path below a regular file can never become a directory — the
+    // probe fails for any user, root included.
+    let u = universe();
+    let blocker = std::env::temp_dir().join(format!("webevo-blocker-{}", std::process::id()));
+    std::fs::write(&blocker, b"not a directory").expect("tmp writable");
+    assert_invalid(
+        CrawlSession::builder()
+            .engine(EngineKind::Incremental)
+            .budget(CrawlBudget::paper_monthly(10))
+            .universe(&u)
+            .checkpoint(blocker.join("nested"), 5.0)
+            .build(),
+        "checkpoint dir",
+    );
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
+fn missing_engine_universe_or_config_are_typed_errors() {
+    let u = universe();
+    assert_invalid(
+        CrawlSession::builder()
+            .budget(CrawlBudget::paper_monthly(10))
+            .universe(&u)
+            .build(),
+        "engine",
+    );
+    assert_invalid(
+        CrawlSession::builder()
+            .engine(EngineKind::Incremental)
+            .budget(CrawlBudget::paper_monthly(10))
+            .build(),
+        "universe",
+    );
+    assert_invalid(
+        CrawlSession::builder()
+            .engine(EngineKind::Incremental)
+            .universe(&u)
+            .build(),
+        "budget",
+    );
+}
+
+#[test]
+fn bad_cadences_are_typed_errors() {
+    let u = universe();
+    assert_invalid(
+        CrawlSession::builder()
+            .engine(EngineKind::Incremental)
+            .budget(CrawlBudget::paper_monthly(10).with_cycle_days(0.0))
+            .universe(&u)
+            .build(),
+        "crawl rate",
+    );
+    assert_invalid(
+        CrawlSession::builder()
+            .engine(EngineKind::Periodic)
+            .budget(CrawlBudget::paper_monthly(10).with_batch_window_days(45.0))
+            .universe(&u)
+            .build(),
+        "window",
+    );
+    let dir = std::env::temp_dir().join(format!("webevo-cadence-{}", std::process::id()));
+    assert_invalid(
+        CrawlSession::builder()
+            .engine(EngineKind::Incremental)
+            .budget(CrawlBudget::paper_monthly(10))
+            .universe(&u)
+            .checkpoint(&dir, 0.0)
+            .build(),
+        "cadence",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_checkpointing_is_a_typed_error() {
+    let u = universe();
+    let mut session = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(CrawlBudget::paper_monthly(10))
+        .universe(&u)
+        .build()
+        .expect("a valid session");
+    assert!(matches!(
+        session.resume(10.0),
+        Err(WebEvoError::InvalidState(msg)) if msg.contains("checkpoint")
+    ));
+}
+
+#[test]
+fn resume_with_nothing_on_disk_is_a_typed_error() {
+    let u = universe();
+    let dir = std::env::temp_dir().join(format!("webevo-nothing-{}", std::process::id()));
+    let mut session = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(CrawlBudget::paper_monthly(10))
+        .universe(&u)
+        .checkpoint(&dir, 5.0)
+        .build()
+        .expect("a valid session");
+    assert!(matches!(
+        session.resume(10.0),
+        Err(WebEvoError::InvalidState(msg)) if msg.contains("nothing to resume")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_with_mismatched_engine_kind_is_a_typed_error() {
+    let u = universe();
+    let dir = std::env::temp_dir().join(format!("webevo-mismatch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
+
+    // Write an *incremental* checkpoint...
+    let mut writer = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(budget)
+        .universe(&u)
+        .checkpoint(&dir, 2.0)
+        .build()
+        .expect("a valid session");
+    writer.run(10.0).expect("the crawl runs");
+    drop(writer);
+
+    // ...then try to resume it as a periodic crawl.
+    let mut wrong = CrawlSession::builder()
+        .engine(EngineKind::Periodic)
+        .budget(budget)
+        .universe(&u)
+        .checkpoint(&dir, 2.0)
+        .build()
+        .expect("a valid session");
+    match wrong.resume(20.0) {
+        Err(WebEvoError::InvalidState(msg)) => {
+            assert!(
+                msg.contains("incremental") && msg.contains("periodic"),
+                "error should name both kinds: {msg}"
+            );
+        }
+        other => panic!("expected a kind-mismatch error, got {other:?}"),
+    }
+
+    // A worker-count difference within the threaded family is NOT a
+    // mismatch — but incremental vs threaded is.
+    let mut threaded = CrawlSession::builder()
+        .engine(EngineKind::Threaded { workers: 3 })
+        .budget(budget)
+        .universe(&u)
+        .checkpoint(&dir, 2.0)
+        .build()
+        .expect("a valid session");
+    assert!(matches!(
+        threaded.resume(20.0),
+        Err(WebEvoError::InvalidState(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_to_a_covered_day_reports_recovered_state() {
+    let u = universe();
+    let dir = std::env::temp_dir().join(format!("webevo-covered-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
+    let mut writer = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(budget)
+        .universe(&u)
+        .checkpoint(&dir, 2.0)
+        .build()
+        .expect("a valid session");
+    writer.run(20.0).expect("the crawl runs");
+    drop(writer);
+
+    let mut reader = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(budget)
+        .universe(&u)
+        .checkpoint(&dir, 2.0)
+        .build()
+        .expect("a valid session");
+    // Day 5 is long past: resume() recovers and reports without crawling.
+    let fetches = reader.resume(5.0).expect("recovers").fetches;
+    assert!(fetches > 0, "recovered state carries the crawl so far");
+    assert!(reader.clock().t >= 5.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
