@@ -1,78 +1,20 @@
 //! Micro-benchmarks of the durability layer: snapshot encode/decode
-//! throughput and WAL append latency, at collection sizes bracketing a
-//! production shard (10k and 100k pages).
+//! throughput — binary (version 3) against the legacy JSON (version 2)
+//! codec, at collection sizes bracketing a production shard — and WAL
+//! append latency.
 //!
-//! The numbers to watch: snapshot cost scales with collection size but is
-//! paid only every `snapshot_every_days`; WAL appends are the per-boundary
-//! steady-state cost and must stay flat regardless of collection size
-//! (they scale with the *fetch rate*, not the corpus).
+//! The numbers to watch: binary snapshot cost must stay ≥5× below the
+//! JSON baseline at 100k pages (the `repro bench` target enforces the same
+//! bar in CI); WAL appends are the per-boundary steady-state cost and must
+//! stay flat regardless of collection size (they scale with the *fetch
+//! rate*, not the corpus).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use webevo::prelude::*;
-use webevo::store::{decode_snapshot, encode_snapshot, WalWriter};
-use webevo::core::{CrawlModule, EngineClock, EngineKind, QueueEntry, UpdateModule};
-use webevo::prelude::EngineConfig;
-
-/// Build a synthetic engine state with `pages` stored pages carrying
-/// realistic per-page baggage: a few links, a populated change history,
-/// Bayesian posteriors, and a queue entry each.
-fn synthetic_state(pages: u64) -> CrawlerState {
-    let config = IncrementalConfig::monthly(pages as usize);
-    let mut collection = Collection::new(pages as usize, 50);
-    let mut all_urls = AllUrls::new();
-    let mut queue = Vec::with_capacity(pages as usize);
-    for i in 0..pages {
-        let url = Url::new(SiteId((i % 997) as u32), PageId(i));
-        let links = vec![
-            Url::new(url.site, PageId((i + 1) % pages)),
-            Url::new(url.site, PageId((i + 7) % pages)),
-        ];
-        collection.save(url, Checksum(i), links, 0.0);
-        // A short revisit history so estimator state is non-trivial.
-        for day in 1..=4u64 {
-            collection.update(PageId(i), Checksum(i + day / 2), vec![], day as f64);
-        }
-        all_urls.add_in_link(url, PageId((i + 3) % pages), 0.0);
-        queue.push(QueueEntry { due_bits: (5.0 + (i % 30) as f64).to_bits(), url });
-    }
-    CrawlerState {
-        engine: EngineKind::Incremental,
-        run_start: 0.0,
-        seeded: true,
-        clock: EngineClock { t: 4.0, next_ranking: 5.0, next_sample: 5.0 },
-        fetch_seq: pages * 5,
-        update: UpdateModule::new(config.revisit, config.estimator, 30.0),
-        config: EngineConfig::Incremental(config),
-        collection,
-        all_urls,
-        queue,
-        queued: (0..pages).map(PageId).collect(),
-        admissions: Vec::new(),
-        ranking_runs: 4,
-        ranking_applied: 0,
-        rank_pending: false,
-        crawl: CrawlModule::default(),
-        periodic: None,
-        metrics: CrawlMetrics::default(),
-        fetcher: None,
-    }
-}
-
-fn fetch_records(n: u64) -> Vec<FetchRecord> {
-    (1..=n)
-        .map(|seq| FetchRecord {
-            seq,
-            url: Url::new(SiteId((seq % 97) as u32), PageId(seq)),
-            t: seq as f64 * 0.01,
-            result: Ok(FetchOutcome {
-                checksum: Checksum(seq),
-                links: vec![Url::new(SiteId(1), PageId(seq + 1))],
-                last_modified: None,
-            }),
-        })
-        .collect()
-}
+use webevo::store::{
+    decode_snapshot, encode_snapshot, encode_snapshot_json, WalWriter,
+};
+use webevo_bench::{synthetic_records, synthetic_state};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("store");
@@ -80,7 +22,8 @@ fn bench(c: &mut Criterion) {
 
     for &pages in &[10_000u64, 100_000] {
         let state = synthetic_state(pages);
-        let doc = encode_snapshot(&state);
+        let binary_doc = encode_snapshot(&state);
+        let json_doc = encode_snapshot_json(&state);
         g.bench_with_input(
             BenchmarkId::new("snapshot_encode_pages", pages),
             &state,
@@ -88,15 +31,31 @@ fn bench(c: &mut Criterion) {
         );
         g.bench_with_input(
             BenchmarkId::new("snapshot_decode_pages", pages),
-            &doc,
+            &binary_doc,
             |b, doc| b.iter(|| black_box(decode_snapshot(black_box(doc)).expect("decodes"))),
+        );
+        // The legacy JSON codec, as the measured baseline for the same
+        // state (decode goes through the same version-sniffing entry).
+        g.bench_with_input(
+            BenchmarkId::new("snapshot_encode_json_pages", pages),
+            &state,
+            |b, state| b.iter(|| black_box(encode_snapshot_json(black_box(state)))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("snapshot_decode_json_pages", pages),
+            &json_doc,
+            |b, doc| {
+                b.iter(|| {
+                    black_box(decode_snapshot(black_box(doc.as_bytes())).expect("decodes"))
+                })
+            },
         );
     }
 
     // WAL append latency: one pass-boundary flush of a day's worth of
     // fetch records (the batch size tracks crawl rate, not corpus size).
     for &batch in &[64u64, 512] {
-        let records = fetch_records(batch);
+        let records = synthetic_records(batch);
         let path = std::env::temp_dir()
             .join(format!("webevo-bench-wal-{}-{batch}.wlog", std::process::id()));
         let mut writer = WalWriter::create(&path).expect("temp WAL writable");

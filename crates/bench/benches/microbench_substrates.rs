@@ -52,6 +52,56 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Dense substrates vs. the ordered maps they replaced: point lookups
+    // and full ascending-order iteration sweeps, the two access patterns
+    // on the per-fetch and per-pass hot paths.
+    for n in [1_000u64, 100_000] {
+        use std::collections::BTreeMap;
+        let dense: webevo::types::DenseMap<f64> =
+            (0..n).map(|i| (PageId(i), i as f64 * 0.5)).collect();
+        let tree: BTreeMap<PageId, f64> =
+            (0..n).map(|i| (PageId(i), i as f64 * 0.5)).collect();
+        // Probe ids in a scrambled order so the branch predictor cannot
+        // learn the sweep.
+        let probes: Vec<PageId> = (0..n).map(|i| PageId((i * 7919) % n)).collect();
+        g.bench_with_input(BenchmarkId::new("dense_map_lookup", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for &p in &probes {
+                    sum += dense.get(p).copied().unwrap_or(0.0);
+                }
+                black_box(sum)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("btree_map_lookup", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for &p in &probes {
+                    sum += tree.get(&p).copied().unwrap_or(0.0);
+                }
+                black_box(sum)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dense_map_iterate", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for (_, v) in dense.iter() {
+                    sum += v;
+                }
+                black_box(sum)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("btree_map_iterate", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for (_, v) in tree.iter() {
+                    sum += v;
+                }
+                black_box(sum)
+            })
+        });
+    }
+
     // Revisit queue throughput.
     for n in [1_000usize, 10_000] {
         g.bench_with_input(BenchmarkId::new("queue_push_pop", n), &n, |b, &n| {

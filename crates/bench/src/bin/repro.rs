@@ -13,7 +13,7 @@
 //! ```
 //!
 //! Available targets: `table1 table2 sensitivity fig2 fig4 fig5 fig6 fig7
-//! fig8 fig9 gain crawlers crawl all`.
+//! fig8 fig9 gain crawlers crawl bench all` (`all` excludes `bench`).
 //!
 //! Flags (for the `crawl` target):
 //! * `--checkpoint-dir DIR` — persist snapshots + WAL under `DIR`.
@@ -21,12 +21,29 @@
 //! * `--resume` — recover from `--checkpoint-dir` and continue instead of
 //!   starting fresh.
 //! * `--days N` — crawl horizon in simulated days (default 75).
+//!
+//! Flags (for the `bench` target):
+//! * `--bench-days N` — simulated days for the end-to-end throughput leg
+//!   (default 30).
+//! * `--bench-pages A,B,…` — synthetic collection sizes for the codec leg
+//!   (default `10000,100000`).
+//! * `--out FILE` — also write the JSON report to `FILE`.
+//!
+//! `bench` emits one machine-readable JSON document (see
+//! `BENCH_substrates.json` at the repo root for a checked-in run) and
+//! exits non-zero if the binary codec fails to clearly beat the JSON
+//! baseline — the perf-regression smoke CI runs.
 
 use std::path::PathBuf;
+use std::time::Instant;
 use webevo::experiment::report;
 use webevo::freshness::curves::policy_curves;
 use webevo::prelude::*;
-use webevo_bench::{paper_rate_mixture, repro_experiment, repro_universe, TABLE2_LAMBDA};
+use webevo::store::{decode_snapshot, encode_snapshot, encode_snapshot_json, WalWriter};
+use webevo_bench::{
+    paper_rate_mixture, repro_experiment, repro_universe, synthetic_records, synthetic_state,
+    TABLE2_LAMBDA,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +51,9 @@ fn main() {
     let mut checkpoint_every = 5.0f64;
     let mut resume = false;
     let mut days = 75.0f64;
+    let mut bench_days = 30.0f64;
+    let mut bench_pages: Vec<u64> = vec![10_000, 100_000];
+    let mut bench_out: Option<PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -60,6 +80,31 @@ fn main() {
                     .ok()
                     .filter(|&v: &f64| v > 0.0)
                     .expect("--days must be a positive number");
+            }
+            "--bench-days" => {
+                bench_days = iter
+                    .next()
+                    .expect("--bench-days needs a day count")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &f64| v > 0.0)
+                    .expect("--bench-days must be a positive number");
+            }
+            "--bench-pages" => {
+                bench_pages = iter
+                    .next()
+                    .expect("--bench-pages needs a comma-separated list")
+                    .split(',')
+                    .map(|p| {
+                        p.parse::<u64>()
+                            .ok()
+                            .filter(|&v| v > 0)
+                            .expect("--bench-pages entries must be positive integers")
+                    })
+                    .collect();
+            }
+            "--out" => {
+                bench_out = Some(PathBuf::from(iter.next().expect("--out needs a path")));
             }
             other => positional.push(other.to_string()),
         }
@@ -424,7 +469,126 @@ fn main() {
                 }
                 println!();
             }
+            "bench" => {
+                let (report, regression) = run_perf_bench(bench_days, &bench_pages);
+                println!("{report}");
+                if let Some(path) = bench_out.clone() {
+                    std::fs::write(&path, format!("{report}\n")).unwrap_or_else(|e| {
+                        eprintln!("[repro] cannot write {path:?}: {e}");
+                        std::process::exit(1);
+                    });
+                    eprintln!("[repro] wrote {path:?}");
+                }
+                if regression {
+                    eprintln!(
+                        "[repro] PERF REGRESSION: binary codec no longer clearly beats \
+                         the JSON baseline (see the report above)"
+                    );
+                    std::process::exit(1);
+                }
+            }
             other => eprintln!("[repro] unknown target: {other}"),
         }
     }
+}
+
+/// Median wall-clock seconds of `reps` invocations of `f`.
+fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let out = f();
+            let secs = start.elapsed().as_secs_f64();
+            std::hint::black_box(out);
+            secs
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[samples.len() / 2]
+}
+
+/// The `bench` target: end-to-end crawl throughput, snapshot codec
+/// binary-vs-JSON timings, and WAL append latency, as one machine-readable
+/// JSON document plus the regression verdict. The `regression` field (and
+/// returned flag) is the CI smoke marker: `true` when the binary codec
+/// fails to beat the JSON baseline by at least 3× at the largest measured
+/// size (the locally measured margin is far larger; 3× absorbs machine
+/// noise without letting a real regression through).
+fn run_perf_bench(bench_days: f64, bench_pages: &[u64]) -> (String, bool) {
+    const REGRESSION_SPEEDUP_FLOOR: f64 = 3.0;
+    let mut out = String::from("{\n  \"schema\": \"webevo-repro-bench/1\",\n");
+
+    // --- End-to-end crawl throughput (dense substrates under load). ---
+    eprintln!("[repro] bench: end-to-end crawl ({bench_days} simulated days)...");
+    let universe = repro_universe();
+    let capacity = universe.site_count() * universe.config().pages_per_site;
+    let budget = CrawlBudget::paper_monthly(capacity).with_cycle_days(15.0);
+    let mut session = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(budget)
+        .universe(&universe)
+        .build()
+        .expect("a valid session");
+    let start = Instant::now();
+    session.run(bench_days).expect("the crawl runs");
+    let elapsed = start.elapsed().as_secs_f64();
+    let fetches = session.metrics().fetches;
+    let fetches_per_sec = fetches as f64 / elapsed;
+    out.push_str(&format!(
+        "  \"e2e\": {{\"capacity\": {capacity}, \"sim_days\": {bench_days}, \
+         \"fetches\": {fetches}, \"wall_seconds\": {elapsed:.3}, \
+         \"fetches_per_wall_second\": {fetches_per_sec:.1}, \
+         \"pages_per_wall_day\": {:.0}, \"sim_days_per_wall_second\": {:.3}}},\n",
+        fetches_per_sec * 86_400.0,
+        bench_days / elapsed,
+    ));
+
+    // --- Snapshot codec: binary (v3) vs the JSON baseline (v2). ---
+    let mut worst_speedup = f64::INFINITY;
+    out.push_str("  \"snapshot\": [\n");
+    for (i, &pages) in bench_pages.iter().enumerate() {
+        eprintln!("[repro] bench: snapshot codec at {pages} pages...");
+        let state = synthetic_state(pages);
+        let binary_doc = encode_snapshot(&state);
+        let json_doc = encode_snapshot_json(&state);
+        let bin_enc = median_secs(3, || encode_snapshot(&state));
+        let bin_dec = median_secs(3, || decode_snapshot(&binary_doc).expect("decodes"));
+        let json_enc = median_secs(3, || encode_snapshot_json(&state));
+        let json_dec =
+            median_secs(3, || decode_snapshot(json_doc.as_bytes()).expect("decodes"));
+        let speedup = (json_enc + json_dec) / (bin_enc + bin_dec);
+        worst_speedup = worst_speedup.min(speedup);
+        out.push_str(&format!(
+            "    {{\"pages\": {pages}, \
+             \"binary_encode_seconds\": {bin_enc:.4}, \"binary_decode_seconds\": {bin_dec:.4}, \
+             \"json_encode_seconds\": {json_enc:.4}, \"json_decode_seconds\": {json_dec:.4}, \
+             \"binary_bytes\": {}, \"json_bytes\": {}, \"speedup\": {speedup:.2}}}{}\n",
+            binary_doc.len(),
+            json_doc.len(),
+            if i + 1 == bench_pages.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // --- WAL append latency (one pass-boundary flush). ---
+    eprintln!("[repro] bench: WAL append...");
+    let records = synthetic_records(512);
+    let wal_path = std::env::temp_dir()
+        .join(format!("webevo-repro-bench-{}.wlog", std::process::id()));
+    let mut writer = WalWriter::create(&wal_path).expect("temp WAL writable");
+    let mut seq = 0u64;
+    let wal_secs = median_secs(20, || {
+        seq += 512;
+        writer.append_committed(&records, seq).expect("append")
+    });
+    let _ = std::fs::remove_file(&wal_path);
+    out.push_str(&format!(
+        "  \"wal\": {{\"batch_records\": 512, \"append_seconds\": {wal_secs:.6}}},\n"
+    ));
+
+    let regression = !(fetches > 0 && worst_speedup >= REGRESSION_SPEEDUP_FLOOR);
+    out.push_str(&format!(
+        "  \"speedup_floor\": {REGRESSION_SPEEDUP_FLOOR:.1},\n  \"regression\": {regression}\n}}"
+    ));
+    (out, regression)
 }

@@ -33,6 +33,70 @@ pub fn paper_rate_mixture(seed: u64, per_domain: usize) -> Vec<ChangeRate> {
     rates
 }
 
+/// Build a synthetic engine state with `pages` stored pages carrying
+/// realistic per-page baggage: a few links, a populated change history,
+/// Bayesian posteriors, and a queue entry each. Shared by the codec
+/// micro-benchmarks and the `repro bench` perf target so both measure the
+/// same workload shape.
+pub fn synthetic_state(pages: u64) -> CrawlerState {
+    use webevo::core::{CrawlModule, EngineClock, QueueEntry, UpdateModule};
+    let config = IncrementalConfig::monthly(pages as usize);
+    let mut collection = Collection::new(pages as usize, 50);
+    let mut all_urls = AllUrls::new();
+    let mut queue = Vec::with_capacity(pages as usize);
+    for i in 0..pages {
+        let url = Url::new(SiteId((i % 997) as u32), PageId(i));
+        let links = vec![
+            Url::new(url.site, PageId((i + 1) % pages)),
+            Url::new(url.site, PageId((i + 7) % pages)),
+        ];
+        collection.save(url, Checksum(i), links, 0.0);
+        // A short revisit history so estimator state is non-trivial.
+        for day in 1..=4u64 {
+            collection.update(PageId(i), Checksum(i + day / 2), vec![], day as f64);
+        }
+        all_urls.add_in_link(url, PageId((i + 3) % pages), 0.0);
+        queue.push(QueueEntry { due_bits: (5.0 + (i % 30) as f64).to_bits(), url });
+    }
+    CrawlerState {
+        engine: EngineKind::Incremental,
+        run_start: 0.0,
+        seeded: true,
+        clock: EngineClock { t: 4.0, next_ranking: 5.0, next_sample: 5.0 },
+        fetch_seq: pages * 5,
+        update: UpdateModule::new(config.revisit, config.estimator, 30.0),
+        config: EngineConfig::Incremental(config),
+        collection,
+        all_urls,
+        queue,
+        queued: (0..pages).map(PageId).collect(),
+        admissions: Vec::new(),
+        ranking_runs: 4,
+        ranking_applied: 0,
+        rank_pending: false,
+        crawl: CrawlModule::default(),
+        periodic: None,
+        metrics: CrawlMetrics::default(),
+        fetcher: None,
+    }
+}
+
+/// A batch of `n` synthetic fetch records, the WAL-append workload shape.
+pub fn synthetic_records(n: u64) -> Vec<FetchRecord> {
+    (1..=n)
+        .map(|seq| FetchRecord {
+            seq,
+            url: Url::new(SiteId((seq % 97) as u32), PageId(seq)),
+            t: seq as f64 * 0.01,
+            result: Ok(FetchOutcome {
+                checksum: Checksum(seq),
+                links: vec![Url::new(SiteId(1), PageId(seq + 1))],
+                last_modified: None,
+            }),
+        })
+        .collect()
+}
+
 /// Run the full §2–3 experiment on the repro universe (128 monitored
 /// days). Expensive — cache the result when calling repeatedly.
 pub fn repro_experiment() -> ExperimentReport {

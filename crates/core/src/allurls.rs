@@ -5,10 +5,18 @@
 //! discovered URL (footnote 2: PageRank of an uncrawled page is estimated
 //! "based on how many pages in the Collection have a link to p"), and
 //! whether the URL has been observed dead.
+//!
+//! Storage is a [`DenseMap`] over the URL's [`PageId`] (page ids are
+//! globally unique, so a page determines its URL; the owning site rides in
+//! the slot). Candidate enumeration therefore ascends by page id — a
+//! deterministic order, which is all the RankingModule needs: its
+//! candidate ranking sorts by `(estimate, site, page)`, a total order, so
+//! the enumeration order never leaks into replacement decisions.
 
-use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
-use webevo_types::{PageId, Url};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::collections::BTreeSet;
+use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
+use webevo_types::{DenseMap, PageId, SiteId, Url};
 
 /// Metadata for one discovered URL.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -23,12 +31,18 @@ pub struct UrlInfo {
     pub dead_since: Option<f64>,
 }
 
+/// One dense slot: the URL's owning site plus its metadata (the page id is
+/// the slot index).
+#[derive(Clone, Debug)]
+struct UrlSlot {
+    site: SiteId,
+    info: UrlInfo,
+}
+
 /// The set of all discovered URLs.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct AllUrls {
-    // Ordered by URL: candidate enumeration feeds importance-mass float
-    // sums that must replay exactly for a fixed seed.
-    urls: BTreeMap<Url, UrlInfo>,
+    urls: DenseMap<UrlSlot>,
     /// Cap on tracked in-link sources per URL (evidence saturates quickly).
     max_sources: usize,
 }
@@ -36,7 +50,7 @@ pub struct AllUrls {
 impl AllUrls {
     /// An empty set tracking up to 32 in-link sources per URL.
     pub fn new() -> AllUrls {
-        AllUrls { urls: BTreeMap::new(), max_sources: 32 }
+        AllUrls { urls: DenseMap::new(), max_sources: 32 }
     }
 
     /// Number of URLs discovered.
@@ -51,55 +65,64 @@ impl AllUrls {
 
     /// True if the URL is known.
     pub fn contains(&self, url: Url) -> bool {
-        self.urls.contains_key(&url)
+        self.urls.contains(url.page)
     }
 
     /// Register a URL discovered at time `t` (idempotent).
     pub fn discover(&mut self, url: Url, t: f64) {
-        self.urls.entry(url).or_insert_with(|| UrlInfo {
-            in_link_sources: BTreeSet::new(),
-            discovered: t,
-            dead_since: None,
+        self.urls.or_insert_with(url.page, || UrlSlot {
+            site: url.site,
+            info: UrlInfo {
+                in_link_sources: BTreeSet::new(),
+                discovered: t,
+                dead_since: None,
+            },
         });
     }
 
     /// Register that collection page `source` links to `url` (discovering
     /// the URL if needed).
     pub fn add_in_link(&mut self, url: Url, source: PageId, t: f64) {
-        let info = self.urls.entry(url).or_insert_with(|| UrlInfo {
-            in_link_sources: BTreeSet::new(),
-            discovered: t,
-            dead_since: None,
+        let max_sources = self.max_sources;
+        let slot = self.urls.or_insert_with(url.page, || UrlSlot {
+            site: url.site,
+            info: UrlInfo {
+                in_link_sources: BTreeSet::new(),
+                discovered: t,
+                dead_since: None,
+            },
         });
-        if info.in_link_sources.len() < self.max_sources {
-            info.in_link_sources.insert(source);
+        if slot.info.in_link_sources.len() < max_sources {
+            slot.info.in_link_sources.insert(source);
         }
     }
 
     /// Mark a URL dead (fetch returned NotFound) at time `t`.
     pub fn mark_dead(&mut self, url: Url, t: f64) {
-        if let Some(info) = self.urls.get_mut(&url) {
-            info.dead_since.get_or_insert(t);
+        if let Some(slot) = self.urls.get_mut(url.page) {
+            slot.info.dead_since.get_or_insert(t);
         }
     }
 
     /// Metadata for a URL.
     pub fn info(&self, url: Url) -> Option<&UrlInfo> {
-        self.urls.get(&url)
+        self.urls.get(url.page).map(|slot| &slot.info)
     }
 
     /// Candidate URLs for admission: known, not dead, not satisfying
-    /// `exclude`, with at least one recorded in-link.
+    /// `exclude`, with at least one recorded in-link. Ascending page-id
+    /// order.
     pub fn candidates<'a>(
         &'a self,
         exclude: &'a dyn Fn(Url) -> bool,
     ) -> impl Iterator<Item = (Url, &'a UrlInfo)> + 'a {
-        self.urls.iter().filter_map(move |(&url, info)| {
-            if info.dead_since.is_none()
-                && !info.in_link_sources.is_empty()
+        self.urls.iter().filter_map(move |(page, slot)| {
+            let url = Url::new(slot.site, page);
+            if slot.info.dead_since.is_none()
+                && !slot.info.in_link_sources.is_empty()
                 && !exclude(url)
             {
-                Some((url, info))
+                Some((url, &slot.info))
             } else {
                 None
             }
@@ -107,10 +130,102 @@ impl AllUrls {
     }
 }
 
+// Serialized exactly like the ordered-map layout this structure replaced
+// (`urls` as a sequence of `[url, info]` pairs), so pre-existing JSON
+// snapshots decode unchanged. Pair order is ascending page id — identical
+// to the old `(site, page)` order whenever ids ascend with sites, and
+// immaterial to decoding either way.
+impl Serialize for AllUrls {
+    fn to_value(&self) -> Value {
+        let urls = Value::Seq(
+            self.urls
+                .iter()
+                .map(|(page, slot)| {
+                    Value::Seq(vec![
+                        Url::new(slot.site, page).to_value(),
+                        slot.info.to_value(),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Map(vec![
+            ("urls".to_string(), urls),
+            ("max_sources".to_string(), self.max_sources.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for AllUrls {
+    fn from_value(v: &Value) -> Result<AllUrls, SerdeError> {
+        let urls_value = v
+            .get("urls")
+            .ok_or_else(|| SerdeError::custom("AllUrls missing `urls`"))?;
+        let pairs = Vec::<(Url, UrlInfo)>::from_value(urls_value)?;
+        let max_sources = v
+            .get("max_sources")
+            .ok_or_else(|| SerdeError::custom("AllUrls missing `max_sources`"))?;
+        let mut all = AllUrls {
+            urls: DenseMap::new(),
+            max_sources: usize::from_value(max_sources)?,
+        };
+        for (url, info) in pairs {
+            all.urls.insert(url.page, UrlSlot { site: url.site, info });
+        }
+        Ok(all)
+    }
+}
+
+impl BinEncode for UrlInfo {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        let sources: Vec<PageId> = self.in_link_sources.iter().copied().collect();
+        sources.bin_encode(out);
+        self.discovered.bin_encode(out);
+        self.dead_since.bin_encode(out);
+    }
+}
+
+impl BinDecode for UrlInfo {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<UrlInfo, BinError> {
+        Ok(UrlInfo {
+            in_link_sources: Vec::<PageId>::bin_decode(r)?.into_iter().collect(),
+            discovered: f64::bin_decode(r)?,
+            dead_since: Option::bin_decode(r)?,
+        })
+    }
+}
+
+impl BinEncode for UrlSlot {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.site.bin_encode(out);
+        self.info.bin_encode(out);
+    }
+}
+
+impl BinDecode for UrlSlot {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<UrlSlot, BinError> {
+        Ok(UrlSlot { site: SiteId::bin_decode(r)?, info: UrlInfo::bin_decode(r)? })
+    }
+}
+
+impl BinEncode for AllUrls {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.urls.bin_encode(out);
+        self.max_sources.bin_encode(out);
+    }
+}
+
+impl BinDecode for AllUrls {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<AllUrls, BinError> {
+        Ok(AllUrls {
+            urls: DenseMap::bin_decode(r)?,
+            max_sources: usize::bin_decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use webevo_types::SiteId;
 
     fn url(i: u64) -> Url {
         Url::new(SiteId(0), PageId(i))
@@ -163,5 +278,31 @@ mod tests {
             a.add_in_link(url(1), PageId(i), 0.0);
         }
         assert_eq!(a.info(url(1)).unwrap().in_link_sources.len(), 32);
+    }
+
+    #[test]
+    fn candidates_remember_the_owning_site() {
+        let mut a = AllUrls::new();
+        a.add_in_link(Url::new(SiteId(4), PageId(9)), PageId(1), 0.0);
+        let never = |_| false;
+        let cands: Vec<Url> = a.candidates(&never).map(|(u, _)| u).collect();
+        assert_eq!(cands, vec![Url::new(SiteId(4), PageId(9))]);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_sites_and_sources() {
+        let mut a = AllUrls::new();
+        a.add_in_link(Url::new(SiteId(3), PageId(7)), PageId(1), 2.0);
+        a.add_in_link(Url::new(SiteId(1), PageId(2)), PageId(7), 1.0);
+        a.mark_dead(Url::new(SiteId(1), PageId(2)), 5.0);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: AllUrls = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.info(url(2)).unwrap().dead_since, Some(5.0));
+        let never = |_| false;
+        let cands: Vec<Url> = back.candidates(&never).map(|(u, _)| u).collect();
+        assert_eq!(cands, vec![Url::new(SiteId(3), PageId(7))]);
+        // Re-serialization is canonical.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }
 }

@@ -6,9 +6,9 @@
 //! RankingModule's link structure), and the current importance score.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use webevo_estimate::{BayesianEstimator, ChangeHistory};
-use webevo_types::{Checksum, PageId, Url};
+use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
+use webevo_types::{Checksum, DenseMap, PageId, Url};
 
 /// One page's stored state.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -37,10 +37,12 @@ pub struct StoredPage {
 /// The local collection: a capacity-bounded page store.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Collection {
-    // Ordered map: iteration feeds float accumulations (metrics sampling,
-    // ranking mass sums) that must replay exactly for a fixed seed. A
-    // HashMap's per-instance seed would reorder them run to run.
-    pages: BTreeMap<PageId, StoredPage>,
+    // Dense slot map, iterated in ascending-id order: iteration feeds
+    // float accumulations (metrics sampling, ranking mass sums) that must
+    // replay exactly for a fixed seed, and ascending `PageId` is the same
+    // order the ordered map it replaced produced. A HashMap's per-instance
+    // seed would reorder them run to run.
+    pages: DenseMap<StoredPage>,
     capacity: usize,
     history_window: usize,
 }
@@ -50,7 +52,7 @@ impl Collection {
     /// pages" assumption, §5.2) and a per-page history window.
     pub fn new(capacity: usize, history_window: usize) -> Collection {
         assert!(capacity > 0, "collection capacity must be positive");
-        Collection { pages: BTreeMap::new(), capacity, history_window }
+        Collection { pages: DenseMap::new(), capacity, history_window }
     }
 
     /// The configured capacity.
@@ -75,17 +77,17 @@ impl Collection {
 
     /// True if the page is stored.
     pub fn contains(&self, page: PageId) -> bool {
-        self.pages.contains_key(&page)
+        self.pages.contains(page)
     }
 
     /// Shared access to a stored page.
     pub fn get(&self, page: PageId) -> Option<&StoredPage> {
-        self.pages.get(&page)
+        self.pages.get(page)
     }
 
     /// Mutable access to a stored page.
     pub fn get_mut(&mut self, page: PageId) -> Option<&mut StoredPage> {
-        self.pages.get_mut(&page)
+        self.pages.get_mut(page)
     }
 
     /// Admit a new page crawled at `t` (Algorithm 5.1 step \[9\]). Panics
@@ -93,7 +95,7 @@ impl Collection {
     /// ordering is the refinement decision and must stay explicit.
     pub fn save(&mut self, url: Url, checksum: Checksum, links: Vec<Url>, t: f64) {
         assert!(!self.is_full(), "collection full: evict before saving");
-        assert!(!self.pages.contains_key(&url.page), "page already stored: use update");
+        assert!(!self.pages.contains(url.page), "page already stored: use update");
         let mut history = ChangeHistory::new(self.history_window);
         history.record_visit(t, checksum);
         let mut bayes = BayesianEstimator::uniform_prior(BayesianEstimator::paper_classes())
@@ -118,7 +120,7 @@ impl Collection {
     /// Update an existing page from a re-crawl at `t` (Algorithm 5.1 step
     /// \[5\]). Returns whether a change was detected.
     pub fn update(&mut self, page: PageId, checksum: Checksum, links: Vec<Url>, t: f64) -> bool {
-        let stored = self.pages.get_mut(&page).expect("update requires a stored page");
+        let stored = self.pages.get_mut(page).expect("update requires a stored page");
         let obs = stored.history.record_visit(t, checksum);
         if obs.interval > 0.0 {
             stored.bayes.observe(obs.interval, obs.changed);
@@ -132,16 +134,16 @@ impl Collection {
 
     /// Discard a page (Algorithm 5.1 step \[8\]). Returns its state.
     pub fn discard(&mut self, page: PageId) -> Option<StoredPage> {
-        self.pages.remove(&page)
+        self.pages.remove(page)
     }
 
-    /// Iterate stored pages (arbitrary order).
-    pub fn iter(&self) -> impl Iterator<Item = (&PageId, &StoredPage)> {
+    /// Iterate stored pages in ascending-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, &StoredPage)> {
         self.pages.iter()
     }
 
-    /// Iterate stored pages mutably.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&PageId, &mut StoredPage)> {
+    /// Iterate stored pages mutably, ascending-id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (PageId, &mut StoredPage)> {
         self.pages.iter_mut()
     }
 
@@ -154,9 +156,9 @@ impl Collection {
                 a.1.importance
                     .partial_cmp(&b.1.importance)
                     .expect("importance is never NaN")
-                    .then(a.0.cmp(b.0))
+                    .then(a.0.cmp(&b.0))
             })
-            .map(|(&p, _)| p)
+            .map(|(p, _)| p)
     }
 
     /// Minimum importance in the collection.
@@ -165,6 +167,54 @@ impl Collection {
             .values()
             .map(|s| s.importance)
             .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl BinEncode for StoredPage {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.url.bin_encode(out);
+        self.checksum.bin_encode(out);
+        self.links.bin_encode(out);
+        self.last_crawl.bin_encode(out);
+        self.admitted.bin_encode(out);
+        self.crawl_count.bin_encode(out);
+        self.history.bin_encode(out);
+        self.bayes.bin_encode(out);
+        self.importance.bin_encode(out);
+    }
+}
+
+impl BinDecode for StoredPage {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<StoredPage, BinError> {
+        Ok(StoredPage {
+            url: Url::bin_decode(r)?,
+            checksum: Checksum::bin_decode(r)?,
+            links: Vec::bin_decode(r)?,
+            last_crawl: f64::bin_decode(r)?,
+            admitted: f64::bin_decode(r)?,
+            crawl_count: u64::bin_decode(r)?,
+            history: ChangeHistory::bin_decode(r)?,
+            bayes: BayesianEstimator::bin_decode(r)?,
+            importance: f64::bin_decode(r)?,
+        })
+    }
+}
+
+impl BinEncode for Collection {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.pages.bin_encode(out);
+        self.capacity.bin_encode(out);
+        self.history_window.bin_encode(out);
+    }
+}
+
+impl BinDecode for Collection {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<Collection, BinError> {
+        Ok(Collection {
+            pages: DenseMap::bin_decode(r)?,
+            capacity: usize::bin_decode(r)?,
+            history_window: usize::bin_decode(r)?,
+        })
     }
 }
 

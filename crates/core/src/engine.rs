@@ -305,7 +305,7 @@ pub fn collection_quality(collection: &Collection, universe: &WebUniverse, t: f6
         return 0.0;
     }
     let ideal: f64 = all[..k].iter().sum::<f64>() / k as f64;
-    let actual: f64 = collection.iter().map(|(&p, _)| scores.get(p)).sum::<f64>() / k as f64;
+    let actual: f64 = collection.iter().map(|(p, _)| scores.get(p)).sum::<f64>() / k as f64;
     if ideal > 0.0 {
         actual / ideal
     } else {

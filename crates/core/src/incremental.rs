@@ -29,14 +29,13 @@ use crate::modules::{
     CrawlModule, EstimatorKind, RankingConfig, RankingModule, RevisitStrategy, UpdateModule,
 };
 use crate::state::{
-    entries_to_queue, queue_to_entries, set_to_sorted, CrawlerState, EngineClock, EngineConfig,
-    EngineKind,
+    entries_to_queue, queue_to_entries, CrawlerState, EngineClock, EngineConfig, EngineKind,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 use webevo_schedule::RevisitQueue;
 use webevo_sim::{FetchError, Fetcher, FetcherState, WebUniverse};
-use webevo_types::{PageId, Url, WebEvoError};
+use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
+use webevo_types::{DenseSet, Url, WebEvoError};
 
 /// Configuration of the incremental crawler.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -68,18 +67,46 @@ impl IncrementalConfig {
     }
 }
 
+impl BinEncode for IncrementalConfig {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.capacity.bin_encode(out);
+        self.crawl_rate_per_day.bin_encode(out);
+        self.ranking_interval_days.bin_encode(out);
+        self.revisit.bin_encode(out);
+        self.estimator.bin_encode(out);
+        self.history_window.bin_encode(out);
+        self.sample_interval_days.bin_encode(out);
+        self.ranking.bin_encode(out);
+    }
+}
+
+impl BinDecode for IncrementalConfig {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<IncrementalConfig, BinError> {
+        Ok(IncrementalConfig {
+            capacity: usize::bin_decode(r)?,
+            crawl_rate_per_day: f64::bin_decode(r)?,
+            ranking_interval_days: f64::bin_decode(r)?,
+            revisit: crate::modules::RevisitStrategy::bin_decode(r)?,
+            estimator: crate::modules::EstimatorKind::bin_decode(r)?,
+            history_window: usize::bin_decode(r)?,
+            sample_interval_days: f64::bin_decode(r)?,
+            ranking: crate::modules::RankingConfig::bin_decode(r)?,
+        })
+    }
+}
+
 /// The incremental crawler (left-hand column of Figure 10).
 pub struct IncrementalCrawler {
     config: IncrementalConfig,
     collection: Collection,
     all_urls: AllUrls,
     queue: RevisitQueue,
-    queued: HashSet<PageId>,
+    queued: DenseSet,
     /// Pages the RankingModule proposed for admission; the eviction they
     /// pay for happens only when their crawl *succeeds* (Algorithm 5.1
     /// discards at crawl time, steps [7]-[9] — evicting at proposal time
     /// would leak slots whenever a candidate turns out dead).
-    admissions: HashSet<PageId>,
+    admissions: DenseSet,
     update: UpdateModule,
     ranking: RankingModule,
     crawl: CrawlModule,
@@ -105,8 +132,8 @@ impl IncrementalCrawler {
             collection: Collection::new(config.capacity, config.history_window),
             all_urls: AllUrls::new(),
             queue: RevisitQueue::new(),
-            queued: HashSet::new(),
-            admissions: HashSet::new(),
+            queued: DenseSet::new(),
+            admissions: DenseSet::new(),
             update: UpdateModule::new(config.revisit, config.estimator, default_interval),
             ranking: RankingModule::new(config.ranking.clone()),
             crawl: CrawlModule::new(),
@@ -220,7 +247,7 @@ impl IncrementalCrawler {
                 self.clock.t += step;
                 continue;
             };
-            self.queued.remove(&visit.url.page);
+            self.queued.remove(visit.url.page);
             self.crawl_one(universe, source, visit.url, t, hook);
             self.clock.t += step;
         }
@@ -248,7 +275,7 @@ impl IncrementalCrawler {
                 if in_collection {
                     self.collection.update(url.page, outcome.checksum, outcome.links.clone(), t);
                 } else {
-                    let admitted = self.admissions.remove(&url.page);
+                    let admitted = self.admissions.remove(url.page);
                     if self.collection.is_full() {
                         if !admitted {
                             // A stale growth-phase entry: the collection
@@ -262,7 +289,7 @@ impl IncrementalCrawler {
                         if let Some(victim) = self.collection.least_important() {
                             if let Some(stored) = self.collection.discard(victim) {
                                 self.queue.remove(stored.url);
-                                self.queued.remove(&victim);
+                                self.queued.remove(victim);
                                 self.update.forget(victim);
                             }
                         }
@@ -305,7 +332,7 @@ impl IncrementalCrawler {
             Err(FetchError::NotFound) => {
                 self.metrics.record_fetch(false);
                 self.all_urls.mark_dead(url, t);
-                self.admissions.remove(&url.page);
+                self.admissions.remove(url.page);
                 if self.collection.discard(url.page).is_some() {
                     self.update.forget(url.page);
                 }
@@ -347,7 +374,7 @@ impl IncrementalCrawler {
         let mut fresh = 0usize;
         let mut age_sum = 0.0;
         let n = self.collection.len();
-        for (&p, stored) in self.collection.iter() {
+        for (p, stored) in self.collection.iter() {
             if universe.copy_is_fresh(p, stored.last_crawl, t) {
                 fresh += 1;
             } else {
@@ -478,8 +505,8 @@ impl CrawlEngine for IncrementalCrawler {
             collection: self.collection.clone(),
             all_urls: self.all_urls.clone(),
             queue: queue_to_entries(&self.queue),
-            queued: set_to_sorted(&self.queued),
-            admissions: set_to_sorted(&self.admissions),
+            queued: self.queued.to_vec(),
+            admissions: self.admissions.to_vec(),
             update: self.update.clone(),
             ranking_runs: self.ranking.runs(),
             ranking_applied: 0,
@@ -576,7 +603,7 @@ mod tests {
         // After 100 days of churn, every stored page must still be alive
         // recently (dead ones evicted on NotFound).
         let mut stale_dead = 0;
-        for (&p, stored) in crawler.collection().expect("incremental has one").iter() {
+        for (p, stored) in crawler.collection().expect("incremental has one").iter() {
             if !u.alive(p, 100.0) && (100.0 - stored.last_crawl) > 10.0 {
                 stale_dead += 1;
             }

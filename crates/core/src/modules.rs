@@ -18,14 +18,14 @@
 use crate::allurls::AllUrls;
 use crate::collection::{Collection, StoredPage};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use webevo_graph::pagerank::{pagerank, PageRankConfig};
 use webevo_graph::PageGraph;
 use webevo_schedule::{
     optimal_allocation, proportional_allocation, uniform_allocation,
 };
 use webevo_sim::{FetchError, FetchOutcome, Fetcher};
-use webevo_types::{ChangeRate, PageId, Url};
+use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
+use webevo_types::{ChangeRate, DenseMap, PageId, Url};
 
 /// Which frequency estimator the UpdateModule uses (§5.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -107,10 +107,10 @@ pub struct UpdateModule {
     /// paper's overall average interval is ~4 months; a somewhat faster
     /// prior makes the crawler explore new pages before settling.
     prior_rate: ChangeRate,
-    /// Per-page revisit intervals from the last reallocation. Ordered map
-    /// so snapshots are canonical (two exports of the same state are
-    /// byte-identical).
-    intervals: BTreeMap<PageId, f64>,
+    /// Per-page revisit intervals from the last reallocation. Dense and
+    /// iterated in ascending-id order, so snapshots stay canonical (two
+    /// exports of the same state are byte-identical).
+    intervals: DenseMap<f64>,
     /// Fallback interval before the first reallocation.
     default_interval: f64,
 }
@@ -128,7 +128,7 @@ impl UpdateModule {
             strategy,
             estimator,
             prior_rate: ChangeRate(1.0 / 60.0),
-            intervals: BTreeMap::new(),
+            intervals: DenseMap::new(),
             default_interval,
         }
     }
@@ -172,7 +172,7 @@ impl UpdateModule {
         }
         let mut pages: Vec<PageId> = Vec::with_capacity(collection.len());
         let mut rates: Vec<ChangeRate> = Vec::with_capacity(collection.len());
-        for (&p, stored) in collection.iter() {
+        for (p, stored) in collection.iter() {
             pages.push(p);
             rates.push(self.estimated_rate(stored));
         }
@@ -200,14 +200,14 @@ impl UpdateModule {
     pub fn next_due(&self, page: PageId, t: f64) -> f64 {
         t + self
             .intervals
-            .get(&page)
+            .get(page)
             .copied()
             .unwrap_or(self.default_interval)
     }
 
     /// Drop scheduling state for a discarded page.
     pub fn forget(&mut self, page: PageId) {
-        self.intervals.remove(&page);
+        self.intervals.remove(page);
     }
 
     /// The configured strategy.
@@ -218,6 +218,81 @@ impl UpdateModule {
     /// The configured estimator.
     pub fn estimator(&self) -> EstimatorKind {
         self.estimator
+    }
+}
+
+impl BinEncode for CrawlModule {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.crawled.bin_encode(out);
+        self.failed.bin_encode(out);
+    }
+}
+
+impl BinDecode for CrawlModule {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<CrawlModule, BinError> {
+        Ok(CrawlModule { crawled: u64::bin_decode(r)?, failed: u64::bin_decode(r)? })
+    }
+}
+
+impl BinEncode for RevisitStrategy {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            RevisitStrategy::Uniform => 0,
+            RevisitStrategy::Proportional => 1,
+            RevisitStrategy::Optimal => 2,
+        });
+    }
+}
+
+impl BinDecode for RevisitStrategy {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<RevisitStrategy, BinError> {
+        match r.byte()? {
+            0 => Ok(RevisitStrategy::Uniform),
+            1 => Ok(RevisitStrategy::Proportional),
+            2 => Ok(RevisitStrategy::Optimal),
+            other => Err(BinError::new(format!("invalid RevisitStrategy tag {other}"))),
+        }
+    }
+}
+
+impl BinEncode for EstimatorKind {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            EstimatorKind::Ep => 0,
+            EstimatorKind::Eb => 1,
+        });
+    }
+}
+
+impl BinDecode for EstimatorKind {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<EstimatorKind, BinError> {
+        match r.byte()? {
+            0 => Ok(EstimatorKind::Ep),
+            1 => Ok(EstimatorKind::Eb),
+            other => Err(BinError::new(format!("invalid EstimatorKind tag {other}"))),
+        }
+    }
+}
+
+impl BinEncode for UpdateModule {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.strategy.bin_encode(out);
+        self.estimator.bin_encode(out);
+        self.prior_rate.bin_encode(out);
+        self.intervals.bin_encode(out);
+        self.default_interval.bin_encode(out);
+    }
+}
+
+impl BinDecode for UpdateModule {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<UpdateModule, BinError> {
+        Ok(UpdateModule {
+            strategy: RevisitStrategy::bin_decode(r)?,
+            estimator: EstimatorKind::bin_decode(r)?,
+            prior_rate: ChangeRate::bin_decode(r)?,
+            intervals: DenseMap::bin_decode(r)?,
+            default_interval: f64::bin_decode(r)?,
+        })
     }
 }
 
@@ -240,6 +315,24 @@ impl Default for RankingConfig {
             max_replacements_per_run: 8,
             admit_margin: 1.1,
         }
+    }
+}
+
+impl BinEncode for RankingConfig {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.pagerank.bin_encode(out);
+        self.max_replacements_per_run.bin_encode(out);
+        self.admit_margin.bin_encode(out);
+    }
+}
+
+impl BinDecode for RankingConfig {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<RankingConfig, BinError> {
+        Ok(RankingConfig {
+            pagerank: PageRankConfig::bin_decode(r)?,
+            max_replacements_per_run: usize::bin_decode(r)?,
+            admit_margin: f64::bin_decode(r)?,
+        })
     }
 }
 
@@ -287,12 +380,12 @@ impl RankingModule {
         }
         // Build the intra-collection link graph.
         let mut graph = PageGraph::new();
-        for (&p, stored) in collection.iter() {
+        for (p, stored) in collection.iter() {
             graph.add_page(p, stored.url.site);
         }
         let links: Vec<(PageId, PageId)> = collection
             .iter()
-            .flat_map(|(&p, stored)| {
+            .flat_map(|(p, stored)| {
                 stored
                     .links
                     .iter()
@@ -307,7 +400,7 @@ impl RankingModule {
         let Ok(scores) = pagerank(&graph, &self.config.pagerank) else {
             return RankingOutcome::default();
         };
-        for (&p, stored) in collection.iter_mut() {
+        for (p, stored) in collection.iter_mut() {
             stored.importance = scores.get(p);
         }
         // Estimate candidates from their in-link evidence.
@@ -348,9 +441,9 @@ impl RankingModule {
                     a.1.importance
                         .partial_cmp(&b.1.importance)
                         .expect("no NaN")
-                        .then(a.0.cmp(b.0))
+                        .then(a.0.cmp(&b.0))
                 })
-                .map(|(&p, s)| (p, s.importance));
+                .map(|(p, s)| (p, s.importance));
             let Some((victim_page, victim_importance)) = victim else {
                 break;
             };

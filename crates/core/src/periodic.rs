@@ -23,9 +23,10 @@ use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, EstimatorKind, RevisitStrategy, UpdateModule};
 use crate::state::{CrawlerState, EngineClock, EngineConfig, EngineKind};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use webevo_sim::{FetchError, Fetcher, FetcherState, WebUniverse};
-use webevo_types::{Checksum, PageId, Url, WebEvoError};
+use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
+use webevo_types::{Checksum, DenseMap, DenseSet, Url, WebEvoError};
 
 /// Configuration of the periodic crawler.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -77,11 +78,11 @@ pub struct PeriodicPage {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BatchWindow {
     /// The shadow collection being built this cycle.
-    pub shadow: BTreeMap<PageId, PeriodicPage>,
+    pub shadow: DenseMap<PeriodicPage>,
     /// BFS frontier, front = next URL to crawl.
     pub frontier: VecDeque<Url>,
     /// Pages ever enqueued this window (BFS dedup guard).
-    pub seen: BTreeSet<PageId>,
+    pub seen: DenseSet,
 }
 
 /// The periodic engine's cycle/shadow payload inside
@@ -90,9 +91,9 @@ pub struct BatchWindow {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PeriodicState {
     /// The user-visible collection.
-    pub current: BTreeMap<PageId, PeriodicPage>,
+    pub current: DenseMap<PeriodicPage>,
     /// When each page first became visible to users.
-    pub first_visible: BTreeMap<PageId, f64>,
+    pub first_visible: DenseMap<f64>,
     /// Completed shadow swaps.
     pub cycles: u64,
     /// Start day of the cycle in progress.
@@ -104,15 +105,94 @@ pub struct PeriodicState {
     pub window: Option<BatchWindow>,
 }
 
+impl BinEncode for PeriodicConfig {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.capacity.bin_encode(out);
+        self.cycle_days.bin_encode(out);
+        self.window_days.bin_encode(out);
+        self.sample_interval_days.bin_encode(out);
+    }
+}
+
+impl BinDecode for PeriodicConfig {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<PeriodicConfig, BinError> {
+        Ok(PeriodicConfig {
+            capacity: usize::bin_decode(r)?,
+            cycle_days: f64::bin_decode(r)?,
+            window_days: f64::bin_decode(r)?,
+            sample_interval_days: f64::bin_decode(r)?,
+        })
+    }
+}
+
+impl BinEncode for PeriodicPage {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.crawl_time.bin_encode(out);
+        self.checksum.bin_encode(out);
+    }
+}
+
+impl BinDecode for PeriodicPage {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<PeriodicPage, BinError> {
+        Ok(PeriodicPage {
+            crawl_time: f64::bin_decode(r)?,
+            checksum: Checksum::bin_decode(r)?,
+        })
+    }
+}
+
+impl BinEncode for BatchWindow {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.shadow.bin_encode(out);
+        self.frontier.bin_encode(out);
+        self.seen.bin_encode(out);
+    }
+}
+
+impl BinDecode for BatchWindow {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<BatchWindow, BinError> {
+        Ok(BatchWindow {
+            shadow: DenseMap::bin_decode(r)?,
+            frontier: VecDeque::bin_decode(r)?,
+            seen: DenseSet::bin_decode(r)?,
+        })
+    }
+}
+
+impl BinEncode for PeriodicState {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.current.bin_encode(out);
+        self.first_visible.bin_encode(out);
+        self.cycles.bin_encode(out);
+        self.cycle_start.bin_encode(out);
+        self.idle.bin_encode(out);
+        self.window.bin_encode(out);
+    }
+}
+
+impl BinDecode for PeriodicState {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<PeriodicState, BinError> {
+        Ok(PeriodicState {
+            current: DenseMap::bin_decode(r)?,
+            first_visible: DenseMap::bin_decode(r)?,
+            cycles: u64::bin_decode(r)?,
+            cycle_start: f64::bin_decode(r)?,
+            idle: bool::bin_decode(r)?,
+            window: Option::bin_decode(r)?,
+        })
+    }
+}
+
 /// The periodic crawler.
 pub struct PeriodicCrawler {
     config: PeriodicConfig,
     /// The user-visible collection (page → crawl info).
-    // Ordered for the replay contract: the swap loop and metric sampling
-    // accumulate floats over this map's iteration order.
-    current: BTreeMap<PageId, PeriodicPage>,
+    // Iterated in ascending-id order for the replay contract: the swap
+    // loop and metric sampling accumulate floats over this iteration
+    // order.
+    current: DenseMap<PeriodicPage>,
     /// When each page first became visible to users (for latency metrics).
-    first_visible: BTreeMap<PageId, f64>,
+    first_visible: DenseMap<f64>,
     metrics: CrawlMetrics,
     cycles: u64,
     run_start: f64,
@@ -135,8 +215,8 @@ impl PeriodicCrawler {
         assert!(config.sample_interval_days > 0.0);
         PeriodicCrawler {
             config,
-            current: BTreeMap::new(),
-            first_visible: BTreeMap::new(),
+            current: DenseMap::new(),
+            first_visible: DenseMap::new(),
             metrics: CrawlMetrics::default(),
             cycles: 0,
             run_start: 0.0,
@@ -195,9 +275,9 @@ impl PeriodicCrawler {
     /// Seed the BFS frontier for the cycle starting at `self.cycle_start`.
     fn seed_window(&mut self, universe: &WebUniverse) {
         let mut window = BatchWindow {
-            shadow: BTreeMap::new(),
+            shadow: DenseMap::new(),
             frontier: VecDeque::new(),
-            seen: BTreeSet::new(),
+            seen: DenseSet::new(),
         };
         for site in universe.sites() {
             if let Some(root) = universe.occupant(site.id, 0, self.cycle_start) {
@@ -326,10 +406,9 @@ impl PeriodicCrawler {
     ) {
         let window = self.window.take().expect("window in progress");
         let swap_time = self.cycle_start + self.config.window_days;
-        for (&p, snap) in window.shadow.iter() {
-            if let std::collections::btree_map::Entry::Vacant(slot) = self.first_visible.entry(p)
-            {
-                slot.insert(swap_time);
+        for (p, snap) in window.shadow.iter() {
+            if !self.first_visible.contains(p) {
+                self.first_visible.insert(p, swap_time);
                 let birth = universe.page(p).birth;
                 if birth >= self.run_start {
                     self.metrics.record_admission_latency(swap_time - birth);
@@ -365,7 +444,7 @@ impl PeriodicCrawler {
         let mut fresh = 0usize;
         let mut age_sum = 0.0;
         let n = self.current.len();
-        for (&p, snap) in &self.current {
+        for (p, snap) in self.current.iter() {
             if universe.copy_is_fresh(p, snap.crawl_time, t) {
                 fresh += 1;
             } else {

@@ -20,8 +20,9 @@
 //! * Queue due-times are stored as raw IEEE-754 bit patterns
 //!   ([`QueueEntry::due_bits`]): the immediate-priority lane uses `−∞`,
 //!   which JSON cannot represent as a number.
-//! * Unordered sets (`queued`, `admissions`) are stored as sorted vectors
-//!   so two snapshots of the same state are byte-identical.
+//! * The `queued`/`admissions` sets are stored as ascending id vectors
+//!   (the engines' dense sets iterate in that order already) so two
+//!   snapshots of the same state are byte-identical.
 
 use crate::allurls::AllUrls;
 use crate::collection::Collection;
@@ -30,9 +31,9 @@ use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, UpdateModule};
 use crate::periodic::{PeriodicConfig, PeriodicState};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 use webevo_schedule::{RevisitQueue, ScheduledVisit};
 use webevo_sim::FetcherState;
+use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
 use webevo_types::{PageId, Url, WebEvoError};
 
 /// Which engine a [`CrawlerState`] belongs to — and, in the
@@ -196,6 +197,136 @@ pub struct CrawlerState {
     pub fetcher: Option<FetcherState>,
 }
 
+impl BinEncode for EngineKind {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            EngineKind::Periodic => out.push(0),
+            EngineKind::Incremental => out.push(1),
+            EngineKind::Threaded { workers } => {
+                out.push(2);
+                workers.bin_encode(out);
+            }
+        }
+    }
+}
+
+impl BinDecode for EngineKind {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<EngineKind, BinError> {
+        match r.byte()? {
+            0 => Ok(EngineKind::Periodic),
+            1 => Ok(EngineKind::Incremental),
+            2 => Ok(EngineKind::Threaded { workers: usize::bin_decode(r)? }),
+            other => Err(BinError::new(format!("invalid EngineKind tag {other}"))),
+        }
+    }
+}
+
+impl BinEncode for EngineConfig {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            EngineConfig::Incremental(config) => {
+                out.push(0);
+                config.bin_encode(out);
+            }
+            EngineConfig::Periodic(config) => {
+                out.push(1);
+                config.bin_encode(out);
+            }
+        }
+    }
+}
+
+impl BinDecode for EngineConfig {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<EngineConfig, BinError> {
+        match r.byte()? {
+            0 => Ok(EngineConfig::Incremental(IncrementalConfig::bin_decode(r)?)),
+            1 => Ok(EngineConfig::Periodic(PeriodicConfig::bin_decode(r)?)),
+            other => Err(BinError::new(format!("invalid EngineConfig tag {other}"))),
+        }
+    }
+}
+
+impl BinEncode for EngineClock {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.t.bin_encode(out);
+        self.next_ranking.bin_encode(out);
+        self.next_sample.bin_encode(out);
+    }
+}
+
+impl BinDecode for EngineClock {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<EngineClock, BinError> {
+        Ok(EngineClock {
+            t: f64::bin_decode(r)?,
+            next_ranking: f64::bin_decode(r)?,
+            next_sample: f64::bin_decode(r)?,
+        })
+    }
+}
+
+impl BinEncode for QueueEntry {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.due_bits.bin_encode(out);
+        self.url.bin_encode(out);
+    }
+}
+
+impl BinDecode for QueueEntry {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<QueueEntry, BinError> {
+        Ok(QueueEntry { due_bits: u64::bin_decode(r)?, url: Url::bin_decode(r)? })
+    }
+}
+
+impl BinEncode for CrawlerState {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.engine.bin_encode(out);
+        self.config.bin_encode(out);
+        self.run_start.bin_encode(out);
+        self.seeded.bin_encode(out);
+        self.clock.bin_encode(out);
+        self.fetch_seq.bin_encode(out);
+        self.collection.bin_encode(out);
+        self.all_urls.bin_encode(out);
+        self.queue.bin_encode(out);
+        self.queued.bin_encode(out);
+        self.admissions.bin_encode(out);
+        self.update.bin_encode(out);
+        self.ranking_runs.bin_encode(out);
+        self.ranking_applied.bin_encode(out);
+        self.rank_pending.bin_encode(out);
+        self.crawl.bin_encode(out);
+        self.periodic.bin_encode(out);
+        self.metrics.bin_encode(out);
+        self.fetcher.bin_encode(out);
+    }
+}
+
+impl BinDecode for CrawlerState {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<CrawlerState, BinError> {
+        Ok(CrawlerState {
+            engine: EngineKind::bin_decode(r)?,
+            config: EngineConfig::bin_decode(r)?,
+            run_start: f64::bin_decode(r)?,
+            seeded: bool::bin_decode(r)?,
+            clock: EngineClock::bin_decode(r)?,
+            fetch_seq: u64::bin_decode(r)?,
+            collection: Collection::bin_decode(r)?,
+            all_urls: AllUrls::bin_decode(r)?,
+            queue: Vec::bin_decode(r)?,
+            queued: Vec::bin_decode(r)?,
+            admissions: Vec::bin_decode(r)?,
+            update: UpdateModule::bin_decode(r)?,
+            ranking_runs: u64::bin_decode(r)?,
+            ranking_applied: u64::bin_decode(r)?,
+            rank_pending: bool::bin_decode(r)?,
+            crawl: CrawlModule::bin_decode(r)?,
+            periodic: Option::bin_decode(r)?,
+            metrics: CrawlMetrics::bin_decode(r)?,
+            fetcher: Option::bin_decode(r)?,
+        })
+    }
+}
+
 /// Encode a queue for a snapshot: entries earliest-first, due times as
 /// bits.
 pub fn queue_to_entries(queue: &RevisitQueue) -> Vec<QueueEntry> {
@@ -214,13 +345,6 @@ pub fn entries_to_queue(entries: &[QueueEntry]) -> RevisitQueue {
             .map(|e| ScheduledVisit { due: f64::from_bits(e.due_bits), url: e.url })
             .collect(),
     )
-}
-
-/// Encode a page-id set for a snapshot: sorted for deterministic bytes.
-pub fn set_to_sorted(set: &HashSet<PageId>) -> Vec<PageId> {
-    let mut pages: Vec<PageId> = set.iter().copied().collect();
-    pages.sort_unstable();
-    pages
 }
 
 #[cfg(test)]
@@ -242,12 +366,6 @@ mod tests {
         let mut restored = entries_to_queue(&entries);
         assert_eq!(restored.pop().unwrap().url, url(2));
         assert_eq!(restored.pop().unwrap().due, 4.5);
-    }
-
-    #[test]
-    fn sets_serialize_sorted() {
-        let set: HashSet<PageId> = [PageId(9), PageId(2), PageId(5)].into_iter().collect();
-        assert_eq!(set_to_sorted(&set), vec![PageId(2), PageId(5), PageId(9)]);
     }
 
     #[test]

@@ -41,14 +41,12 @@ use crate::incremental::IncrementalConfig;
 use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, RankingModule, UpdateModule};
 use crate::state::{
-    entries_to_queue, queue_to_entries, set_to_sorted, CrawlerState, EngineClock, EngineConfig,
-    EngineKind,
+    entries_to_queue, queue_to_entries, CrawlerState, EngineClock, EngineConfig, EngineKind,
 };
 use crossbeam::channel;
-use std::collections::HashSet;
 use webevo_schedule::RevisitQueue;
 use webevo_sim::{FetchError, FetchOutcome, Fetcher, Politeness, SimFetcher, WebUniverse};
-use webevo_types::{PageId, Url, WebEvoError};
+use webevo_types::{DenseSet, PageId, Url, WebEvoError};
 
 /// A fetch completion flowing back from a crawl worker. `seq` is the slot
 /// sequence number assigned at dispatch; the coordinator applies a batch
@@ -79,7 +77,7 @@ fn rank(ranking: &mut RankingModule, mut req: RankRequest) -> RankResponse {
     let importance = req
         .collection
         .iter()
-        .map(|(&p, s)| (p, s.importance))
+        .map(|(p, s)| (p, s.importance))
         .collect();
     RankResponse { importance, replacements: outcome.replacements }
 }
@@ -91,10 +89,10 @@ pub struct ThreadedCrawler {
     collection: Collection,
     all_urls: AllUrls,
     queue: RevisitQueue,
-    queued: HashSet<PageId>,
+    queued: DenseSet,
     /// Ranking-proposed admissions; eviction happens on crawl success
     /// (see the single-threaded engine for the rationale).
-    admissions: HashSet<PageId>,
+    admissions: DenseSet,
     update: UpdateModule,
     metrics: CrawlMetrics,
     ranking_applied: u64,
@@ -124,8 +122,8 @@ impl ThreadedCrawler {
             collection: Collection::new(config.capacity, config.history_window),
             all_urls: AllUrls::new(),
             queue: RevisitQueue::new(),
-            queued: HashSet::new(),
-            admissions: HashSet::new(),
+            queued: DenseSet::new(),
+            admissions: DenseSet::new(),
             update: UpdateModule::new(config.revisit, config.estimator, default_interval),
             metrics: CrawlMetrics::default(),
             ranking_applied: 0,
@@ -226,7 +224,7 @@ impl ThreadedCrawler {
             let mut batch: Vec<CrawlDone> = Vec::new();
             while batch.len() < self.workers && self.clock.t < horizon && pos < tail.len() {
                 let Some(visit) = self.queue.pop() else { break };
-                self.queued.remove(&visit.url.page);
+                self.queued.remove(visit.url.page);
                 self.fetch_seq += 1;
                 let record = &tail[pos];
                 pos += 1;
@@ -357,7 +355,7 @@ impl ThreadedCrawler {
                 let mut dispatched = 0usize;
                 while dispatched < workers && self.clock.t < horizon {
                     let Some(visit) = self.queue.pop() else { break };
-                    self.queued.remove(&visit.url.page);
+                    self.queued.remove(visit.url.page);
                     self.fetch_seq += 1;
                     work_tx
                         .send((self.fetch_seq, visit.url, self.clock.t))
@@ -405,7 +403,7 @@ impl ThreadedCrawler {
                 if self.collection.contains(url.page) {
                     self.collection.update(url.page, outcome.checksum, outcome.links.clone(), t);
                 } else {
-                    let admitted = self.admissions.remove(&url.page);
+                    let admitted = self.admissions.remove(url.page);
                     if self.collection.is_full() {
                         if !admitted {
                             return;
@@ -413,7 +411,7 @@ impl ThreadedCrawler {
                         if let Some(victim) = self.collection.least_important() {
                             if let Some(stored) = self.collection.discard(victim) {
                                 self.queue.remove(stored.url);
-                                self.queued.remove(&victim);
+                                self.queued.remove(victim);
                                 self.update.forget(victim);
                             }
                         }
@@ -449,7 +447,7 @@ impl ThreadedCrawler {
             Err(FetchError::NotFound) => {
                 self.metrics.record_fetch(false);
                 self.all_urls.mark_dead(url, t);
-                self.admissions.remove(&url.page);
+                self.admissions.remove(url.page);
                 if self.collection.discard(url.page).is_some() {
                     self.update.forget(url.page);
                 }
@@ -493,7 +491,7 @@ impl ThreadedCrawler {
         let mut fresh = 0usize;
         let mut age_sum = 0.0;
         let n = self.collection.len();
-        for (&p, stored) in self.collection.iter() {
+        for (p, stored) in self.collection.iter() {
             if universe.copy_is_fresh(p, stored.last_crawl, t) {
                 fresh += 1;
             } else {
@@ -625,8 +623,8 @@ impl CrawlEngine for ThreadedCrawler {
             collection: self.collection.clone(),
             all_urls: self.all_urls.clone(),
             queue: queue_to_entries(&self.queue),
-            queued: set_to_sorted(&self.queued),
-            admissions: set_to_sorted(&self.admissions),
+            queued: self.queued.to_vec(),
+            admissions: self.admissions.to_vec(),
             update: self.update.clone(),
             ranking_runs: 0,
             ranking_applied: self.ranking_applied,

@@ -15,6 +15,7 @@
 //! posterior-mean rate.
 
 use serde::{Deserialize, Serialize};
+use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
 use webevo_types::{ChangeRate, Error, Result};
 
 /// A frequency-class hypothesis: a label and its Poisson rate.
@@ -153,6 +154,40 @@ impl BayesianEstimator {
             .map(|(c, &p)| c.rate.per_day() * p)
             .sum();
         ChangeRate(mean)
+    }
+}
+
+impl BinEncode for FrequencyClass {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.label.bin_encode(out);
+        self.rate.bin_encode(out);
+    }
+}
+
+impl BinDecode for FrequencyClass {
+    fn bin_decode(r: &mut BinReader<'_>) -> std::result::Result<FrequencyClass, BinError> {
+        Ok(FrequencyClass {
+            label: String::bin_decode(r)?,
+            rate: ChangeRate::bin_decode(r)?,
+        })
+    }
+}
+
+impl BinEncode for BayesianEstimator {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.classes.bin_encode(out);
+        self.posterior.bin_encode(out);
+        self.observations.bin_encode(out);
+    }
+}
+
+impl BinDecode for BayesianEstimator {
+    fn bin_decode(r: &mut BinReader<'_>) -> std::result::Result<BayesianEstimator, BinError> {
+        Ok(BayesianEstimator {
+            classes: Vec::bin_decode(r)?,
+            posterior: Vec::bin_decode(r)?,
+            observations: u64::bin_decode(r)?,
+        })
     }
 }
 

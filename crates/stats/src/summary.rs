@@ -70,6 +70,17 @@ impl Summary {
         self.variance().sqrt()
     }
 
+    /// The raw accumulator state `(n, mean, m2, min, max)` — the binary
+    /// snapshot codec's view of the summary.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild from [`Summary::raw_parts`] output.
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Summary {
+        Summary { n, mean, m2, min, max }
+    }
+
     /// Smallest sample (NaN when empty).
     pub fn min(&self) -> f64 {
         if self.n == 0 {

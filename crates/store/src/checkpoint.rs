@@ -171,7 +171,7 @@ fn write_snapshot_atomically(config: &CheckpointConfig, state: &CrawlerState) ->
     use std::io::Write;
     let tmp = config.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
     let mut file = fs::File::create(&tmp)?;
-    file.write_all(encode_snapshot(state).as_bytes())?;
+    file.write_all(&encode_snapshot(state))?;
     // Sync before the rename so the directory entry can never point at a
     // half-written file after a machine crash; sync the directory after so
     // the rename itself is durable.
@@ -199,12 +199,12 @@ pub struct Recovered {
 /// need.
 pub fn recover(dir: &Path) -> Result<Option<Recovered>, StoreError> {
     let snapshot_path = dir.join(SNAPSHOT_FILE);
-    let text = match fs::read_to_string(&snapshot_path) {
-        Ok(text) => text,
+    let doc = match fs::read(&snapshot_path) {
+        Ok(doc) => doc,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(StoreError::Io(format!("reading {snapshot_path:?}: {e}"))),
     };
-    let state = decode_snapshot(&text)?;
+    let state = decode_snapshot(&doc)?;
     let wal = read_wal(&dir.join(WAL_FILE))
         .map_err(|e| StoreError::Io(format!("reading WAL: {e}")))?;
     Ok(Some(Recovered { state, wal }))

@@ -1,20 +1,32 @@
 //! The versioned snapshot codec. See the crate docs for the on-disk
 //! layout.
+//!
+//! Version 3 is binary: a one-line text header (magic, version, fnv64 of
+//! the payload) followed by the [`CrawlerState`] in the `webevo-types`
+//! binary wire format ([`webevo_types::BinEncode`]) — length-prefixed
+//! fields, varint integers, floats as raw IEEE-754 bits. Decoding sniffs
+//! the header version, so version-2 JSON snapshots written by earlier
+//! builds still recover through [`decode_snapshot`].
 
 use std::fmt;
 use webevo_core::CrawlerState;
+use webevo_types::binio::{BinDecode, BinEncode, BinReader};
 
 /// Magic token opening every snapshot header.
 pub const SNAPSHOT_MAGIC: &str = "WEBEVO-SNAPSHOT";
-/// The snapshot format version this build reads and writes.
+/// The snapshot format version this build writes.
 ///
 /// Version history:
-/// * 1 — the original incremental/threaded layout (`workers` as a state
-///   field, `config` as a bare `IncrementalConfig`).
-/// * 2 — the unified-engine layout: `config` is the `EngineConfig` enum,
-///   `EngineKind::Threaded` carries its worker count, and the periodic
-///   engine's cycle/shadow state rides in a `periodic` payload.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// * 1 — the original incremental/threaded JSON layout (`workers` as a
+///   state field, `config` as a bare `IncrementalConfig`).
+/// * 2 — the unified-engine JSON layout: `config` is the `EngineConfig`
+///   enum, `EngineKind::Threaded` carries its worker count, and the
+///   periodic engine's cycle/shadow state rides in a `periodic` payload.
+///   Still decoded by this build.
+/// * 3 — the same logical layout in the binary wire format (current).
+pub const SNAPSHOT_VERSION: u32 = 3;
+/// The newest JSON snapshot version, still decoded for migration.
+pub const SNAPSHOT_VERSION_JSON: u32 = 2;
 
 /// Why a snapshot or WAL could not be decoded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,7 +51,11 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::NotASnapshot => write!(f, "not a webevo snapshot"),
             StoreError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads \
+                     {SNAPSHOT_VERSION_JSON} and {SNAPSHOT_VERSION})"
+                )
             }
             StoreError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
             StoreError::Malformed(msg) => write!(f, "malformed snapshot payload: {msg}"),
@@ -51,23 +67,51 @@ impl fmt::Display for StoreError {
 impl std::error::Error for StoreError {}
 
 /// FNV-1a over a byte slice: the integrity checksum for snapshot payloads
-/// and WAL lines. Not cryptographic — it detects torn writes and rot, not
+/// and WAL frames. Not cryptographic — it detects torn writes and rot, not
 /// adversaries. Delegates to the workspace's one FNV implementation.
 pub fn fnv64(bytes: &[u8]) -> u64 {
     webevo_types::Checksum::of_bytes(bytes).0
 }
 
-/// Encode a full engine state as a snapshot document (header line +
-/// payload line).
-pub fn encode_snapshot(state: &CrawlerState) -> String {
-    let payload = serde_json::to_string(state).expect("engine state always serializes");
-    let checksum = fnv64(payload.as_bytes());
-    format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION} {checksum:016x}\n{payload}\n")
+/// Encode a full engine state as a version-3 binary snapshot document
+/// (text header line + binary payload).
+pub fn encode_snapshot(state: &CrawlerState) -> Vec<u8> {
+    // The header is fixed-width (magic + one version digit + 16 hex
+    // digits), so encode the payload straight into the document after a
+    // placeholder header and patch the checksum in afterwards — no second
+    // buffer, no final copy of a multi-megabyte payload.
+    let placeholder = format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION} {:016x}\n", 0);
+    let header_len = placeholder.len();
+    let mut doc = Vec::with_capacity(256 * 1024);
+    doc.extend_from_slice(placeholder.as_bytes());
+    state.bin_encode(&mut doc);
+    let checksum = fnv64(&doc[header_len..]);
+    let header = format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION} {checksum:016x}\n");
+    debug_assert_eq!(header.len(), header_len);
+    doc[..header_len].copy_from_slice(header.as_bytes());
+    doc
 }
 
-/// Decode a snapshot document, verifying version and checksum.
-pub fn decode_snapshot(text: &str) -> Result<CrawlerState, StoreError> {
-    let (header, payload) = text.split_once('\n').ok_or(StoreError::NotASnapshot)?;
+/// Encode a full engine state as a version-2 JSON snapshot document — the
+/// legacy text format, kept as the measured baseline for the codec benches
+/// and to manufacture migration fixtures in tests. [`decode_snapshot`]
+/// reads both.
+pub fn encode_snapshot_json(state: &CrawlerState) -> String {
+    let payload = serde_json::to_string(state).expect("engine state always serializes");
+    let checksum = fnv64(payload.as_bytes());
+    format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION_JSON} {checksum:016x}\n{payload}\n")
+}
+
+/// Decode a snapshot document of any supported version, verifying the
+/// checksum. Version sniffing happens on the header line: version 3 reads
+/// the binary payload, version 2 the legacy JSON payload.
+pub fn decode_snapshot(doc: &[u8]) -> Result<CrawlerState, StoreError> {
+    let newline = doc
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or(StoreError::NotASnapshot)?;
+    let header =
+        std::str::from_utf8(&doc[..newline]).map_err(|_| StoreError::NotASnapshot)?;
     let mut parts = header.split(' ');
     if parts.next() != Some(SNAPSHOT_MAGIC) {
         return Err(StoreError::NotASnapshot);
@@ -76,18 +120,38 @@ pub fn decode_snapshot(text: &str) -> Result<CrawlerState, StoreError> {
         .next()
         .and_then(|v| v.parse().ok())
         .ok_or(StoreError::NotASnapshot)?;
-    if version != SNAPSHOT_VERSION {
-        return Err(StoreError::UnsupportedVersion(version));
-    }
     let checksum = parts
         .next()
         .and_then(|c| u64::from_str_radix(c, 16).ok())
         .ok_or(StoreError::NotASnapshot)?;
-    let payload = payload.strip_suffix('\n').unwrap_or(payload);
-    if fnv64(payload.as_bytes()) != checksum {
-        return Err(StoreError::ChecksumMismatch);
+    let payload = &doc[newline + 1..];
+    match version {
+        SNAPSHOT_VERSION => {
+            if fnv64(payload) != checksum {
+                return Err(StoreError::ChecksumMismatch);
+            }
+            let mut reader = BinReader::new(payload);
+            let state = CrawlerState::bin_decode(&mut reader)
+                .map_err(|e| StoreError::Malformed(e.to_string()))?;
+            if !reader.is_exhausted() {
+                return Err(StoreError::Malformed(format!(
+                    "{} trailing bytes after the engine state",
+                    reader.remaining()
+                )));
+            }
+            Ok(state)
+        }
+        SNAPSHOT_VERSION_JSON => {
+            let text =
+                std::str::from_utf8(payload).map_err(|_| StoreError::NotASnapshot)?;
+            let text = text.strip_suffix('\n').unwrap_or(text);
+            if fnv64(text.as_bytes()) != checksum {
+                return Err(StoreError::ChecksumMismatch);
+            }
+            serde_json::from_str(text).map_err(|e| StoreError::Malformed(e.to_string()))
+        }
+        other => Err(StoreError::UnsupportedVersion(other)),
     }
-    serde_json::from_str(payload).map_err(|e| StoreError::Malformed(e.to_string()))
 }
 
 #[cfg(test)]
@@ -116,38 +180,75 @@ mod tests {
         let doc = encode_snapshot(&state);
         let back = decode_snapshot(&doc).expect("clean snapshot decodes");
         // Re-encoding the decoded state must reproduce the exact bytes:
-        // every float survived, every set kept its canonical order.
+        // every float survived, every container kept its canonical order.
         assert_eq!(encode_snapshot(&back), doc);
+    }
+
+    #[test]
+    fn json_snapshot_still_decodes_to_the_same_state() {
+        let state = sample_state();
+        let json_doc = encode_snapshot_json(&state);
+        let from_json = decode_snapshot(json_doc.as_bytes()).expect("v2 decodes");
+        // The two formats must agree on the logical state: re-encode both
+        // through the binary codec and compare bytes.
+        assert_eq!(encode_snapshot(&from_json), encode_snapshot(&state));
+        // And the JSON writer stays canonical for fixture manufacturing.
+        assert_eq!(encode_snapshot_json(&from_json), json_doc);
+    }
+
+    #[test]
+    fn binary_beats_json_on_size() {
+        let state = sample_state();
+        let binary = encode_snapshot(&state);
+        let json = encode_snapshot_json(&state);
+        assert!(
+            binary.len() * 2 < json.len(),
+            "binary {} bytes vs JSON {} bytes",
+            binary.len(),
+            json.len()
+        );
     }
 
     #[test]
     fn version_and_checksum_are_enforced() {
         let state = sample_state();
         let doc = encode_snapshot(&state);
-        let future = doc.replacen(
-            &format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION}"),
-            &format!("{SNAPSHOT_MAGIC} 9"),
-            1,
-        );
+        let header_len = doc.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let header = String::from_utf8(doc[..header_len].to_vec()).unwrap();
+        let future = [
+            header
+                .replacen(
+                    &format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION}"),
+                    &format!("{SNAPSHOT_MAGIC} 9"),
+                    1,
+                )
+                .into_bytes(),
+            doc[header_len..].to_vec(),
+        ]
+        .concat();
         assert_eq!(
             decode_snapshot(&future).unwrap_err(),
             StoreError::UnsupportedVersion(9)
         );
         // Flip one payload byte: the checksum must catch it.
         let mut corrupt = doc.clone();
-        let flip_at = corrupt.rfind("\"seeded\"").expect("payload has fields") + 1;
-        corrupt.replace_range(flip_at..flip_at + 1, "x");
+        let flip_at = header_len + (doc.len() - header_len) / 2;
+        corrupt[flip_at] ^= 0x01;
         assert_eq!(decode_snapshot(&corrupt).unwrap_err(), StoreError::ChecksumMismatch);
         assert_eq!(
-            decode_snapshot("hello\nworld").unwrap_err(),
+            decode_snapshot(b"hello\nworld").unwrap_err(),
+            StoreError::NotASnapshot
+        );
+        assert_eq!(
+            decode_snapshot(b"no newline at all").unwrap_err(),
             StoreError::NotASnapshot
         );
     }
 
     #[test]
     fn error_display_is_informative() {
-        let err: Box<dyn std::error::Error> = Box::new(StoreError::UnsupportedVersion(3));
-        assert!(err.to_string().contains("version 3"));
+        let err: Box<dyn std::error::Error> = Box::new(StoreError::UnsupportedVersion(9));
+        assert!(err.to_string().contains("version 9"));
         assert!(StoreError::ChecksumMismatch.to_string().contains("checksum"));
     }
 }

@@ -27,45 +27,53 @@
 //! builder in [`session`] is the supported entry point — engine choice,
 //! budget, checkpointing, and recovery in one validated API.
 //!
-//! # Snapshot format (version 2)
+//! # Snapshot format (version 3, binary)
 //!
-//! A snapshot is a text file of exactly two lines:
+//! A snapshot is a one-line text header followed by a binary payload:
 //!
 //! ```text
-//! WEBEVO-SNAPSHOT 2 <fnv64 of payload, 16 hex digits>
-//! <payload: the CrawlerState as one line of JSON>
+//! WEBEVO-SNAPSHOT 3 <fnv64 of payload, 16 hex digits>
+//! <payload: the CrawlerState in the webevo-types binary wire format>
 //! ```
 //!
 //! The header carries the format **version** (decoders reject versions
 //! they do not understand, so the layout can evolve) and a checksum over
 //! the payload bytes (a partially written or bit-rotted snapshot is
-//! detected, never half-loaded). Floats inside the payload round-trip
-//! bitwise: finite values rely on shortest-round-trip decimal encoding
-//! (pinned by a proptest in this crate), and the queue's ±∞ due-times are
-//! stored as raw IEEE-754 bit patterns in [`webevo_core::QueueEntry`].
-//! Snapshots are written to a temporary file and atomically renamed into
-//! place, so a crash mid-write leaves the previous snapshot intact.
+//! detected, never half-loaded). The payload uses
+//! [`webevo_types::BinEncode`]: length-prefixed fields, varint integers,
+//! and floats as raw IEEE-754 bit patterns — bitwise round-trips by
+//! construction, including the queue's ±∞ due-time lane. Snapshots are
+//! written to a temporary file and atomically renamed into place, so a
+//! crash mid-write leaves the previous snapshot intact.
 //!
-//! # WAL format (version 1)
+//! Version-2 snapshots (the same logical layout as one line of JSON) are
+//! still decoded: [`decode_snapshot`] sniffs the header version, so a
+//! checkpoint directory written by an earlier build resumes unchanged
+//! (pinned by the migration fixture test in this crate).
 //!
-//! The write-ahead log is line-oriented and append-only:
+//! # WAL format (version 2, binary)
+//!
+//! The write-ahead log is a text header line followed by binary frames:
 //!
 //! ```text
-//! WEBEVO-WAL 1
-//! R <fnv64 of payload> <payload: one FetchRecord as JSON>
+//! WEBEVO-WAL 2
+//! R <u32 LE payload len> <fnv64 LE of payload> <payload: FetchRecord, binary>
 //! R ...
-//! C <fnv64 of seq text> <seq of the last record at this flush>
+//! C <u32 LE payload len> <fnv64 LE of payload> <payload: varint seq of the last record>
 //! ```
 //!
-//! `R` lines are fetch records; a `C` line is a **commit marker** written
-//! at each pass-boundary flush. Readers trust records only up to the last
-//! valid commit marker: a torn tail — a half-written record, a record
-//! whose checksum fails, or records flushed without their commit — is
-//! discarded rather than mis-parsed, which keeps recovery aligned with
+//! `R` frames are fetch records; a `C` frame is a **commit marker**
+//! written at each pass-boundary flush. Readers trust records only up to
+//! the last valid commit marker: a torn tail — a half-written frame, a
+//! frame whose checksum fails, or records flushed without their commit —
+//! is discarded rather than mis-parsed, which keeps recovery aligned with
 //! pass boundaries (the only states the engines can resume from).
 //! Records carry the engine's fetch sequence number; recovery skips those
 //! already folded into the snapshot (covering the crash window between a
-//! snapshot rename and the log reset that follows it).
+//! snapshot rename and the log reset that follows it). Version-1 logs
+//! (JSON lines) are still read for migration. The writer performs one
+//! `sync_data` per pass boundary and none per record; see [`wal`] for the
+//! full fsync contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,6 +86,6 @@ pub mod wal;
 pub use checkpoint::{
     recover, CheckpointConfig, CheckpointStats, Checkpointer, Recovered, SNAPSHOT_FILE, WAL_FILE,
 };
-pub use codec::{decode_snapshot, encode_snapshot, fnv64, StoreError};
+pub use codec::{decode_snapshot, encode_snapshot, encode_snapshot_json, fnv64, StoreError};
 pub use session::{CrawlSession, CrawlSessionBuilder};
 pub use wal::{read_wal, WalWriter};

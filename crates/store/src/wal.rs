@@ -1,32 +1,64 @@
-//! The append-only write-ahead log. See the crate docs for the line
+//! The append-only write-ahead log. See the crate docs for the frame
 //! layout and torn-tail semantics.
+//!
+//! # Fsync contract
+//!
+//! The WAL performs exactly **one `sync_data` per pass boundary** — the
+//! single [`WalWriter::append_committed`] call that lands a whole batch
+//! plus its commit marker in one buffered write — and **none per record**:
+//! records are buffered in memory by the [`crate::Checkpointer`] between
+//! boundaries, so the fetch hot path never touches the file system.
+//! [`WalWriter::create`] and [`WalWriter::reset`] also sync once after
+//! writing the header, so an empty log is durable before any crawl work
+//! depends on it. All writes — header, batches, resets — go through the
+//! writer's single buffered handle; nothing reopens the file behind it.
 
 use crate::codec::fnv64;
 use std::fs::File;
-use std::io::{self, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use webevo_core::FetchRecord;
+use webevo_types::binio::{put_var_u64, BinDecode, BinEncode, BinReader};
 
-/// Header line opening every WAL file.
-pub const WAL_HEADER: &str = "WEBEVO-WAL 1";
+/// Header line opening every version-2 (binary) WAL file.
+pub const WAL_HEADER: &str = "WEBEVO-WAL 2";
+/// Header line of the legacy version-1 (JSON lines) WAL, still read for
+/// migration.
+pub const WAL_HEADER_V1: &str = "WEBEVO-WAL 1";
+
+/// Frame tag: one fetch record.
+const TAG_RECORD: u8 = b'R';
+/// Frame tag: a commit marker naming the batch it commits.
+const TAG_COMMIT: u8 = b'C';
+/// Bytes of frame overhead before the payload: tag + u32 length + fnv64.
+const FRAME_HEAD: usize = 1 + 4 + 8;
 
 /// Appends framed records and commit markers to a WAL file. One
 /// [`WalWriter::append_committed`] call per pass boundary writes the whole
-/// buffered batch plus its commit marker in a single `write` — the only
-/// durable I/O the crawl ever waits on.
+/// buffered batch plus its commit marker in a single buffered write and
+/// one fsync — the only durable I/O the crawl ever waits on (see the
+/// module docs for the full fsync contract).
 #[derive(Debug)]
 pub struct WalWriter {
     path: PathBuf,
-    file: File,
+    file: BufWriter<File>,
+}
+
+/// Truncate (or create) the log file and write a durable header through a
+/// fresh buffered writer — the one shared open path for
+/// [`WalWriter::create`] and [`WalWriter::reset`].
+fn start_log(path: &Path) -> io::Result<BufWriter<File>> {
+    let mut file = BufWriter::new(File::create(path)?);
+    writeln!(file, "{WAL_HEADER}")?;
+    file.flush()?;
+    file.get_ref().sync_data()?;
+    Ok(file)
 }
 
 impl WalWriter {
     /// Create (or truncate) the WAL at `path` and write the header.
     pub fn create(path: &Path) -> io::Result<WalWriter> {
-        let mut file = File::create(path)?;
-        writeln!(file, "{WAL_HEADER}")?;
-        file.sync_data()?;
-        Ok(WalWriter { path: path.to_path_buf(), file })
+        Ok(WalWriter { path: path.to_path_buf(), file: start_log(path)? })
     }
 
     /// The file this writer appends to.
@@ -35,67 +67,139 @@ impl WalWriter {
     }
 
     /// Append a batch of records followed by its commit marker, as one
-    /// write, then fsync. Readers only surface records whose commit marker
-    /// landed, so a crash mid-append — process *or* machine — tears at
-    /// worst into the discarded region.
+    /// write, then fsync (the per-boundary sync of the module-level
+    /// contract). Readers only surface records whose commit marker landed,
+    /// so a crash mid-append — process *or* machine — tears at worst into
+    /// the discarded region.
     pub fn append_committed(&mut self, records: &[FetchRecord], last_seq: u64) -> io::Result<()> {
-        let mut chunk = String::new();
+        let mut chunk: Vec<u8> = Vec::with_capacity(records.len() * 96 + FRAME_HEAD);
+        let mut payload: Vec<u8> = Vec::with_capacity(96);
         for record in records {
-            let payload = serde_json::to_string(record).expect("fetch records always serialize");
-            let checksum = fnv64(payload.as_bytes());
-            chunk.push_str(&format!("R {checksum:016x} {payload}\n"));
+            payload.clear();
+            record.bin_encode(&mut payload);
+            push_frame(&mut chunk, TAG_RECORD, &payload);
         }
-        let seq_text = last_seq.to_string();
-        let checksum = fnv64(seq_text.as_bytes());
-        chunk.push_str(&format!("C {checksum:016x} {seq_text}\n"));
-        self.file.write_all(chunk.as_bytes())?;
-        self.file.sync_data()
+        payload.clear();
+        put_var_u64(&mut payload, last_seq);
+        push_frame(&mut chunk, TAG_COMMIT, &payload);
+        self.file.write_all(&chunk)?;
+        self.file.flush()?;
+        self.file.get_ref().sync_data()
     }
 
     /// Truncate back to an empty (header-only) log — called right after a
-    /// snapshot subsumes everything logged so far.
+    /// snapshot subsumes everything logged so far. Re-runs the same
+    /// buffered open path as [`WalWriter::create`].
     pub fn reset(&mut self) -> io::Result<()> {
-        let mut file = File::create(&self.path)?;
-        writeln!(file, "{WAL_HEADER}")?;
-        file.sync_data()?;
-        self.file = file;
+        self.file = start_log(&self.path)?;
         Ok(())
     }
 }
 
+/// Append one `tag | u32 payload length | fnv64(payload) | payload` frame.
+fn push_frame(chunk: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    chunk.push(tag);
+    chunk.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    chunk.extend_from_slice(&fnv64(payload).to_le_bytes());
+    chunk.extend_from_slice(payload);
+}
+
 /// Read every *committed* record from a WAL file: records after the last
-/// valid commit marker — including a torn final line, a record whose
+/// valid commit marker — including a torn final frame, a frame whose
 /// checksum fails, or a batch whose commit never landed — are discarded.
-/// A missing file reads as empty (no log yet).
+/// A missing file reads as empty (no log yet). Both the binary version-2
+/// framing and the legacy version-1 JSON lines are understood; the header
+/// line picks the parser.
 pub fn read_wal(path: &Path) -> io::Result<Vec<FetchRecord>> {
     let bytes = match std::fs::read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => return Err(e),
     };
+    // The header is a complete text line in both versions; without one
+    // (torn header write) there are no trustworthy records.
+    let Some(newline) = bytes.iter().position(|&b| b == b'\n') else {
+        return Ok(Vec::new());
+    };
+    let (header, body) = (&bytes[..newline], &bytes[newline + 1..]);
+    if header == WAL_HEADER.as_bytes() {
+        Ok(read_binary_frames(body))
+    } else if header == WAL_HEADER_V1.as_bytes() {
+        Ok(read_v1_lines(body))
+    } else {
+        Ok(Vec::new())
+    }
+}
+
+/// Parse the version-2 binary frame stream.
+fn read_binary_frames(body: &[u8]) -> Vec<FetchRecord> {
+    let mut committed: Vec<FetchRecord> = Vec::new();
+    let mut pending: Vec<FetchRecord> = Vec::new();
+    let mut pos = 0usize;
+    while body.len() - pos >= FRAME_HEAD {
+        let tag = body[pos];
+        let len = u32::from_le_bytes(body[pos + 1..pos + 5].try_into().expect("4 bytes"))
+            as usize;
+        let checksum =
+            u64::from_le_bytes(body[pos + 5..pos + 13].try_into().expect("8 bytes"));
+        let Some(payload) = body.get(pos + FRAME_HEAD..pos + FRAME_HEAD + len) else {
+            break; // torn tail: the final frame's payload never landed
+        };
+        if fnv64(payload) != checksum {
+            break; // corruption: trust nothing at or beyond this point
+        }
+        let mut reader = BinReader::new(payload);
+        match tag {
+            TAG_RECORD => {
+                let Ok(record) = FetchRecord::bin_decode(&mut reader) else {
+                    break;
+                };
+                if !reader.is_exhausted() {
+                    break;
+                }
+                pending.push(record);
+            }
+            TAG_COMMIT => {
+                let Ok(seq) = u64::bin_decode(&mut reader) else {
+                    break;
+                };
+                if !reader.is_exhausted() {
+                    break;
+                }
+                // The marker names the batch it commits: a contradiction
+                // (a stale or spliced marker that happens to checksum) is
+                // corruption, same as a failed frame checksum.
+                if let Some(last) = pending.last() {
+                    if last.seq != seq {
+                        break;
+                    }
+                }
+                committed.append(&mut pending);
+            }
+            _ => break,
+        }
+        pos += FRAME_HEAD + len;
+    }
+    committed
+}
+
+/// Parse the legacy version-1 line stream (`R <fnv64> <json>` records and
+/// `C <fnv64> <seq>` commit markers).
+fn read_v1_lines(body: &[u8]) -> Vec<FetchRecord> {
     let mut committed: Vec<FetchRecord> = Vec::new();
     let mut pending: Vec<FetchRecord> = Vec::new();
     // A torn write can truncate the final line: only lines terminated by
     // `\n` are candidates. `split` leaves either the torn remainder or an
     // empty slice after the last newline — drop it either way.
-    let mut complete: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    let mut complete: Vec<&[u8]> = body.split(|&b| b == b'\n').collect();
     complete.pop();
-    let mut iter = complete.into_iter();
-    match iter.next() {
-        Some(header) if header == WAL_HEADER.as_bytes() => {}
-        // No trustworthy header, no trustworthy records.
-        _ => return Ok(Vec::new()),
-    }
-    for line in iter {
-        let Some(parsed) = parse_line(line) else {
+    for line in complete {
+        let Some(parsed) = parse_v1_line(line) else {
             break; // corruption: trust nothing at or beyond this point
         };
         match parsed {
             WalLine::Record(record) => pending.push(record),
             WalLine::Commit(seq) => {
-                // The marker names the batch it commits: a contradiction
-                // (a stale or spliced marker that happens to checksum) is
-                // corruption, same as a failed line checksum.
                 if let Some(last) = pending.last() {
                     if last.seq != seq {
                         break;
@@ -105,7 +209,7 @@ pub fn read_wal(path: &Path) -> io::Result<Vec<FetchRecord>> {
             }
         }
     }
-    Ok(committed)
+    committed
 }
 
 enum WalLine {
@@ -113,8 +217,8 @@ enum WalLine {
     Commit(u64),
 }
 
-/// Parse one complete WAL line; `None` marks corruption.
-fn parse_line(line: &[u8]) -> Option<WalLine> {
+/// Parse one complete v1 WAL line; `None` marks corruption.
+fn parse_v1_line(line: &[u8]) -> Option<WalLine> {
     let text = std::str::from_utf8(line).ok()?;
     let (tag, rest) = text.split_once(' ')?;
     let (checksum, payload) = rest.split_once(' ')?;
@@ -164,30 +268,54 @@ mod tests {
         let path = temp_path("uncommitted");
         let mut w = WalWriter::create(&path).unwrap();
         w.append_committed(&[record(1)], 1).unwrap();
-        // Hand-append records with no commit marker: a flush that never
-        // completed.
-        let payload = serde_json::to_string(&record(2)).unwrap();
-        let line = format!("R {:016x} {payload}\n", fnv64(payload.as_bytes()));
+        // Hand-append a record frame with no commit marker: a flush that
+        // never completed.
+        let mut payload = Vec::new();
+        record(2).bin_encode(&mut payload);
+        let mut frame = Vec::new();
+        push_frame(&mut frame, TAG_RECORD, &payload);
         std::fs::OpenOptions::new()
             .append(true)
             .open(&path)
             .unwrap()
-            .write_all(line.as_bytes())
+            .write_all(&frame)
             .unwrap();
         assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn torn_final_line_is_discarded() {
+    fn torn_final_frame_is_discarded() {
         let path = temp_path("torn");
         let mut w = WalWriter::create(&path).unwrap();
         w.append_committed(&[record(1)], 1).unwrap();
         w.append_committed(&[record(2)], 2).unwrap();
-        // Truncate mid-record: chop the last 10 bytes.
+        // Truncate mid-frame: chop the last 10 bytes.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
         assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_committed_prefix() {
+        // Torn tails at *any* byte boundary must never surface uncommitted
+        // or corrupt records — only a prefix of fully committed batches.
+        let path = temp_path("sweep");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append_committed(&[record(1), record(2)], 2).unwrap();
+        w.append_committed(&[record(3)], 3).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let records = read_wal(&path).unwrap();
+            assert!(
+                records.is_empty()
+                    || records == vec![record(1), record(2)]
+                    || records == vec![record(1), record(2), record(3)],
+                "cut at {cut} surfaced a non-prefix: {records:?}"
+            );
+        }
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -196,14 +324,13 @@ mod tests {
         let path = temp_path("corrupt");
         let mut w = WalWriter::create(&path).unwrap();
         w.append_committed(&[record(1)], 1).unwrap();
+        let intact_len = std::fs::read(&path).unwrap().len();
         w.append_committed(&[record(2), record(3)], 3).unwrap();
-        // Flip a byte inside the second batch's first record.
+        // Flip a byte inside the second batch's first record payload.
         let mut bytes = std::fs::read(&path).unwrap();
-        let text = String::from_utf8(bytes.clone()).unwrap();
-        let offset = text.match_indices("R ").nth(1).unwrap().0 + 30;
-        bytes[offset] ^= 0x20;
+        bytes[intact_len + FRAME_HEAD + 2] ^= 0x20;
         std::fs::write(&path, &bytes).unwrap();
-        // Batch 1 committed and intact; everything from the corrupt line
+        // Batch 1 committed and intact; everything from the corrupt frame
         // on is dropped, commit marker or not.
         assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
         std::fs::remove_file(&path).unwrap();
@@ -234,7 +361,33 @@ mod tests {
     }
 
     #[test]
+    fn v1_text_logs_still_read() {
+        // A migration log written by the previous build: JSON lines under
+        // the v1 header, including an uncommitted tail to discard.
+        let path = temp_path("v1");
+        let mut text = format!("{WAL_HEADER_V1}\n");
+        for r in [record(1), record(2)] {
+            let payload = serde_json::to_string(&r).unwrap();
+            text.push_str(&format!("R {:016x} {payload}\n", fnv64(payload.as_bytes())));
+        }
+        text.push_str(&format!("C {:016x} 2\n", fnv64(b"2")));
+        let orphan = serde_json::to_string(&record(3)).unwrap();
+        text.push_str(&format!("R {:016x} {orphan}\n", fnv64(orphan.as_bytes())));
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(read_wal(&path).unwrap(), vec![record(1), record(2)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn missing_file_reads_empty() {
         assert!(read_wal(Path::new("/nonexistent/webevo.wlog")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_header_reads_empty() {
+        let path = temp_path("unknown");
+        std::fs::write(&path, b"WEBEVO-WAL 9\nstuff\n").unwrap();
+        assert!(read_wal(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
     }
 }

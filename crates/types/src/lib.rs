@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binio;
+pub mod dense;
 pub mod domain;
 pub mod error;
 pub mod id;
@@ -26,6 +28,8 @@ pub mod page;
 pub mod time;
 pub mod url;
 
+pub use binio::{BinDecode, BinEncode, BinError, BinReader};
+pub use dense::{DenseMap, DenseSet};
 pub use domain::Domain;
 pub use error::{Error, Result, WebEvoError};
 pub use id::{PageId, SiteId};

@@ -155,7 +155,7 @@ fn estimators_converge_inside_the_crawler() {
 
     let mut fast_true = Vec::new();
     let mut slow_true = Vec::new();
-    for (&p, stored) in session.collection().expect("incremental has one").iter() {
+    for (p, stored) in session.collection().expect("incremental has one").iter() {
         if stored.history.comparisons() < 10 {
             continue;
         }
