@@ -128,6 +128,34 @@ fn bench(c: &mut Criterion) {
             black_box(webevo::sim::Fetcher::fetch(&mut fetcher, url, t))
         })
     });
+
+    // Slot-occupancy resolution (binary search over birth-ordered
+    // incarnations) — `out_links`/`window` hammer this per BFS child on
+    // the fetch hot path, so it gets its own datapoint: a full
+    // window-sweep of every site at churn-heavy times.
+    g.bench_function("occupant_window_sweep", |b| {
+        b.iter(|| {
+            let mut pages = 0usize;
+            for t in [0.0, 40.0, 80.0, 120.0] {
+                for site in universe.sites() {
+                    pages += universe.window(site.id, black_box(t)).len();
+                }
+            }
+            black_box(pages)
+        })
+    });
+    g.bench_function("occupant_point_lookups", |b| {
+        let site = universe.sites()[0].id;
+        b.iter(|| {
+            let mut hits = 0usize;
+            for slot in 0..universe.sites()[0].slot_count() {
+                for t in [5.0, 65.0, 125.0] {
+                    hits += usize::from(universe.occupant(site, slot, black_box(t)).is_some());
+                }
+            }
+            black_box(hits)
+        })
+    });
     g.finish();
 }
 

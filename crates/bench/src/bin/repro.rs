@@ -13,7 +13,8 @@
 //! ```
 //!
 //! Available targets: `table1 table2 sensitivity fig2 fig4 fig5 fig6 fig7
-//! fig8 fig9 gain crawlers crawl bench all` (`all` excludes `bench`).
+//! fig8 fig9 gain crawlers crawl fleet bench all` (`all` excludes `bench`
+//! and `fleet`).
 //!
 //! Flags (for the `crawl` target):
 //! * `--checkpoint-dir DIR` — persist snapshots + WAL under `DIR`.
@@ -21,6 +22,20 @@
 //! * `--resume` — recover from `--checkpoint-dir` and continue instead of
 //!   starting fresh.
 //! * `--days N` — crawl horizon in simulated days (default 75).
+//!
+//! Flags (for the `fleet` target):
+//! * `--shards N` — shard count for the fleet leg (default 4).
+//! * `--days N` — horizon for both legs (default 15).
+//! * `--out FILE` — also write the JSON report to `FILE`.
+//!
+//! `fleet` runs the same crawl budget as one engine and as an N-shard
+//! [`FleetSession`], emits one machine-readable JSON document (per-shard
+//! and merged throughput, scaling efficiency — see `BENCH_fleet.json` at
+//! the repo root for a checked-in run), and exits non-zero on its
+//! regression marker. The throughput floor scales with the machine:
+//! `max(0.75, min(shards, cores)/2)` — on a multi-core runner a 4-shard
+//! fleet must beat the single engine ≥ 2×, while a single-core machine
+//! only checks that sharding does not regress throughput.
 //!
 //! Flags (for the `bench` target):
 //! * `--bench-days N` — simulated days for the end-to-end throughput leg
@@ -50,7 +65,8 @@ fn main() {
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut checkpoint_every = 5.0f64;
     let mut resume = false;
-    let mut days = 75.0f64;
+    let mut days: Option<f64> = None;
+    let mut shards = 4u32;
     let mut bench_days = 30.0f64;
     let mut bench_pages: Vec<u64> = vec![10_000, 100_000];
     let mut bench_out: Option<PathBuf> = None;
@@ -73,13 +89,23 @@ fn main() {
             }
             "--resume" => resume = true,
             "--days" => {
-                days = iter
+                days = Some(
+                    iter.next()
+                        .expect("--days needs a day count")
+                        .parse()
+                        .ok()
+                        .filter(|&v: &f64| v > 0.0)
+                        .expect("--days must be a positive number"),
+                );
+            }
+            "--shards" => {
+                shards = iter
                     .next()
-                    .expect("--days needs a day count")
+                    .expect("--shards needs a count")
                     .parse()
                     .ok()
-                    .filter(|&v: &f64| v > 0.0)
-                    .expect("--days must be a positive number");
+                    .filter(|&v: &u32| v > 0)
+                    .expect("--shards must be a positive integer");
             }
             "--bench-days" => {
                 bench_days = iter
@@ -380,6 +406,7 @@ fn main() {
                 println!();
             }
             "crawl" => {
+                let days = days.unwrap_or(75.0);
                 println!("Durable incremental crawl ({days} simulated days)");
                 let universe = repro_universe();
                 let capacity = universe.site_count() * universe.config().pages_per_site;
@@ -469,6 +496,24 @@ fn main() {
                 }
                 println!();
             }
+            "fleet" => {
+                let (report, regression) = run_fleet_bench(days.unwrap_or(15.0), shards);
+                println!("{report}");
+                if let Some(path) = bench_out.clone() {
+                    std::fs::write(&path, format!("{report}\n")).unwrap_or_else(|e| {
+                        eprintln!("[repro] cannot write {path:?}: {e}");
+                        std::process::exit(1);
+                    });
+                    eprintln!("[repro] wrote {path:?}");
+                }
+                if regression {
+                    eprintln!(
+                        "[repro] PERF REGRESSION: the sharded fleet fails its throughput \
+                         floor against the single-engine run (see the report above)"
+                    );
+                    std::process::exit(1);
+                }
+            }
             "bench" => {
                 let (report, regression) = run_perf_bench(bench_days, &bench_pages);
                 println!("{report}");
@@ -490,6 +535,112 @@ fn main() {
             other => eprintln!("[repro] unknown target: {other}"),
         }
     }
+}
+
+/// The `fleet` target: end-to-end scale-out. Runs the same fleet-wide
+/// budget as a 1-shard fleet (the single-engine baseline through the
+/// identical code path) and as an N-shard fleet, and reports per-shard and
+/// merged throughput plus scaling efficiency as one machine-readable JSON
+/// document. The `regression` field (and returned flag) is the CI smoke
+/// marker: `true` when the N-shard fleet's throughput falls below
+/// `max(0.75, min(shards, cores)/2)` × the 1-shard run — on a multi-core
+/// runner that demands ≥ half-linear scaling (2× at 4 shards), while a
+/// single-core machine can only verify that sharding itself does not cost
+/// more than 25%.
+fn run_fleet_bench(days: f64, shards: u32) -> (String, bool) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let universe = repro_universe();
+    let capacity = universe.site_count() * universe.config().pages_per_site;
+    let budget = CrawlBudget::paper_monthly(capacity).with_cycle_days(15.0);
+
+    // Three timed repetitions per leg, median wall time: fleet runs are
+    // deterministic (identical results every repetition), so the median
+    // only damps scheduler noise — one noisy-neighbor stall on a shared
+    // CI runner must not trip the regression gate.
+    let leg = |n: u32| {
+        eprintln!("[repro] fleet: {n}-shard leg ({days} simulated days, median of 3)...");
+        let mut results = None;
+        let secs = median_secs(3, || {
+            let mut fleet = FleetSession::builder()
+                .shards(n)
+                .budget(budget)
+                .universe(&universe)
+                .build()
+                .unwrap_or_else(|e| {
+                    eprintln!("[repro] invalid fleet: {e}");
+                    std::process::exit(1);
+                });
+            fleet
+                .run(days)
+                .unwrap_or_else(|e| {
+                    eprintln!("[repro] fleet run failed: {e}");
+                    std::process::exit(1);
+                });
+            results = Some(fleet.results().expect("just ran").clone());
+        });
+        (results.expect("at least one repetition ran"), secs)
+    };
+    let (single, single_secs) = leg(1);
+    let (fleet, fleet_secs) = leg(shards);
+
+    // Throughput counts *owned* fetch attempts only: a shard's rejections
+    // of foreign URLs (routing-boundary hits absent from the 1-shard
+    // baseline) cost near nothing and must not inflate the speedup the
+    // regression marker judges.
+    let owned = |results: &webevo::prelude::FleetMetrics| {
+        results.merged.fetches
+            - results.shards.iter().map(|s| s.foreign_rejects).sum::<u64>()
+    };
+    let single_owned = owned(&single);
+    let fleet_owned = owned(&fleet);
+    let single_fps = single_owned as f64 / single_secs;
+    let fleet_fps = fleet_owned as f64 / fleet_secs;
+    let speedup = fleet_fps / single_fps;
+    let speedup_floor = (0.75f64).max(shards.min(cores as u32) as f64 / 2.0);
+    let regression = !(fleet_owned > 0 && speedup >= speedup_floor);
+
+    let mut out = String::from("{\n  \"schema\": \"webevo-repro-fleet/1\",\n");
+    out.push_str(&format!(
+        "  \"shards\": {shards}, \"sim_days\": {days}, \"cores\": {cores}, \
+         \"sites\": {}, \"capacity\": {capacity},\n",
+        universe.site_count()
+    ));
+    out.push_str(&format!(
+        "  \"single\": {{\"fetches\": {}, \"owned_fetches\": {single_owned}, \
+         \"wall_seconds\": {single_secs:.3}, \
+         \"owned_fetches_per_wall_second\": {single_fps:.1}}},\n",
+        single.merged.fetches
+    ));
+    out.push_str(&format!(
+        "  \"fleet\": {{\"fetches\": {}, \"owned_fetches\": {fleet_owned}, \
+         \"wall_seconds\": {fleet_secs:.3}, \
+         \"owned_fetches_per_wall_second\": {fleet_fps:.1}, \"collection\": {},\n",
+        fleet.merged.fetches,
+        fleet.collection_len()
+    ));
+    out.push_str("    \"per_shard\": [\n");
+    for (i, report) in fleet.shards.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"shard\": {}, \"sites\": {}, \"capacity\": {}, \"fetches\": {}, \
+             \"collection\": {}, \"foreign_rejects\": {}}}{}\n",
+            report.shard.0,
+            report.sites,
+            report.capacity,
+            report.metrics.fetches,
+            report.collection_len,
+            report.foreign_rejects,
+            if i + 1 == fleet.shards.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("    ]\n  },\n");
+    out.push_str(&format!(
+        "  \"speedup\": {speedup:.2}, \"scaling_efficiency\": {:.2},\n",
+        speedup / shards as f64
+    ));
+    out.push_str(&format!(
+        "  \"speedup_floor\": {speedup_floor:.2},\n  \"regression\": {regression}\n}}"
+    ));
+    (out, regression)
 }
 
 /// Median wall-clock seconds of `reps` invocations of `f`.

@@ -200,6 +200,31 @@ impl IncrementalCrawler {
         }
     }
 
+    /// Start the run at the frozen clock: anchor the periodic activities
+    /// and inject the seed URLs (§1's "initial set of URLs, called seed
+    /// URLs"). Shared by [`CrawlEngine::drive`] on a fresh engine and by
+    /// [`CrawlEngine::replay`] when the snapshot is a day-0 one (a run
+    /// killed before its first cadence snapshot recovers from the initial
+    /// snapshot that `webevo-store`'s `Checkpointer` writes at creation,
+    /// plus the whole WAL).
+    fn begin_run(&mut self, universe: &WebUniverse) {
+        let start = self.clock.t;
+        self.run_start = start;
+        self.clock = EngineClock {
+            t: start,
+            next_ranking: start + self.config.ranking_interval_days,
+            next_sample: start,
+        };
+        for site in universe.sites() {
+            if let Some(root) = universe.occupant(site.id, 0, start) {
+                let url = Url::new(site.id, root);
+                self.all_urls.discover(url, start);
+                self.enqueue(url, start);
+            }
+        }
+        self.seeded = true;
+    }
+
     /// The discrete-event loop over fetch slots, shared by live runs and
     /// WAL replay. Stops at `end`, or — for replay sources — at log
     /// exhaustion; the exhaustion check sits *before* the boundary
@@ -424,26 +449,13 @@ impl CrawlEngine for IncrementalCrawler {
         until: f64,
     ) -> Result<&CrawlMetrics, WebEvoError> {
         if !self.seeded {
-            let start = self.clock.t;
-            if until <= start {
+            if until <= self.clock.t {
                 return Err(WebEvoError::InvalidState(format!(
-                    "drive target {until} must lie beyond the start day {start}"
+                    "drive target {until} must lie beyond the start day {}",
+                    self.clock.t
                 )));
             }
-            self.run_start = start;
-            self.clock = EngineClock {
-                t: start,
-                next_ranking: start + self.config.ranking_interval_days,
-                next_sample: start,
-            };
-            for site in universe.sites() {
-                if let Some(root) = universe.occupant(site.id, 0, start) {
-                    let url = Url::new(site.id, root);
-                    self.all_urls.discover(url, start);
-                    self.enqueue(url, start);
-                }
-            }
-            self.seeded = true;
+            self.begin_run(universe);
         } else if until <= self.clock.t {
             return Err(WebEvoError::InvalidState(format!(
                 "drive target {until} must lie beyond the engine clock {}",
@@ -470,9 +482,14 @@ impl CrawlEngine for IncrementalCrawler {
         records: &[FetchRecord],
     ) -> Result<(), WebEvoError> {
         if !self.seeded {
-            return Err(WebEvoError::InvalidState(
-                "replay requires a restored engine".into(),
-            ));
+            // A day-0 snapshot: the run died before its first cadence
+            // snapshot. An empty tail means nothing ever hit the log;
+            // otherwise the log necessarily starts at seq 1, so the replay
+            // *is* the run from the top — start it exactly as drive would.
+            if records.is_empty() {
+                return Ok(());
+            }
+            self.begin_run(universe);
         }
         let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
         let tail = &records[skip..];

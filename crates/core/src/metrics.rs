@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use webevo_freshness::FreshnessSeries;
 use webevo_stats::Summary;
 use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
+use webevo_types::WebEvoError;
 
 /// Metrics collected over one crawler run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -120,6 +121,73 @@ impl CrawlMetrics {
     pub fn average_freshness_from(&self, start: f64) -> f64 {
         self.freshness.time_average_from(start)
     }
+
+    /// Merge shard-level metrics into one fleet-level view. `parts` pairs
+    /// each shard's metrics with its weight (its collection capacity —
+    /// the nominal share of the fleet's pages), **in ascending shard
+    /// order**: the fold order is part of the determinism contract, so
+    /// the merged floats are byte-identical no matter how the shards were
+    /// scheduled onto worker threads.
+    ///
+    /// Semantics per channel:
+    ///
+    /// * `freshness` / `age`: the weighted mean at each sampling instant.
+    ///   All parts must have sampled at *identical* times (shards in a
+    ///   fleet share one sampling grid by construction); a mismatch is a
+    ///   typed error, never a silent re-interpolation. With capacity
+    ///   weights the pooled value is exact once every part's collection
+    ///   is full (the steady state the paper evaluates); while a part is
+    ///   still filling, its samples average over fewer pages than its
+    ///   weight asserts, so the merged warm-up ramp is an approximation —
+    ///   per-sample collection sizes are not part of the durable metrics
+    ///   state, deliberately.
+    /// * latency summaries: exact parallel Welford combination
+    ///   ([`Summary::merge`]).
+    /// * `fetches` / `failed_fetches`: sums.
+    /// * `peak_speed`: the sum of per-shard peaks — the fleet's aggregate
+    ///   crawl capability, since shards fetch concurrently.
+    pub fn merge_weighted(parts: &[(f64, &CrawlMetrics)]) -> Result<CrawlMetrics, WebEvoError> {
+        let mut merged = CrawlMetrics::default();
+        let Some((_, first)) = parts.first() else {
+            return Ok(merged);
+        };
+        let total_weight: f64 = parts.iter().map(|(w, _)| *w).sum();
+        if total_weight.is_nan() || total_weight <= 0.0 {
+            return Err(WebEvoError::invalid(format!(
+                "metrics merge needs a positive total weight, got {total_weight}"
+            )));
+        }
+        for (i, (_, part)) in parts.iter().enumerate() {
+            if part.freshness.times() != first.freshness.times()
+                || part.age.times != first.age.times
+            {
+                return Err(WebEvoError::InvalidState(format!(
+                    "metrics merge: part {i} sampled on a different time grid than part 0 \
+                     ({} vs {} freshness samples); fleet shards must share one sampling \
+                     cadence and horizon",
+                    part.freshness.len(),
+                    first.freshness.len()
+                )));
+            }
+        }
+        for (row, &t) in first.freshness.times().iter().enumerate() {
+            let mut fresh = 0.0;
+            let mut age = 0.0;
+            for (w, part) in parts {
+                fresh += w * part.freshness.values()[row];
+                age += w * part.age.values[row];
+            }
+            merged.sample(t, fresh / total_weight, age / total_weight);
+        }
+        for (_, part) in parts {
+            merged.new_page_latency.merge(&part.new_page_latency);
+            merged.discovery_latency.merge(&part.discovery_latency);
+            merged.fetches += part.fetches;
+            merged.failed_fetches += part.failed_fetches;
+            merged.peak_speed += part.peak_speed;
+        }
+        Ok(merged)
+    }
 }
 
 impl BinEncode for FreshnessSeriesLike {
@@ -209,5 +277,45 @@ mod tests {
         assert!((m.age.time_average() - 0.75).abs() < 1e-12);
         assert_eq!(m.new_page_latency.count(), 2);
         assert_eq!(m.new_page_latency.min(), 0.0, "negative latency clamped");
+    }
+
+    #[test]
+    fn merge_weighted_pools_channels() {
+        let mut a = CrawlMetrics::default();
+        a.sample(0.0, 1.0, 0.0);
+        a.sample(5.0, 0.5, 2.0);
+        a.record_fetch(true);
+        a.record_admission_latency(4.0);
+        a.observe_speed(10.0);
+        let mut b = CrawlMetrics::default();
+        b.sample(0.0, 0.0, 4.0);
+        b.sample(5.0, 1.0, 0.0);
+        b.record_fetch(false);
+        b.record_fetch(true);
+        b.record_admission_latency(8.0);
+        b.observe_speed(30.0);
+        // Weights 1:3 — the second part dominates the pooled series.
+        let merged = CrawlMetrics::merge_weighted(&[(1.0, &a), (3.0, &b)]).expect("merges");
+        let rows: Vec<(f64, f64)> = merged.freshness.rows().collect();
+        assert_eq!(rows, vec![(0.0, 0.25), (5.0, 0.875)]);
+        let ages: Vec<(f64, f64)> = merged.age.rows().collect();
+        assert_eq!(ages, vec![(0.0, 3.0), (5.0, 0.5)]);
+        assert_eq!(merged.fetches, 3);
+        assert_eq!(merged.failed_fetches, 1);
+        assert_eq!(merged.peak_speed, 40.0, "fleet peak is the concurrent sum");
+        assert_eq!(merged.new_page_latency.count(), 2);
+        assert!((merged.new_page_latency.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_weighted_rejects_grid_mismatch_and_empty_weight() {
+        let mut a = CrawlMetrics::default();
+        a.sample(0.0, 0.5, 1.0);
+        let mut b = CrawlMetrics::default();
+        b.sample(1.0, 0.5, 1.0);
+        assert!(CrawlMetrics::merge_weighted(&[(1.0, &a), (1.0, &b)]).is_err());
+        assert!(CrawlMetrics::merge_weighted(&[(0.0, &a)]).is_err());
+        let empty = CrawlMetrics::merge_weighted(&[]).expect("empty merge is empty metrics");
+        assert_eq!(empty.fetches, 0);
     }
 }

@@ -272,6 +272,19 @@ impl PeriodicCrawler {
         self.current.len()
     }
 
+    /// Start the run at the frozen clock: anchor the cycle grid and the
+    /// sampling grid. Shared by [`CrawlEngine::drive`] on a fresh engine
+    /// and by [`CrawlEngine::replay`] from a day-0 snapshot (a run killed
+    /// before its first cadence snapshot). The BFS frontier itself seeds
+    /// lazily per cycle via [`PeriodicCrawler::seed_window`].
+    fn begin_run(&mut self) {
+        let start = self.clock.t;
+        self.run_start = start;
+        self.cycle_start = start;
+        self.clock.next_sample = start;
+        self.started = true;
+    }
+
     /// Seed the BFS frontier for the cycle starting at `self.cycle_start`.
     fn seed_window(&mut self, universe: &WebUniverse) {
         let mut window = BatchWindow {
@@ -487,16 +500,13 @@ impl CrawlEngine for PeriodicCrawler {
         until: f64,
     ) -> Result<&CrawlMetrics, WebEvoError> {
         if !self.started {
-            let start = self.clock.t;
-            if until <= start {
+            if until <= self.clock.t {
                 return Err(WebEvoError::InvalidState(format!(
-                    "drive target {until} must lie beyond the start day {start}"
+                    "drive target {until} must lie beyond the start day {}",
+                    self.clock.t
                 )));
             }
-            self.run_start = start;
-            self.cycle_start = start;
-            self.clock.next_sample = start;
-            self.started = true;
+            self.begin_run();
         } else if until <= self.clock.t {
             return Err(WebEvoError::InvalidState(format!(
                 "drive target {until} must lie beyond the engine clock {}",
@@ -519,9 +529,13 @@ impl CrawlEngine for PeriodicCrawler {
         records: &[FetchRecord],
     ) -> Result<(), WebEvoError> {
         if !self.started {
-            return Err(WebEvoError::InvalidState(
-                "replay requires a restored engine".into(),
-            ));
+            // Day-0 snapshot (killed before the first cadence snapshot):
+            // an empty tail leaves the fresh engine untouched; a non-empty
+            // one starts the run and replays it from the top.
+            if records.is_empty() {
+                return Ok(());
+            }
+            self.begin_run();
         }
         let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
         let tail = &records[skip..];

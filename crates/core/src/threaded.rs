@@ -192,6 +192,28 @@ impl ThreadedCrawler {
         }
     }
 
+    /// Start the run at the frozen clock: anchor the periodic activities
+    /// and inject the seed URLs. Shared by [`CrawlEngine::drive`] on a
+    /// fresh engine and by [`CrawlEngine::replay`] from a day-0 snapshot
+    /// (a run killed before its first cadence snapshot).
+    fn begin_run(&mut self, universe: &WebUniverse) {
+        let start = self.clock.t;
+        self.run_start = start;
+        self.clock = EngineClock {
+            t: start,
+            next_ranking: start + self.config.ranking_interval_days,
+            next_sample: start,
+        };
+        for site in universe.sites() {
+            if let Some(root) = universe.occupant(site.id, 0, start) {
+                let url = Url::new(site.id, root);
+                self.all_urls.discover(url, start);
+                self.enqueue(url, start);
+            }
+        }
+        self.seeded = true;
+    }
+
     /// The replay inner loop. This deliberately mirrors `advance_live`'s
     /// slot scheduling (boundary order, horizon, batch dispatch,
     /// empty-slot burning) without the channels. Any change to the live
@@ -545,26 +567,13 @@ impl CrawlEngine for ThreadedCrawler {
         until: f64,
     ) -> Result<&CrawlMetrics, WebEvoError> {
         if !self.seeded {
-            let start = self.clock.t;
-            if until <= start {
+            if until <= self.clock.t {
                 return Err(WebEvoError::InvalidState(format!(
-                    "drive target {until} must lie beyond the start day {start}"
+                    "drive target {until} must lie beyond the start day {}",
+                    self.clock.t
                 )));
             }
-            self.run_start = start;
-            self.clock = EngineClock {
-                t: start,
-                next_ranking: start + self.config.ranking_interval_days,
-                next_sample: start,
-            };
-            for site in universe.sites() {
-                if let Some(root) = universe.occupant(site.id, 0, start) {
-                    let url = Url::new(site.id, root);
-                    self.all_urls.discover(url, start);
-                    self.enqueue(url, start);
-                }
-            }
-            self.seeded = true;
+            self.begin_run(universe);
         } else if until <= self.clock.t {
             return Err(WebEvoError::InvalidState(format!(
                 "drive target {until} must lie beyond the engine clock {}",
@@ -591,9 +600,13 @@ impl CrawlEngine for ThreadedCrawler {
         records: &[FetchRecord],
     ) -> Result<(), WebEvoError> {
         if !self.seeded {
-            return Err(WebEvoError::InvalidState(
-                "replay requires a restored engine".into(),
-            ));
+            // Day-0 snapshot (killed before the first cadence snapshot):
+            // an empty tail leaves the fresh engine untouched; a non-empty
+            // one starts the run and replays it from the top.
+            if records.is_empty() {
+                return Ok(());
+            }
+            self.begin_run(universe);
         }
         let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
         let tail = &records[skip..];

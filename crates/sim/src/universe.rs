@@ -154,11 +154,19 @@ impl WebUniverse {
     }
 
     /// The page currently occupying `slot` of `site` at time `t`, if any.
+    ///
+    /// `out_links` and `window` call this per BFS child on the fetch hot
+    /// path, so it must not scan: a slot's incarnations are birth-ordered
+    /// and contiguous (each birth equals the previous death, pinned by
+    /// `slots_have_contiguous_occupancy`), so the only candidate is the
+    /// last incarnation born at or before `t` — found by binary search and
+    /// checked for liveness (`t` past the final death, or before time
+    /// zero, yields `None`).
     pub fn occupant(&self, site: SiteId, slot: usize, t: f64) -> Option<PageId> {
-        self.sites[site.index()].slots[slot]
-            .iter()
-            .copied()
-            .find(|&p| self.pages[p.index()].alive(t))
+        let occupants = &self.sites[site.index()].slots[slot];
+        let idx = occupants.partition_point(|&p| self.pages[p.index()].birth <= t);
+        let p = occupants[idx.checked_sub(1)?];
+        self.pages[p.index()].alive(t).then_some(p)
     }
 
     /// §2.1's page window at time `t`: the alive occupants of the leading
@@ -344,6 +352,53 @@ mod tests {
                 }
                 // Coverage to the horizon.
                 assert!(prev_death.unwrap() >= u.config().horizon_days);
+            }
+        }
+    }
+
+    /// The pre-optimization `occupant`: a linear scan for the first alive
+    /// incarnation. Kept as the reference the binary search must match.
+    fn occupant_by_scan(u: &WebUniverse, site: SiteId, slot: usize, t: f64) -> Option<PageId> {
+        u.site(site).slots[slot]
+            .iter()
+            .copied()
+            .find(|&p| u.page(p).alive(t))
+    }
+
+    #[test]
+    fn occupant_binary_search_matches_linear_scan_exhaustively() {
+        let u = small();
+        let horizon = u.config().horizon_days;
+        for site in u.sites() {
+            for slot in 0..site.slot_count() {
+                // A dense grid across the horizon (and beyond it, and
+                // before time zero)...
+                let mut probes: Vec<f64> = (-4..=(horizon as i64 * 2 + 4))
+                    .map(|k| k as f64 * 0.5)
+                    .collect();
+                // ...plus every incarnation boundary exactly, and the
+                // floats immediately around it.
+                for &p in &site.slots[slot] {
+                    let page = u.page(p);
+                    for edge in [page.birth, page.death] {
+                        if edge.is_finite() {
+                            probes.extend([
+                                edge,
+                                f64::from_bits(edge.to_bits().wrapping_sub(1)),
+                                edge + f64::EPSILON.max(edge.abs() * f64::EPSILON),
+                            ]);
+                        }
+                    }
+                }
+                probes.push(f64::NAN);
+                for t in probes {
+                    assert_eq!(
+                        u.occupant(site.id, slot, t),
+                        occupant_by_scan(&u, site.id, slot, t),
+                        "divergence at site {} slot {slot} t={t}",
+                        site.id
+                    );
+                }
             }
         }
     }

@@ -5,13 +5,16 @@
 //! Lifecycle of a checkpoint directory:
 //!
 //! 1. [`Checkpointer::create`] starts a fresh lineage (any previous
-//!    snapshot/WAL in the directory is superseded).
+//!    snapshot/WAL in the directory is superseded) and immediately writes
+//!    a **base snapshot** of the initial engine state, so the WAL is never
+//!    without a snapshot to replay onto — a run killed before its first
+//!    cadence snapshot recovers from `day-0 snapshot + whole WAL`.
 //! 2. During the run, [`CrawlHook::on_fetch`] buffers records in memory;
 //!    [`CrawlHook::on_pass_boundary`] appends the buffer to the WAL under
 //!    one commit marker, and writes a snapshot whenever
 //!    [`CheckpointConfig::snapshot_every_days`] simulated days have passed
-//!    since the last one (the first pass always snapshots). Snapshot
-//!    writes are atomic (temp file + rename) and reset the WAL.
+//!    since the last one. Snapshot writes are atomic (temp file + rename)
+//!    and reset the WAL.
 //! 3. After a crash, [`recover`] returns the newest snapshot and the
 //!    committed WAL tail; the caller rebuilds the engine
 //!    (`webevo_core::engine::restore` → `replay` → `drive`) and creates
@@ -85,22 +88,27 @@ pub struct Checkpointer {
 
 impl Checkpointer {
     /// Start a fresh checkpoint lineage in `config.dir` (created if
-    /// missing; an existing snapshot/WAL there is removed).
-    pub fn create(config: CheckpointConfig) -> io::Result<Checkpointer> {
+    /// missing; an existing snapshot/WAL there is superseded): write a
+    /// base snapshot of `initial` — the engine state the run starts from —
+    /// and an empty WAL. The base snapshot guarantees every WAL the
+    /// lineage ever holds has a snapshot to replay onto, even when the
+    /// process dies before the first cadence snapshot.
+    pub fn create(config: CheckpointConfig, initial: &CrawlerState) -> io::Result<Checkpointer> {
         fs::create_dir_all(&config.dir)?;
-        match fs::remove_file(config.snapshot_path()) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
+        // Truncate the previous lineage's WAL *before* the base snapshot
+        // lands: a crash between the two steps then leaves the old
+        // snapshot with an empty log (a consistent, merely older lineage)
+        // — never a fresh day-0 snapshot paired with the old run's
+        // records, which replay could not tell apart from its own.
         let wal = WalWriter::create(&config.wal_path())?;
+        write_snapshot_atomically(&config, initial)?;
         Ok(Checkpointer {
+            last_snapshot_t: Some(initial.clock.t),
+            last_seq: initial.fetch_seq,
             config,
             buffer: Vec::new(),
             wal,
-            last_snapshot_t: None,
-            last_seq: 0,
-            stats: CheckpointStats::default(),
+            stats: CheckpointStats { snapshots: 1, ..CheckpointStats::default() },
         })
     }
 
@@ -147,7 +155,7 @@ impl CrawlHook for Checkpointer {
         self.buffer.clear();
         self.stats.flushes += 1;
         let snapshot_due = match self.last_snapshot_t {
-            None => true, // first pass boundary: seed the lineage
+            None => true, // defensive: create/continue_from always seed one
             Some(last) => t - last >= self.config.snapshot_every_days,
         };
         if snapshot_due {
@@ -192,16 +200,40 @@ pub struct Recovered {
 }
 
 /// Load the newest consistent crawl state from a checkpoint directory:
-/// `Ok(None)` when no snapshot exists (nothing to resume), the decoded
-/// snapshot plus committed WAL tail otherwise. Corrupt snapshots surface
-/// as [`StoreError`]; a corrupt or torn WAL tail silently shrinks to its
-/// last committed boundary, which is exactly the guarantee the engines
-/// need.
+/// `Ok(None)` when the directory holds no checkpoint at all (nothing to
+/// resume), the decoded snapshot plus committed WAL tail otherwise.
+/// Corrupt snapshots surface as [`StoreError`], and so does a WAL with
+/// committed records but no snapshot to replay them onto
+/// ([`StoreError::WalWithoutSnapshot`]) — durable work is never silently
+/// discarded. A corrupt or torn WAL *tail* silently shrinks to its last
+/// committed boundary, which is exactly the guarantee the engines need.
+///
+/// A stale `snapshot.wsnap.tmp` — the residue of a crash between the
+/// snapshot temp-file write and its atomic rename — is removed here: the
+/// rename never happened, so the file is not part of any lineage, and
+/// leaving it would shadow nothing but clutter the directory forever.
 pub fn recover(dir: &Path) -> Result<Option<Recovered>, StoreError> {
+    let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    match fs::remove_file(&tmp) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(StoreError::Io(format!("removing stale {tmp:?}: {e}"))),
+    }
     let snapshot_path = dir.join(SNAPSHOT_FILE);
     let doc = match fs::read(&snapshot_path) {
         Ok(doc) => doc,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            // No snapshot: fine when the log is empty too (a directory
+            // that never checkpointed), an error when committed work
+            // would be orphaned.
+            let wal = read_wal(&dir.join(WAL_FILE))
+                .map_err(|e| StoreError::Io(format!("reading WAL: {e}")))?;
+            return if wal.is_empty() {
+                Ok(None)
+            } else {
+                Err(StoreError::WalWithoutSnapshot { committed_records: wal.len() })
+            };
+        }
         Err(e) => return Err(StoreError::Io(format!("reading {snapshot_path:?}: {e}"))),
     };
     let state = decode_snapshot(&doc)?;
@@ -241,9 +273,10 @@ mod tests {
         let u = WebUniverse::generate(UniverseConfig::test_scale(21));
         // Killed run: crawl to day 20 under the checkpointer, then drop
         // everything in memory.
-        let mut ckpt =
-            Checkpointer::create(CheckpointConfig::new(&dir, 3.0)).expect("create checkpointer");
         let mut killed = IncrementalCrawler::new(config(40));
+        let mut ckpt =
+            Checkpointer::create(CheckpointConfig::new(&dir, 3.0), &killed.export_state())
+                .expect("create checkpointer");
         let mut killed_fetcher = SimFetcher::new(&u);
         killed.drive(&u, &mut killed_fetcher, &mut ckpt, 20.0).expect("drive");
         assert!(ckpt.stats().snapshots >= 2, "stats={:?}", ckpt.stats());
@@ -286,11 +319,97 @@ mod tests {
     }
 
     #[test]
+    fn create_seeds_a_base_snapshot() {
+        // The lineage must be recoverable from the instant it opens: a
+        // kill before any pass boundary finds the day-0 snapshot and an
+        // empty WAL, not an empty directory.
+        let dir = temp_dir("base");
+        let crawler = IncrementalCrawler::new(config(25));
+        let ckpt = Checkpointer::create(CheckpointConfig::new(&dir, 5.0), &crawler.export_state())
+            .expect("create checkpointer");
+        assert_eq!(ckpt.stats().snapshots, 1, "the base snapshot counts");
+        drop(ckpt);
+        let recovered = recover(&dir).expect("decodes").expect("base snapshot exists");
+        assert!(!recovered.state.seeded, "day-0 state predates seeding");
+        assert_eq!(recovered.state.fetch_seq, 0);
+        assert!(recovered.wal.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_without_snapshot_is_an_error_not_silent_loss() {
+        // The pre-fix failure mode: committed WAL frames with no snapshot
+        // (an old-build crash between the first WAL flush and the first
+        // snapshot, or a hand-deleted snapshot). `recover` must refuse,
+        // not report "nothing to resume" and let a fresh `create` truncate
+        // the log.
+        let dir = temp_dir("orphan-wal");
+        let u = WebUniverse::generate(UniverseConfig::test_scale(23));
+        let mut crawler = IncrementalCrawler::new(config(30));
+        let mut ckpt =
+            Checkpointer::create(CheckpointConfig::new(&dir, 50.0), &crawler.export_state())
+                .unwrap();
+        let mut fetcher = SimFetcher::new(&u);
+        crawler.drive(&u, &mut fetcher, &mut ckpt, 6.0).expect("drive");
+        drop(ckpt);
+        fs::remove_file(dir.join(SNAPSHOT_FILE)).unwrap();
+        match recover(&dir) {
+            Err(StoreError::WalWithoutSnapshot { committed_records }) => {
+                assert!(committed_records > 0)
+            }
+            other => panic!("expected WalWithoutSnapshot, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_snapshot_tmp_is_removed_and_overwritten() {
+        // A crash between the snapshot temp-file write and the atomic
+        // rename leaves `snapshot.wsnap.tmp` behind. `recover` must clean
+        // it up, recovery must be unaffected, and the next snapshot must
+        // succeed over the residue.
+        let dir = temp_dir("stale-tmp");
+        let u = WebUniverse::generate(UniverseConfig::test_scale(24));
+        let mut crawler = IncrementalCrawler::new(config(30));
+        let cfg = CheckpointConfig::new(&dir, 2.0);
+        let mut ckpt = Checkpointer::create(cfg.clone(), &crawler.export_state()).unwrap();
+        let mut fetcher = SimFetcher::new(&u);
+        crawler.drive(&u, &mut fetcher, &mut ckpt, 8.0).expect("drive");
+        drop(ckpt);
+        // Plant a partial temp file, as a mid-write crash would.
+        let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        fs::write(&tmp, b"WEBEVO-SNAPSHOT 3 torn-mid-wr").unwrap();
+
+        let recovered = recover(&dir).expect("stale tmp must not break recovery");
+        let recovered = recovered.expect("real snapshot still recovers");
+        assert!(recovered.state.seeded);
+        assert!(!tmp.exists(), "recover removes the stale temp file");
+
+        // The next snapshot (here: the post-recovery re-snapshot) lands
+        // cleanly even with a fresh stale tmp planted again.
+        fs::write(&tmp, b"garbage").unwrap();
+        let (mut restored, fstate) = engine::restore(recovered.state).expect("restores");
+        let mut fetcher2 = SimFetcher::new(&u);
+        fetcher2.restore_state(fstate.unwrap());
+        restored.replay(&u, &mut fetcher2, &recovered.wal).expect("replay");
+        let mut state = restored.export_state();
+        state.fetcher = Fetcher::export_state(&fetcher2);
+        let ckpt2 = Checkpointer::continue_from(cfg, &state).expect("snapshot over stale tmp");
+        assert_eq!(ckpt2.stats().snapshots, 1);
+        let again = recover(&dir).expect("decodes").expect("snapshot exists");
+        assert_eq!(again.state.fetch_seq, state.fetch_seq);
+        assert!(!tmp.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn continue_from_resnapshots() {
         let dir = temp_dir("cont");
         let u = WebUniverse::generate(UniverseConfig::test_scale(22));
-        let mut ckpt = Checkpointer::create(CheckpointConfig::new(&dir, 2.0)).unwrap();
         let mut crawler = IncrementalCrawler::new(config(30));
+        let mut ckpt =
+            Checkpointer::create(CheckpointConfig::new(&dir, 2.0), &crawler.export_state())
+                .unwrap();
         let mut fetcher = SimFetcher::new(&u);
         crawler.drive(&u, &mut fetcher, &mut ckpt, 10.0).expect("drive");
 

@@ -44,6 +44,17 @@ pub enum StoreError {
     /// a permissions or I/O problem, *not* corruption; the lineage on disk
     /// may be perfectly fine.
     Io(String),
+    /// The directory holds a write-ahead log with committed records but no
+    /// snapshot: durable work exists that cannot be replayed without its
+    /// base. Surfaced as an error so no caller ever silently truncates the
+    /// log and discards that work. (Current builds always write a base
+    /// snapshot when a lineage starts, so this marks either a directory
+    /// written by an older build that crashed between its first WAL flush
+    /// and its first snapshot, or a hand-deleted snapshot file.)
+    WalWithoutSnapshot {
+        /// Committed records stranded in the log.
+        committed_records: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -60,6 +71,11 @@ impl fmt::Display for StoreError {
             StoreError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
             StoreError::Malformed(msg) => write!(f, "malformed snapshot payload: {msg}"),
             StoreError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            StoreError::WalWithoutSnapshot { committed_records } => write!(
+                f,
+                "write-ahead log holds {committed_records} committed record(s) but no \
+                 snapshot exists to replay them onto; refusing to discard durable work"
+            ),
         }
     }
 }

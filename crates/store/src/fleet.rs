@@ -1,0 +1,899 @@
+//! [`FleetSession`]: a sharded crawl fleet — many [`CrawlSession`]s, one
+//! result.
+//!
+//! The paper's incremental crawler is explicitly a web-scale system: §2
+//! monitors 270 sites / 720,000 pages daily, and §4–5 argue the real
+//! crawler must spread that work across many concurrent crawl units. The
+//! fleet is that horizontal layer. A [`ShardPlan`] deterministically
+//! partitions the universe's sites across `N` shards; each shard runs as
+//! an *independent* [`CrawlSession`] — its own engine instance, its own
+//! site-filtered [`ShardedFetcher`] view (URLs owned by other shards
+//! resolve to `NotFound`, as if routed away), its own checkpoint
+//! directory — on a scoped worker thread. When every shard reaches the
+//! horizon, the per-shard [`CrawlMetrics`] are merged **in ascending shard
+//! order** via [`CrawlMetrics::merge_weighted`], so the fleet-level result
+//! is byte-identical across runs and across worker-thread counts: thread
+//! scheduling decides only *when* a shard's numbers are produced, never
+//! what they are.
+//!
+//! # On-disk layout
+//!
+//! With checkpointing configured, the fleet directory holds one manifest
+//! plus one checkpoint directory per shard:
+//!
+//! ```text
+//! fleet-dir/
+//! ├── fleet.manifest     # shard count, partition fn, engine kind, seed
+//! ├── shard-0/           # a normal CrawlSession checkpoint dir:
+//! │   ├── snapshot.wsnap #   base snapshot at lineage start, then cadence
+//! │   └── wal.wlog       #   committed per-fetch deltas since the snapshot
+//! ├── shard-1/
+//! │   └── …
+//! └── shard-N-1/
+//! ```
+//!
+//! [`FleetSession::resume`] recovers the manifest, validates it against
+//! the builder's configuration (shard count, partition function, engine
+//! kind, and universe seed must match — a fleet must never resume under a
+//! different routing), and resumes every shard through the ordinary
+//! `snapshot + WAL` path. Shards are independent, so the fleet tolerates
+//! losing a single shard mid-run: that shard replays its WAL tail while
+//! the others continue from their snapshots, and the merged trajectory
+//! equals an uninterrupted fleet run (`tests/determinism.rs`). A shard
+//! whose worker was never scheduled before the kill (no checkpoint on
+//! disk at all) simply restarts from day 0 — it holds no durable work,
+//! so the restart reproduces the uninterrupted shard exactly.
+//!
+//! The per-shard engine is [`EngineKind::Incremental`] or
+//! [`EngineKind::Periodic`]; the threaded engine is rejected at build
+//! time, because its workers spawn their own unfiltered fetchers — in a
+//! fleet, the shards *are* the parallelism.
+//!
+//! ```
+//! use webevo_core::engine::{CrawlBudget, EngineKind};
+//! use webevo_sim::{UniverseConfig, WebUniverse};
+//! use webevo_store::FleetSession;
+//!
+//! let universe = WebUniverse::generate(UniverseConfig::test_scale(11));
+//! let mut fleet = FleetSession::builder()
+//!     .shards(2)
+//!     .engine(EngineKind::Incremental)
+//!     .budget(CrawlBudget::paper_monthly(40).with_cycle_days(8.0))
+//!     .universe(&universe)
+//!     .build()
+//!     .expect("a valid fleet");
+//! let results = fleet.run(10.0).expect("the fleet runs");
+//! assert_eq!(results.shards.len(), 2);
+//! assert!(results.merged.fetches > 0);
+//! // Every fetch the fleet performed happened on exactly one shard.
+//! let per_shard: u64 = results.shards.iter().map(|s| s.metrics.fetches).sum();
+//! assert_eq!(results.merged.fetches, per_shard);
+//! ```
+
+use crate::session::CrawlSession;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use webevo_core::engine::{CrawlBudget, EngineKind};
+use webevo_core::CrawlMetrics;
+use webevo_sim::{ShardedFetcher, SimFetcher, WebUniverse};
+use webevo_types::{ShardFn, ShardId, ShardPlan, WebEvoError};
+
+/// Manifest file name within a fleet directory.
+pub const MANIFEST_FILE: &str = "fleet.manifest";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The name of shard `k`'s checkpoint directory under the fleet dir.
+pub fn shard_dir_name(shard: ShardId) -> String {
+    format!("shard-{}", shard.0)
+}
+
+/// The durable identity of a fleet — the routing-relevant fields
+/// (`version`, `plan`, `engine`, `seed`) that `resume` verifies before it
+/// re-routes sites to shards — plus the snapshot cadence, recorded for
+/// operators but deliberately *not* validated (resuming under a new
+/// cadence is legitimate tuning, exactly as it is for a single
+/// `CrawlSession`). Serialized as one JSON object in [`MANIFEST_FILE`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetManifest {
+    /// Manifest format version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// The site partition: shard count, total sites, and partition
+    /// function. Resuming under a different plan would route sites to
+    /// different shards and tear every shard's deterministic schedule.
+    pub plan: ShardPlan,
+    /// The per-shard engine kind.
+    pub engine: EngineKind,
+    /// The universe seed the fleet crawled (the whole synthetic web
+    /// derives from it, so it identifies the crawl target).
+    pub seed: u64,
+    /// Full-snapshot cadence of every shard's checkpointer when the
+    /// manifest was written (informational; see the struct docs).
+    pub snapshot_every_days: f64,
+}
+
+/// One shard's share of a fleet result.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Which shard.
+    pub shard: ShardId,
+    /// The shard's collection capacity (its weight in the merge).
+    pub capacity: usize,
+    /// Sites the plan assigns to this shard.
+    pub sites: usize,
+    /// Pages the shard's engine holds user-visible at the horizon.
+    pub collection_len: usize,
+    /// Fetch attempts the shard's fetcher rejected as foreign (routing
+    /// boundary hits: seeds and cross-site links owned by other shards).
+    pub foreign_rejects: u64,
+    /// The shard's own metrics.
+    pub metrics: CrawlMetrics,
+}
+
+/// A fleet run's outcome: the order-independent merged view plus every
+/// shard's own report (ascending shard order).
+#[derive(Clone, Debug)]
+pub struct FleetMetrics {
+    /// Fleet-level metrics, merged in ascending shard order (see
+    /// [`CrawlMetrics::merge_weighted`] for per-channel semantics).
+    pub merged: CrawlMetrics,
+    /// Per-shard reports, index = shard id.
+    pub shards: Vec<ShardReport>,
+}
+
+impl FleetMetrics {
+    /// Total pages user-visible across the fleet.
+    pub fn collection_len(&self) -> usize {
+        self.shards.iter().map(|s| s.collection_len).sum()
+    }
+}
+
+/// Builder for a [`FleetSession`]. Obtain via [`FleetSession::builder`].
+pub struct FleetSessionBuilder<'a> {
+    universe: Option<&'a WebUniverse>,
+    engine: EngineKind,
+    budget: Option<CrawlBudget>,
+    shards: u32,
+    function: ShardFn,
+    checkpoint: Option<(PathBuf, f64)>,
+    concurrency: Option<usize>,
+    failure_rate: f64,
+}
+
+impl<'a> FleetSessionBuilder<'a> {
+    fn new() -> FleetSessionBuilder<'a> {
+        FleetSessionBuilder {
+            universe: None,
+            engine: EngineKind::Incremental,
+            budget: None,
+            shards: 1,
+            function: ShardFn::Hash,
+            checkpoint: None,
+            concurrency: None,
+            failure_rate: 0.0,
+        }
+    }
+
+    /// How many shards to partition the sites across (required; ≥ 1).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The partition-function family (default: [`ShardFn::Hash`]).
+    pub fn partition(mut self, function: ShardFn) -> Self {
+        self.function = function;
+        self
+    }
+
+    /// The per-shard engine kind (default: incremental). The threaded
+    /// engine is a build error — shards are the fleet's parallelism, and
+    /// the threaded engine's workers would bypass the site filter.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// The *fleet-wide* fetch budget (required): capacity and crawl rate
+    /// are split across the shards — equal rate per shard, capacity
+    /// divided as evenly as integers allow — so N shards together are
+    /// granted exactly the one-engine budget. (A small slice of each
+    /// shard's slots goes to discovering the routing boundary: foreign
+    /// seeds and cross-site links resolve to `NotFound`, visible as
+    /// [`ShardReport::foreign_rejects`].)
+    pub fn budget(mut self, budget: CrawlBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The synthetic web to crawl (required). All shards share it
+    /// read-only; the [`ShardPlan`] decides who fetches what.
+    pub fn universe(mut self, universe: &'a WebUniverse) -> Self {
+        self.universe = Some(universe);
+        self
+    }
+
+    /// Checkpoint every shard under `dir/shard-K/`, with a fleet manifest
+    /// at `dir/fleet.manifest`. Also the directory [`FleetSession::resume`]
+    /// recovers from.
+    pub fn checkpoint(mut self, dir: impl AsRef<Path>, snapshot_every_days: f64) -> Self {
+        self.checkpoint = Some((dir.as_ref().to_path_buf(), snapshot_every_days));
+        self
+    }
+
+    /// Cap on concurrently running shard threads (default: one thread per
+    /// shard). The outcome is byte-identical for every value ≥ 1 — shards
+    /// are independent and the merge order is fixed — so this only trades
+    /// memory/core pressure against wall-clock time.
+    pub fn concurrency(mut self, threads: usize) -> Self {
+        self.concurrency = Some(threads);
+        self
+    }
+
+    /// Inject transient fetch failures at this rate into every shard's
+    /// fetcher (deterministic per shard; useful for recovery testing).
+    pub fn failure_rate(mut self, rate: f64) -> Self {
+        self.failure_rate = rate;
+        self
+    }
+
+    /// Validate the configuration and construct the fleet. All failure
+    /// modes are typed [`WebEvoError`]s.
+    pub fn build(self) -> Result<FleetSession<'a>, WebEvoError> {
+        let universe = self.universe.ok_or_else(|| {
+            WebEvoError::invalid("no universe supplied: call .universe(&universe)")
+        })?;
+        let budget = self
+            .budget
+            .ok_or_else(|| WebEvoError::invalid("a fleet needs .budget(…)"))?;
+        if self.shards == 0 {
+            return Err(WebEvoError::invalid("a fleet needs at least one shard"));
+        }
+        if matches!(self.engine, EngineKind::Threaded { .. }) {
+            return Err(WebEvoError::invalid(
+                "the threaded engine cannot run inside a fleet: its workers spawn \
+                 unfiltered fetchers that would bypass the shard routing — use \
+                 EngineKind::Incremental or EngineKind::Periodic per shard (the fleet's \
+                 shards are the parallelism)",
+            ));
+        }
+        if budget.capacity < self.shards as usize {
+            return Err(WebEvoError::invalid(format!(
+                "budget capacity {} cannot be split across {} shards (every shard needs \
+                 at least one page)",
+                budget.capacity, self.shards
+            )));
+        }
+        if let Some(threads) = self.concurrency {
+            if threads == 0 {
+                return Err(WebEvoError::invalid(
+                    "fleet concurrency must be at least one thread",
+                ));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.failure_rate) {
+            return Err(WebEvoError::invalid(format!(
+                "failure rate must lie in [0, 1], got {}",
+                self.failure_rate
+            )));
+        }
+        if let Some((dir, every)) = &self.checkpoint {
+            if !(*every > 0.0 && every.is_finite()) {
+                return Err(WebEvoError::invalid(format!(
+                    "snapshot cadence must be positive, got {every}"
+                )));
+            }
+            std::fs::create_dir_all(dir).map_err(|e| {
+                WebEvoError::invalid(format!("fleet dir {dir:?} cannot be created: {e}"))
+            })?;
+        }
+        let plan = ShardPlan::new(self.function, self.shards, universe.site_count() as u32);
+        let site_counts: Vec<usize> = plan
+            .shard_ids()
+            .map(|k| universe.sites().iter().filter(|s| plan.owns(k, s.id)).count())
+            .collect();
+        let capacities = apportion_capacity(budget.capacity, &site_counts);
+        Ok(FleetSession {
+            universe,
+            engine: self.engine,
+            budget,
+            plan,
+            site_counts,
+            capacities,
+            checkpoint: self.checkpoint,
+            concurrency: self.concurrency,
+            failure_rate: self.failure_rate,
+            results: None,
+        })
+    }
+}
+
+/// Split the fleet's collection capacity across shards **proportionally
+/// to the sites each shard owns** (largest-remainder apportionment, ties
+/// to the lower shard id), with a floor of one page per shard so every
+/// shard remains a valid session. Sizing by owned sites keeps capacity
+/// where the reachable pages are — an even split would strand budget on
+/// small shards that can never fill it, and bias the capacity-weighted
+/// metrics merge. The result is a pure function of `(capacity,
+/// site_counts)`, so it is identical on every run and resume.
+fn apportion_capacity(capacity: usize, site_counts: &[usize]) -> Vec<usize> {
+    let shards = site_counts.len();
+    let total_sites: usize = site_counts.iter().sum();
+    if total_sites == 0 {
+        // Degenerate (siteless universe): fall back to an even split.
+        return (0..shards)
+            .map(|k| capacity / shards + usize::from(k < capacity % shards))
+            .collect();
+    }
+    let mut caps: Vec<usize> = site_counts
+        .iter()
+        .map(|&s| capacity * s / total_sites)
+        .collect();
+    // Hand the rounding remainder to the largest fractional parts.
+    let assigned: usize = caps.iter().sum();
+    let mut order: Vec<usize> = (0..shards).collect();
+    order.sort_by_key(|&k| {
+        // Descending fractional remainder; ascending shard id on ties.
+        (std::cmp::Reverse(capacity * site_counts[k] % total_sites), k)
+    });
+    for &k in order.iter().take(capacity - assigned) {
+        caps[k] += 1;
+    }
+    // Floor of 1 (a zero-capacity shard is not a valid session): borrow
+    // from the largest allocations, largest first.
+    while caps.contains(&0) {
+        let donor = (0..shards).max_by_key(|&k| (caps[k], std::cmp::Reverse(k))).expect("nonempty");
+        if caps[donor] <= 1 {
+            break; // capacity == shards: everyone has exactly one
+        }
+        let recipient = caps.iter().position(|&c| c == 0).expect("a zero exists");
+        caps[donor] -= 1;
+        caps[recipient] += 1;
+    }
+    caps
+}
+
+/// A sharded crawl fleet over one universe. Built by
+/// [`FleetSession::builder`]; see the module docs.
+pub struct FleetSession<'a> {
+    universe: &'a WebUniverse,
+    engine: EngineKind,
+    budget: CrawlBudget,
+    plan: ShardPlan,
+    /// Sites each shard owns under `plan`, index = shard id.
+    site_counts: Vec<usize>,
+    /// Collection capacity per shard (see [`apportion_capacity`]).
+    capacities: Vec<usize>,
+    checkpoint: Option<(PathBuf, f64)>,
+    concurrency: Option<usize>,
+    failure_rate: f64,
+    results: Option<FleetMetrics>,
+}
+
+impl<'a> FleetSession<'a> {
+    /// Start building a fleet.
+    pub fn builder() -> FleetSessionBuilder<'a> {
+        FleetSessionBuilder::new()
+    }
+
+    /// The site partition in force.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The fleet manifest this configuration implies (what `run` writes).
+    pub fn manifest(&self) -> FleetManifest {
+        FleetManifest {
+            version: MANIFEST_VERSION,
+            plan: self.plan,
+            engine: self.engine,
+            seed: self.universe.config().seed,
+            snapshot_every_days: self.checkpoint.as_ref().map(|(_, e)| *e).unwrap_or(0.0),
+        }
+    }
+
+    /// The most recent run's results.
+    pub fn results(&self) -> Option<&FleetMetrics> {
+        self.results.as_ref()
+    }
+
+    /// Run every shard from day 0 to day `days` and merge. With
+    /// checkpointing configured, writes the fleet manifest and starts a
+    /// fresh snapshot+WAL lineage per shard.
+    pub fn run(&mut self, days: f64) -> Result<&FleetMetrics, WebEvoError> {
+        if let Some((dir, _)) = &self.checkpoint {
+            write_manifest(dir, &self.manifest())?;
+        }
+        self.execute(days, false)
+    }
+
+    /// Recover every shard from the fleet directory and continue to day
+    /// `days`: validate the manifest against this configuration, then
+    /// resume each shard through its own `snapshot + WAL tail` (a shard
+    /// killed mid-run replays its log; the others continue from their
+    /// snapshots), and merge as usual.
+    pub fn resume(&mut self, days: f64) -> Result<&FleetMetrics, WebEvoError> {
+        let Some((dir, _)) = self.checkpoint.clone() else {
+            return Err(WebEvoError::InvalidState(
+                "resume requires .checkpoint(dir, every) on the builder".into(),
+            ));
+        };
+        let manifest = read_manifest(&dir)?;
+        let expected = self.manifest();
+        if manifest.version != MANIFEST_VERSION {
+            return Err(WebEvoError::InvalidState(format!(
+                "fleet manifest version {} is not understood (this build reads {})",
+                manifest.version, MANIFEST_VERSION
+            )));
+        }
+        if manifest.plan != expected.plan {
+            return Err(WebEvoError::InvalidState(format!(
+                "fleet manifest partitions {} sites across {} shards by {}, but this \
+                 session is configured for {} sites across {} shards by {} — resuming \
+                 would re-route sites between shards",
+                manifest.plan.total_sites(),
+                manifest.plan.shards(),
+                manifest.plan.function(),
+                expected.plan.total_sites(),
+                expected.plan.shards(),
+                expected.plan.function(),
+            )));
+        }
+        if !manifest.engine.same_family(&expected.engine) {
+            return Err(WebEvoError::InvalidState(format!(
+                "fleet manifest was written by {} shards, but this session is configured \
+                 for {} shards",
+                manifest.engine.name(),
+                expected.engine.name()
+            )));
+        }
+        if manifest.seed != expected.seed {
+            return Err(WebEvoError::InvalidState(format!(
+                "fleet manifest was written against universe seed {}, but this session's \
+                 universe has seed {}",
+                manifest.seed, expected.seed
+            )));
+        }
+        self.execute(days, true)
+    }
+
+    /// Drive all shards (pool of `concurrency` scoped threads pulling
+    /// shard ids) and merge in ascending shard order.
+    fn execute(&mut self, days: f64, resume: bool) -> Result<&FleetMetrics, WebEvoError> {
+        let shard_count = self.plan.shards() as usize;
+        let threads = self.concurrency.unwrap_or(shard_count).min(shard_count);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<ShardReport, WebEvoError>>>> =
+            (0..shard_count).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= shard_count {
+                        break;
+                    }
+                    let report = self.run_shard(ShardId(k as u32), days, resume);
+                    *slots[k].lock().expect("no shard poisoned this slot") = Some(report);
+                });
+            }
+        });
+        let mut shards = Vec::with_capacity(shard_count);
+        for (k, slot) in slots.into_iter().enumerate() {
+            let report = slot
+                .into_inner()
+                .expect("no shard poisoned this slot")
+                .expect("the pool visits every shard");
+            shards.push(report.map_err(|e| {
+                WebEvoError::InvalidState(format!("shard#{k}: {e}"))
+            })?);
+        }
+        let parts: Vec<(f64, &CrawlMetrics)> = shards
+            .iter()
+            .map(|s| (s.capacity as f64, &s.metrics))
+            .collect();
+        let merged = CrawlMetrics::merge_weighted(&parts)?;
+        self.results = Some(FleetMetrics { merged, shards });
+        Ok(self.results.as_ref().expect("just stored"))
+    }
+
+    /// The collection capacity shard `k` gets: the budget's capacity
+    /// apportioned proportionally to the sites the shard owns (floor of
+    /// one page; see [`apportion_capacity`]), so capacity sits where the
+    /// reachable pages are even under a skewed hash partition.
+    pub fn shard_capacity(&self, shard: ShardId) -> usize {
+        self.capacities[shard.index()]
+    }
+
+    /// One shard, end to end: site-filtered fetcher, per-shard engine
+    /// configuration (equal crawl rate per shard — one shared float, so
+    /// every shard samples metrics on the same slot grid and the merge
+    /// lines up exactly), per-shard checkpoint dir, run or resume.
+    fn run_shard(
+        &self,
+        shard: ShardId,
+        days: f64,
+        resume: bool,
+    ) -> Result<ShardReport, WebEvoError> {
+        let capacity = self.shard_capacity(shard);
+        let sites = self.site_counts[shard.index()];
+        let mut fetcher = ShardedFetcher::new(
+            SimFetcher::new(self.universe).with_failure_rate(self.failure_rate),
+            self.plan,
+            shard,
+        );
+        let mut builder = CrawlSession::builder()
+            .engine(self.engine)
+            .universe(self.universe)
+            .fetcher(&mut fetcher);
+        builder = match self.engine {
+            EngineKind::Periodic => {
+                let mut config = self.budget.periodic_config();
+                config.capacity = capacity;
+                builder.periodic(config)
+            }
+            _ => {
+                let mut config = self.budget.incremental_config();
+                config.capacity = capacity;
+                config.crawl_rate_per_day =
+                    self.budget.steady_rate() / self.plan.shards() as f64;
+                builder.incremental(config)
+            }
+        };
+        let mut start_fresh = false;
+        if let Some((dir, every)) = &self.checkpoint {
+            let shard_dir = dir.join(shard_dir_name(shard));
+            if resume && !shard_dir.join(crate::checkpoint::SNAPSHOT_FILE).exists() {
+                // A shard whose worker never got scheduled before the kill
+                // (e.g. under a small concurrency cap) has no checkpoint —
+                // and therefore no durable work to lose: restart it fresh,
+                // which reproduces the uninterrupted shard exactly.
+                // `recover` distinguishes that empty state from an
+                // orphaned WAL, which still refuses to resume.
+                match crate::checkpoint::recover(&shard_dir) {
+                    Ok(None) => start_fresh = true,
+                    Ok(Some(_)) => {}
+                    Err(e) => {
+                        return Err(WebEvoError::InvalidState(format!(
+                            "checkpoint dir {shard_dir:?} cannot be recovered: {e}"
+                        )))
+                    }
+                }
+            }
+            builder = builder.checkpoint(shard_dir, *every);
+        }
+        let mut session = builder.build()?;
+        if resume && !start_fresh {
+            session.resume(days)?;
+        } else {
+            session.run(days)?;
+        }
+        let metrics = session.metrics().clone();
+        let collection_len = session.collection_len();
+        drop(session);
+        Ok(ShardReport {
+            shard,
+            capacity,
+            sites,
+            collection_len,
+            foreign_rejects: fetcher.foreign_rejects(),
+            metrics,
+        })
+    }
+}
+
+/// Write the manifest atomically (temp file + rename), mirroring the
+/// snapshot discipline: a crash mid-write never leaves a torn manifest.
+fn write_manifest(dir: &Path, manifest: &FleetManifest) -> Result<(), WebEvoError> {
+    let json = serde_json::to_string(manifest)
+        .map_err(|e| WebEvoError::InvalidState(format!("manifest does not encode: {e}")))?;
+    let path = dir.join(MANIFEST_FILE);
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    std::fs::write(&tmp, json.as_bytes())
+        .and_then(|()| std::fs::rename(&tmp, &path))
+        .map_err(|e| {
+            WebEvoError::invalid(format!("fleet manifest {path:?} cannot be written: {e}"))
+        })
+}
+
+/// Read and decode the manifest of a fleet directory. A stale
+/// `fleet.manifest.tmp` — the residue of a crash between the temp write
+/// and the rename in [`write_manifest`] — is removed here, mirroring the
+/// snapshot-tmp cleanup in [`crate::checkpoint::recover`]: the rename
+/// never happened, so the file belongs to no lineage.
+pub fn read_manifest(dir: &Path) -> Result<FleetManifest, WebEvoError> {
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    match std::fs::remove_file(&tmp) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            return Err(WebEvoError::InvalidState(format!(
+                "removing stale {tmp:?}: {e}"
+            )))
+        }
+    }
+    let path = dir.join(MANIFEST_FILE);
+    let json = std::fs::read_to_string(&path).map_err(|e| {
+        WebEvoError::InvalidState(format!(
+            "nothing to resume: fleet manifest {path:?} cannot be read: {e}"
+        ))
+    })?;
+    serde_json::from_str(&json).map_err(|e| {
+        WebEvoError::InvalidState(format!("fleet manifest {path:?} does not decode: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webevo_sim::UniverseConfig;
+
+    fn universe(seed: u64) -> WebUniverse {
+        WebUniverse::generate(UniverseConfig::test_scale(seed))
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("webevo-fleet-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn capacity_apportioned_by_owned_sites() {
+        // test_scale universes have 10 sites; Range over 3 shards owns
+        // 4/3/3, so a 32-page budget splits ~12.8/9.6/9.6 → 13/10/9 or
+        // 13/9/10 by largest remainder. Check the invariants rather than
+        // one rounding outcome: exact sum, ≥1 each, monotone in sites.
+        let u = universe(51);
+        let fleet = FleetSession::builder()
+            .shards(3)
+            .partition(ShardFn::Range)
+            .budget(CrawlBudget::paper_monthly(32))
+            .universe(&u)
+            .build()
+            .expect("valid fleet");
+        let caps: Vec<usize> = (0..3).map(|k| fleet.shard_capacity(ShardId(k))).collect();
+        assert_eq!(caps.iter().sum::<usize>(), 32);
+        assert!(caps.iter().all(|&c| c >= 1));
+        assert!(caps[0] > caps[1], "the 4-site shard outweighs the 3-site ones: {caps:?}");
+    }
+
+    #[test]
+    fn apportionment_is_exact_proportional_and_floored() {
+        // Skewed ownership: capacity follows the sites, sums exactly, and
+        // a siteless shard still gets its floor of one page.
+        assert_eq!(apportion_capacity(100, &[50, 30, 20]), vec![50, 30, 20]);
+        assert_eq!(apportion_capacity(10, &[7, 2, 1]), vec![7, 2, 1]);
+        let skewed = apportion_capacity(100, &[97, 2, 1, 0]);
+        assert_eq!(skewed.iter().sum::<usize>(), 100);
+        assert!(skewed[3] >= 1, "siteless shard floored: {skewed:?}");
+        assert!(skewed[0] > 90, "dominant shard keeps its share: {skewed:?}");
+        // capacity == shards: everyone gets exactly one.
+        assert_eq!(apportion_capacity(3, &[5, 0, 0]), vec![1, 1, 1]);
+        // Degenerate siteless universe: even split.
+        assert_eq!(apportion_capacity(7, &[0, 0, 0]), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn stale_manifest_tmp_is_removed_on_read() {
+        let dir = temp_dir("manifest-tmp");
+        let u = universe(59);
+        let mut fleet = FleetSession::builder()
+            .shards(2)
+            .budget(CrawlBudget::paper_monthly(20).with_cycle_days(5.0))
+            .universe(&u)
+            .checkpoint(&dir, 3.0)
+            .build()
+            .expect("valid fleet");
+        fleet.run(6.0).expect("runs");
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        std::fs::write(&tmp, b"{ torn mid-wr").unwrap();
+        let manifest = read_manifest(&dir).expect("stale tmp must not break reads");
+        assert_eq!(manifest, fleet.manifest());
+        assert!(!tmp.exists(), "read_manifest removes the stale temp file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shards_partition_the_work() {
+        let u = universe(52);
+        let mut fleet = FleetSession::builder()
+            .shards(3)
+            .partition(ShardFn::Range)
+            .budget(CrawlBudget::paper_monthly(30).with_cycle_days(5.0))
+            .universe(&u)
+            .build()
+            .expect("valid fleet");
+        let results = fleet.run(12.0).expect("runs");
+        assert_eq!(results.shards.len(), 3);
+        let sites: usize = results.shards.iter().map(|s| s.sites).sum();
+        assert_eq!(sites, u.site_count(), "every site belongs to exactly one shard");
+        for report in &results.shards {
+            assert!(report.metrics.fetches > 0, "{} idle", report.shard);
+            assert!(report.collection_len <= report.capacity);
+        }
+        // The routing boundary is real: somewhere in the fleet, a foreign
+        // URL (a seed or a cross-site link owned by another shard) was
+        // rejected. (Not guaranteed per shard at short horizons — the
+        // front-of-queue admission lane can starve the foreign seeds.)
+        let rejects: u64 = results.shards.iter().map(|s| s.foreign_rejects).sum();
+        assert!(rejects > 0, "no shard ever hit the routing boundary");
+        assert_eq!(
+            results.merged.fetches,
+            results.shards.iter().map(|s| s.metrics.fetches).sum::<u64>()
+        );
+        assert!(results.collection_len() > 0);
+    }
+
+    #[test]
+    fn periodic_fleet_runs_and_merges() {
+        let u = universe(53);
+        let mut fleet = FleetSession::builder()
+            .shards(2)
+            .engine(EngineKind::Periodic)
+            .budget(CrawlBudget::paper_monthly(40).with_cycle_days(10.0))
+            .universe(&u)
+            .build()
+            .expect("valid fleet");
+        let results = fleet.run(25.0).expect("runs");
+        assert!(results.merged.fetches > 0);
+        assert!(!results.merged.freshness.is_empty());
+    }
+
+    #[test]
+    fn builder_rejects_bad_configurations() {
+        let u = universe(54);
+        let budget = CrawlBudget::paper_monthly(10);
+        let invalid = |b: FleetSessionBuilder| b.build().err().expect("must be rejected");
+        invalid(FleetSession::builder().budget(budget).universe(&u).shards(0));
+        invalid(FleetSession::builder().budget(budget).universe(&u).shards(11));
+        invalid(
+            FleetSession::builder()
+                .budget(budget)
+                .universe(&u)
+                .shards(2)
+                .engine(EngineKind::Threaded { workers: 2 }),
+        );
+        invalid(
+            FleetSession::builder()
+                .budget(budget)
+                .universe(&u)
+                .shards(2)
+                .concurrency(0),
+        );
+        invalid(
+            FleetSession::builder()
+                .budget(budget)
+                .universe(&u)
+                .shards(2)
+                .failure_rate(1.5),
+        );
+        invalid(FleetSession::builder().universe(&u).shards(2));
+        invalid(FleetSession::builder().budget(budget).shards(2));
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_mismatches_are_typed() {
+        let dir = temp_dir("manifest");
+        let u = universe(55);
+        let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
+        let mut fleet = FleetSession::builder()
+            .shards(2)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 3.0)
+            .build()
+            .expect("valid fleet");
+        fleet.run(8.0).expect("runs");
+        let on_disk = read_manifest(&dir).expect("manifest written");
+        assert_eq!(on_disk, fleet.manifest());
+
+        // Wrong shard count.
+        let mut wrong_shards = FleetSession::builder()
+            .shards(3)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 3.0)
+            .build()
+            .expect("valid fleet");
+        assert!(wrong_shards.resume(12.0).is_err());
+        // Wrong partition function.
+        let mut wrong_fn = FleetSession::builder()
+            .shards(2)
+            .partition(ShardFn::Range)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 3.0)
+            .build()
+            .expect("valid fleet");
+        assert!(wrong_fn.resume(12.0).is_err());
+        // Wrong engine family.
+        let mut wrong_engine = FleetSession::builder()
+            .shards(2)
+            .engine(EngineKind::Periodic)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 3.0)
+            .build()
+            .expect("valid fleet");
+        assert!(wrong_engine.resume(12.0).is_err());
+        // Wrong universe seed.
+        let other = universe(56);
+        let mut wrong_seed = FleetSession::builder()
+            .shards(2)
+            .budget(budget)
+            .universe(&other)
+            .checkpoint(&dir, 3.0)
+            .build()
+            .expect("valid fleet");
+        assert!(wrong_seed.resume(12.0).is_err());
+        // The matching configuration resumes fine.
+        let mut matching = FleetSession::builder()
+            .shards(2)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 3.0)
+            .build()
+            .expect("valid fleet");
+        matching.resume(12.0).expect("matching fleet resumes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_restarts_a_never_started_shard_fresh() {
+        // A kill can land before some shard's worker was ever scheduled
+        // (small concurrency cap): that shard has no checkpoint directory
+        // contents at all. Resuming the fleet must restart it from day 0
+        // — it holds no durable work — and still merge to the exact
+        // uninterrupted trajectory.
+        let dir = temp_dir("never-started");
+        let u = universe(58);
+        let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
+        let build = |checkpoint: bool| {
+            let mut b = FleetSession::builder()
+                .shards(3)
+                .budget(budget)
+                .universe(&u)
+                .failure_rate(0.1);
+            if checkpoint {
+                b = b.checkpoint(&dir, 4.0);
+            }
+            b.build().expect("valid fleet")
+        };
+        let mut killed = build(true);
+        killed.run(14.0).expect("runs");
+        drop(killed);
+        // Erase shard 1's directory wholesale: the on-disk state of a
+        // shard whose thread never ran.
+        std::fs::remove_dir_all(dir.join(shard_dir_name(ShardId(1)))).expect("dir exists");
+
+        let mut resumed = build(true);
+        let recovered = resumed.resume(22.0).expect("fleet resumes").clone();
+        let mut reference = build(false);
+        let uninterrupted = reference.run(22.0).expect("runs").clone();
+        assert_eq!(recovered.merged.fetches, uninterrupted.merged.fetches);
+        let a: Vec<(f64, f64)> = recovered.merged.freshness.rows().collect();
+        let b: Vec<(f64, f64)> = uninterrupted.merged.freshness.rows().collect();
+        assert_eq!(a, b, "merged trajectory must survive the missing shard");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_without_manifest_is_typed() {
+        let dir = temp_dir("no-manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let u = universe(57);
+        let mut fleet = FleetSession::builder()
+            .shards(2)
+            .budget(CrawlBudget::paper_monthly(20))
+            .universe(&u)
+            .checkpoint(&dir, 3.0)
+            .build()
+            .expect("valid fleet");
+        let err = fleet.resume(10.0).map(|_| ()).expect_err("nothing to resume");
+        assert!(err.to_string().contains("nothing to resume"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,7 +25,11 @@
 //!
 //! Applications do not wire any of this by hand: the [`CrawlSession`]
 //! builder in [`session`] is the supported entry point — engine choice,
-//! budget, checkpointing, and recovery in one validated API.
+//! budget, checkpointing, and recovery in one validated API. For
+//! horizontal scale-out, the [`FleetSession`] builder in [`fleet`] runs N
+//! site-partitioned `CrawlSession`s on scoped threads — each shard with
+//! its own engine, site-filtered fetcher, and checkpoint directory under
+//! a fleet-level manifest — and merges their metrics deterministically.
 //!
 //! # Snapshot format (version 3, binary)
 //!
@@ -80,6 +84,7 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod fleet;
 pub mod session;
 pub mod wal;
 
@@ -87,5 +92,8 @@ pub use checkpoint::{
     recover, CheckpointConfig, CheckpointStats, Checkpointer, Recovered, SNAPSHOT_FILE, WAL_FILE,
 };
 pub use codec::{decode_snapshot, encode_snapshot, encode_snapshot_json, fnv64, StoreError};
+pub use fleet::{
+    FleetManifest, FleetMetrics, FleetSession, FleetSessionBuilder, ShardReport, MANIFEST_FILE,
+};
 pub use session::{CrawlSession, CrawlSessionBuilder};
 pub use wal::{read_wal, WalWriter};

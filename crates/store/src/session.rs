@@ -320,8 +320,12 @@ impl<'a> CrawlSession<'a> {
     /// lineage in the checkpoint directory.
     pub fn run(&mut self, days: f64) -> Result<&CrawlMetrics, WebEvoError> {
         if self.checkpointer.is_none() {
-            if let Some(config) = &self.checkpoint {
-                let ckpt = Checkpointer::create(config.clone()).map_err(|e| {
+            if let Some(config) = self.checkpoint.clone() {
+                // The lineage opens with a base snapshot of the state the
+                // run starts from, so a kill before the first cadence
+                // snapshot still recovers (base + whole WAL).
+                let initial = self.export_state();
+                let ckpt = Checkpointer::create(config.clone(), &initial).map_err(|e| {
                     WebEvoError::invalid(format!(
                         "checkpoint dir {:?} is not writable: {e}",
                         config.dir
@@ -357,7 +361,7 @@ impl<'a> CrawlSession<'a> {
         let recovered = recover(&config.dir)
             .map_err(|e| {
                 WebEvoError::InvalidState(format!(
-                    "checkpoint dir {:?} does not decode: {e}",
+                    "checkpoint dir {:?} cannot be recovered: {e}",
                     config.dir
                 ))
             })?

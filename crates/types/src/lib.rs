@@ -25,6 +25,7 @@ pub mod domain;
 pub mod error;
 pub mod id;
 pub mod page;
+pub mod shard;
 pub mod time;
 pub mod url;
 
@@ -34,5 +35,6 @@ pub use domain::Domain;
 pub use error::{Error, Result, WebEvoError};
 pub use id::{PageId, SiteId};
 pub use page::{Checksum, ChangeRate, PageVersion};
+pub use shard::{ShardFn, ShardId, ShardPlan};
 pub use time::{SimDuration, SimTime, DAY, FOUR_MONTHS, MONTH, WEEK, YEAR};
 pub use url::Url;

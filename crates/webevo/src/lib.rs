@@ -47,7 +47,7 @@
 //! | [`estimate`] | §5.3 | estimators EP and EB |
 //! | [`schedule`] | §4.3 | uniform/proportional/optimal revisit, Figure 9 |
 //! | [`core`] | §5 | all three crawl engines behind one `CrawlEngine` trait |
-//! | [`store`] | §5 | durable crawl state + the `CrawlSession` entry point |
+//! | [`store`] | §5 | durable crawl state, the `CrawlSession` entry point, sharded `FleetSession`s |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -97,10 +97,13 @@ pub mod prelude {
         Histogram, IntervalBin, IntervalHistogram, LifespanBin, LifespanHistogram,
         PoissonProcess, SimRng, Summary, SurvivalCurve,
     };
+    pub use webevo_sim::ShardedFetcher;
     pub use webevo_store::{
-        recover, CheckpointConfig, Checkpointer, CrawlSession, CrawlSessionBuilder, Recovered,
+        recover, CheckpointConfig, Checkpointer, CrawlSession, CrawlSessionBuilder,
+        FleetManifest, FleetMetrics, FleetSession, FleetSessionBuilder, Recovered, ShardReport,
     };
     pub use webevo_types::{
-        ChangeRate, Checksum, Domain, PageId, SimDuration, SimTime, SiteId, Url, WebEvoError,
+        ChangeRate, Checksum, Domain, PageId, ShardFn, ShardId, ShardPlan, SimDuration,
+        SimTime, SiteId, Url, WebEvoError,
     };
 }

@@ -365,6 +365,223 @@ fn torn_wal_tail_is_discarded_not_misparsed() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// --------------------------------------------------------------------
+// The fleet extension of the replay contract: a sharded fleet's merged
+// metrics are a pure function of (universe, plan, budget, horizon) —
+// independent of how many worker threads drove the shards and of when
+// each shard finished — and fleet recovery tolerates losing any single
+// shard mid-run.
+// --------------------------------------------------------------------
+
+/// Exact equality of two fleet results: the merged view and every
+/// per-shard channel. (`foreign_rejects` is deliberately excluded — it is
+/// a per-process observability counter, not durable state, so a resumed
+/// fleet reports only the rejections since its own start; the tests
+/// comparing two *fresh* runs assert it separately.)
+fn assert_fleet_identical(a: &FleetMetrics, b: &FleetMetrics) {
+    assert_metrics_identical(&a.merged, &b.merged);
+    assert_eq!(a.shards.len(), b.shards.len());
+    for (sa, sb) in a.shards.iter().zip(&b.shards) {
+        assert_eq!(sa.shard, sb.shard);
+        assert_eq!(sa.capacity, sb.capacity);
+        assert_eq!(sa.sites, sb.sites);
+        assert_eq!(sa.collection_len, sb.collection_len, "{} diverged", sa.shard);
+        assert_metrics_identical(&sa.metrics, &sb.metrics);
+    }
+}
+
+#[test]
+fn fleet_merge_identical_across_runs_and_thread_counts() {
+    let run = |concurrency: usize| {
+        let universe = WebUniverse::generate(UniverseConfig::test_scale(42));
+        let mut fleet = FleetSession::builder()
+            .shards(4)
+            .budget(CrawlBudget::paper_monthly(48).with_cycle_days(6.0))
+            .universe(&universe)
+            .concurrency(concurrency)
+            .build()
+            .expect("a valid fleet");
+        fleet.run(25.0).expect("the fleet runs").clone()
+    };
+    let four_wide = run(4);
+    assert!(four_wide.merged.fetches > 0, "the fleet should actually crawl");
+    assert!(
+        four_wide.shards.iter().all(|s| s.metrics.fetches > 0),
+        "every shard should actually crawl"
+    );
+    // Repeatability at the same thread count, and independence from it:
+    // one thread serializes the shards, two interleaves them differently —
+    // the results must not notice.
+    for other in [run(4), run(1), run(2)] {
+        assert_fleet_identical(&four_wide, &other);
+        for (sa, sb) in four_wide.shards.iter().zip(&other.shards) {
+            assert_eq!(
+                sa.foreign_rejects, sb.foreign_rejects,
+                "{} routing-boundary hits diverged between fresh runs",
+                sa.shard
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_kill_one_shard_resume_matches_uninterrupted() {
+    let dir = temp_dir("fleet-kill-one");
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(45));
+    let budget = CrawlBudget::paper_monthly(36).with_cycle_days(6.0);
+    let failure_rate = 0.15;
+    let build = |checkpoint: bool| {
+        let mut builder = FleetSession::builder()
+            .shards(3)
+            .budget(budget)
+            .universe(&universe)
+            .failure_rate(failure_rate);
+        if checkpoint {
+            builder = builder.checkpoint(&dir, 4.0);
+        }
+        builder.build().expect("a valid fleet")
+    };
+
+    // Phase 1: run the fleet under checkpointing, then "kill" it — and
+    // tear shard 1's WAL mid-record, as if that one shard's process died
+    // during a flush while the others checkpointed cleanly.
+    let mut killed = build(true);
+    killed.run(23.0).expect("the fleet runs");
+    drop(killed);
+    let wal_path = dir.join("shard-1").join(webevo::store::WAL_FILE);
+    let bytes = std::fs::read(&wal_path).expect("shard 1 has a WAL");
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 31]).expect("wal writable");
+
+    // Phase 2: resume the whole fleet. Shard 1 replays its committed WAL
+    // prefix and re-crawls the torn tail; shards 0 and 2 continue from
+    // their snapshots.
+    let mut resumed = build(true);
+    let resumed_results = resumed.resume(40.0).expect("the fleet recovers").clone();
+
+    // Reference: the same fleet, never interrupted.
+    let mut reference = build(false);
+    let reference_results = reference.run(40.0).expect("the fleet runs").clone();
+
+    assert!(
+        reference_results.merged.failed_fetches > 0,
+        "failure injection should be active"
+    );
+    assert_fleet_identical(&reference_results, &resumed_results);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn session_killed_before_first_cadence_snapshot_recovers_from_base() {
+    // The recovery bugfix pinned end to end: with a snapshot cadence the
+    // run never reaches, the only snapshot on disk is the base (day-0)
+    // one Checkpointer::create writes, and ALL crawl progress lives in
+    // the WAL. Before the fix this directory recovered as `Ok(None)` and
+    // a restart truncated the log — silently discarding committed work.
+    let dir = temp_dir("base-snapshot");
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(46));
+    let config = IncrementalConfig {
+        capacity: 40,
+        crawl_rate_per_day: 8.0,
+        ..IncrementalConfig::monthly(40)
+    };
+    let failure_rate = 0.2;
+
+    let mut killed_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
+    let mut killed = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(config.clone())
+        .universe(&universe)
+        .fetcher(&mut killed_fetcher)
+        .checkpoint(&dir, 50.0)
+        .build()
+        .expect("checkpoint dir is writable");
+    killed.run(13.0).expect("the crawl runs");
+    drop(killed);
+    drop(killed_fetcher);
+
+    // What survived the kill is exactly `day-0 snapshot + WAL`.
+    let on_disk = recover(&dir).expect("decodes").expect("base snapshot exists");
+    assert_eq!(on_disk.state.fetch_seq, 0, "only the base snapshot was written");
+    assert!(!on_disk.state.seeded, "the base snapshot predates seeding");
+    assert!(!on_disk.wal.is_empty(), "all committed work lives in the WAL");
+
+    let mut resumed_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
+    let mut resumed = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(config.clone())
+        .universe(&universe)
+        .fetcher(&mut resumed_fetcher)
+        .checkpoint(&dir, 50.0)
+        .build()
+        .expect("checkpoint dir is writable");
+    resumed.resume(20.0).expect("base snapshot + WAL recover");
+    let resumed_metrics = resumed.metrics().clone();
+    drop(resumed);
+
+    let mut reference_fetcher = SimFetcher::new(&universe).with_failure_rate(failure_rate);
+    let mut reference = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .incremental(config)
+        .universe(&universe)
+        .fetcher(&mut reference_fetcher)
+        .build()
+        .expect("a valid session");
+    reference.run(20.0).expect("the crawl runs");
+
+    assert!(reference.metrics().failed_fetches > 0, "failure injection active");
+    assert_metrics_identical(reference.metrics(), &resumed_metrics);
+    assert_eq!(
+        Fetcher::export_state(&reference_fetcher),
+        Fetcher::export_state(&resumed_fetcher),
+        "fetcher replay state diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn periodic_killed_before_any_boundary_restarts_cleanly() {
+    // The empty-WAL edge of the base-snapshot path: the periodic engine's
+    // first pass boundary is its first shadow swap (day 7 here), so a
+    // kill at day 5 leaves the base snapshot and an empty log — recovery
+    // must restart the run from day 0 and still match an uninterrupted
+    // run exactly.
+    let dir = temp_dir("per-base");
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(47));
+    let config = PeriodicConfig::monthly(50);
+
+    let mut killed = CrawlSession::builder()
+        .engine(EngineKind::Periodic)
+        .periodic(config.clone())
+        .universe(&universe)
+        .checkpoint(&dir, 5.0)
+        .build()
+        .expect("checkpoint dir is writable");
+    killed.run(5.0).expect("the crawl runs");
+    drop(killed);
+
+    let on_disk = recover(&dir).expect("decodes").expect("base snapshot exists");
+    assert!(!on_disk.state.seeded && on_disk.wal.is_empty());
+
+    let mut resumed = CrawlSession::builder()
+        .engine(EngineKind::Periodic)
+        .periodic(config.clone())
+        .universe(&universe)
+        .checkpoint(&dir, 5.0)
+        .build()
+        .expect("checkpoint dir is writable");
+    resumed.resume(40.0).expect("base snapshot recovers");
+
+    let mut reference = CrawlSession::builder()
+        .engine(EngineKind::Periodic)
+        .periodic(config)
+        .universe(&universe)
+        .build()
+        .expect("a valid session");
+    reference.run(40.0).expect("the crawl runs");
+    assert_metrics_identical(reference.metrics(), resumed.metrics());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn fork_streams_independent_of_consumer_ordering() {
     // Stream `s` must yield the same values no matter which other streams

@@ -234,6 +234,87 @@ fn resume_with_mismatched_engine_kind_is_a_typed_error() {
 }
 
 #[test]
+fn resume_over_an_orphaned_wal_is_a_typed_error_not_silent_loss() {
+    // A WAL with committed records but no snapshot (hand-deleted here;
+    // historically, an old-build crash between the first WAL flush and
+    // the first snapshot) must refuse to resume — before the fix this
+    // read as "nothing to resume" and a fresh run truncated the log.
+    let u = universe();
+    let dir = std::env::temp_dir().join(format!("webevo-orphan-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
+    let mut writer = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(budget)
+        .universe(&u)
+        .checkpoint(&dir, 50.0) // cadence never reached: base snapshot + fat WAL
+        .build()
+        .expect("a valid session");
+    writer.run(10.0).expect("the crawl runs");
+    drop(writer);
+    std::fs::remove_file(dir.join(webevo::store::SNAPSHOT_FILE)).expect("snapshot exists");
+
+    let mut orphaned = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(budget)
+        .universe(&u)
+        .checkpoint(&dir, 50.0)
+        .build()
+        .expect("a valid session");
+    match orphaned.resume(20.0) {
+        Err(WebEvoError::InvalidState(msg)) => assert!(
+            msg.contains("committed record"),
+            "error should name the stranded work: {msg}"
+        ),
+        other => panic!("expected an orphaned-WAL error, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `FleetSession` builder validation rides the same typed-error contract.
+#[test]
+fn fleet_misconfigurations_are_typed_errors() {
+    let u = universe();
+    let budget = CrawlBudget::paper_monthly(10);
+    let assert_fleet_invalid = |result: Result<FleetSession<'_>, WebEvoError>, needle: &str| {
+        match result {
+            Err(WebEvoError::InvalidParameter(msg)) => assert!(
+                msg.contains(needle),
+                "error should mention {needle:?}, got: {msg}"
+            ),
+            Err(other) => panic!("expected InvalidParameter mentioning {needle:?}, got {other}"),
+            Ok(_) => panic!("expected InvalidParameter mentioning {needle:?}, got a fleet"),
+        }
+    };
+    assert_fleet_invalid(
+        FleetSession::builder().budget(budget).universe(&u).shards(0).build(),
+        "shard",
+    );
+    assert_fleet_invalid(
+        FleetSession::builder().budget(budget).universe(&u).shards(11).build(),
+        "capacity",
+    );
+    assert_fleet_invalid(
+        FleetSession::builder()
+            .budget(budget)
+            .universe(&u)
+            .shards(2)
+            .engine(EngineKind::Threaded { workers: 4 })
+            .build(),
+        "threaded",
+    );
+    assert_fleet_invalid(
+        FleetSession::builder().budget(budget).universe(&u).shards(2).concurrency(0).build(),
+        "concurrency",
+    );
+    assert_fleet_invalid(FleetSession::builder().universe(&u).shards(2).build(), "budget");
+    assert_fleet_invalid(
+        FleetSession::builder().budget(budget).shards(2).build(),
+        "universe",
+    );
+}
+
+#[test]
 fn resume_to_a_covered_day_reports_recovered_state() {
     let u = universe();
     let dir = std::env::temp_dir().join(format!("webevo-covered-{}", std::process::id()));
