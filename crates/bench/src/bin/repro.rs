@@ -540,13 +540,19 @@ fn main() {
 /// The `fleet` target: end-to-end scale-out. Runs the same fleet-wide
 /// budget as a 1-shard fleet (the single-engine baseline through the
 /// identical code path) and as an N-shard fleet, and reports per-shard and
-/// merged throughput plus scaling efficiency as one machine-readable JSON
-/// document. The `regression` field (and returned flag) is the CI smoke
-/// marker: `true` when the N-shard fleet's throughput falls below
-/// `max(0.75, min(shards, cores)/2)` × the 1-shard run — on a multi-core
-/// runner that demands ≥ half-linear scaling (2× at 4 shards), while a
-/// single-core machine can only verify that sharding itself does not cost
-/// more than 25%.
+/// merged throughput, cross-shard link routing, ownership imbalance, and
+/// scaling efficiency as one machine-readable JSON document. The
+/// `regression` field (and returned flag) is the CI smoke marker, `true`
+/// when either gate fails:
+///
+/// * throughput — the N-shard fleet falls below `max(0.75, min(shards,
+///   cores)/2)` × the 1-shard run: on a multi-core runner that demands ≥
+///   half-linear scaling (2× at 4 shards), while a single-core machine
+///   only verifies that sharding itself does not cost more than 25%;
+/// * collection — the fleet collects fewer than 99% of the single-node
+///   run's pages. Before the link-exchange protocol, shards silently
+///   dropped cross-boundary discoveries (~12% of the collection at 4
+///   shards); this gate pins the fix.
 fn run_fleet_bench(days: f64, shards: u32) -> (String, bool) {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let universe = repro_universe();
@@ -597,9 +603,19 @@ fn run_fleet_bench(days: f64, shards: u32) -> (String, bool) {
     let fleet_fps = fleet_owned as f64 / fleet_secs;
     let speedup = fleet_fps / single_fps;
     let speedup_floor = (0.75f64).max(shards.min(cores as u32) as f64 / 2.0);
-    let regression = !(fleet_owned > 0 && speedup >= speedup_floor);
 
-    let mut out = String::from("{\n  \"schema\": \"webevo-repro-fleet/1\",\n");
+    // The page-loss gate: cross-shard links must actually route, so the
+    // fleet's collection stays within 1% of the single-node run's.
+    let single_pages = single.collection_len();
+    let fleet_pages = fleet.collection_len();
+    let deficit = 1.0 - fleet_pages as f64 / single_pages.max(1) as f64;
+    let routed_links = fleet.routed_links();
+    let min_sites = fleet.shards.iter().map(|s| s.sites).min().unwrap_or(0);
+    let max_sites = fleet.shards.iter().map(|s| s.sites).max().unwrap_or(0);
+    let regression =
+        !(fleet_owned > 0 && speedup >= speedup_floor && deficit <= 0.01);
+
+    let mut out = String::from("{\n  \"schema\": \"webevo-repro-fleet/2\",\n");
     out.push_str(&format!(
         "  \"shards\": {shards}, \"sim_days\": {days}, \"cores\": {cores}, \
          \"sites\": {}, \"capacity\": {capacity},\n",
@@ -607,27 +623,33 @@ fn run_fleet_bench(days: f64, shards: u32) -> (String, bool) {
     ));
     out.push_str(&format!(
         "  \"single\": {{\"fetches\": {}, \"owned_fetches\": {single_owned}, \
-         \"wall_seconds\": {single_secs:.3}, \
+         \"collection\": {single_pages}, \"wall_seconds\": {single_secs:.3}, \
          \"owned_fetches_per_wall_second\": {single_fps:.1}}},\n",
         single.merged.fetches
     ));
     out.push_str(&format!(
         "  \"fleet\": {{\"fetches\": {}, \"owned_fetches\": {fleet_owned}, \
          \"wall_seconds\": {fleet_secs:.3}, \
-         \"owned_fetches_per_wall_second\": {fleet_fps:.1}, \"collection\": {},\n",
+         \"owned_fetches_per_wall_second\": {fleet_fps:.1}, \
+         \"collection\": {fleet_pages}, \"routed_links\": {routed_links},\n",
         fleet.merged.fetches,
-        fleet.collection_len()
+    ));
+    out.push_str(&format!(
+        "    \"ownership\": {{\"min_sites\": {min_sites}, \"max_sites\": {max_sites}, \
+         \"imbalance_sites\": {}}},\n",
+        max_sites - min_sites
     ));
     out.push_str("    \"per_shard\": [\n");
     for (i, report) in fleet.shards.iter().enumerate() {
         out.push_str(&format!(
             "      {{\"shard\": {}, \"sites\": {}, \"capacity\": {}, \"fetches\": {}, \
-             \"collection\": {}, \"foreign_rejects\": {}}}{}\n",
+             \"collection\": {}, \"routed_links\": {}, \"foreign_rejects\": {}}}{}\n",
             report.shard.0,
             report.sites,
             report.capacity,
             report.metrics.fetches,
             report.collection_len,
+            report.routed_links,
             report.foreign_rejects,
             if i + 1 == fleet.shards.len() { "" } else { "," },
         ));
@@ -636,6 +658,10 @@ fn run_fleet_bench(days: f64, shards: u32) -> (String, bool) {
     out.push_str(&format!(
         "  \"speedup\": {speedup:.2}, \"scaling_efficiency\": {:.2},\n",
         speedup / shards as f64
+    ));
+    out.push_str(&format!(
+        "  \"collection_deficit_vs_single\": {deficit:.4}, \
+         \"collection_deficit_ceiling\": 0.01,\n"
     ));
     out.push_str(&format!(
         "  \"speedup_floor\": {speedup_floor:.2},\n  \"regression\": {regression}\n}}"

@@ -77,22 +77,25 @@ pub fn synthetic_state(pages: u64) -> CrawlerState {
         crawl: CrawlModule::default(),
         periodic: None,
         metrics: CrawlMetrics::default(),
+        routing: Default::default(),
         fetcher: None,
     }
 }
 
-/// A batch of `n` synthetic fetch records, the WAL-append workload shape.
-pub fn synthetic_records(n: u64) -> Vec<FetchRecord> {
+/// A batch of `n` synthetic fetch events, the WAL-append workload shape.
+pub fn synthetic_records(n: u64) -> Vec<WalEvent> {
     (1..=n)
-        .map(|seq| FetchRecord {
-            seq,
-            url: Url::new(SiteId((seq % 97) as u32), PageId(seq)),
-            t: seq as f64 * 0.01,
-            result: Ok(FetchOutcome {
-                checksum: Checksum(seq),
-                links: vec![Url::new(SiteId(1), PageId(seq + 1))],
-                last_modified: None,
-            }),
+        .map(|seq| {
+            WalEvent::Fetch(FetchRecord {
+                seq,
+                url: Url::new(SiteId((seq % 97) as u32), PageId(seq)),
+                t: seq as f64 * 0.01,
+                result: Ok(FetchOutcome {
+                    checksum: Checksum(seq),
+                    links: vec![Url::new(SiteId(1), PageId(seq + 1))],
+                    last_modified: None,
+                }),
+            })
         })
         .collect()
 }

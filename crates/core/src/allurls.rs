@@ -109,6 +109,58 @@ impl AllUrls {
         self.urls.get(url.page).map(|slot| &slot.info)
     }
 
+    /// The owning site of a known page.
+    pub fn site_of(&self, page: PageId) -> Option<SiteId> {
+        self.urls.get(page).map(|slot| slot.site)
+    }
+
+    /// Remove and return every URL whose site satisfies `departing`, in
+    /// ascending page-id order — the donor side of a fleet rebalance.
+    pub fn extract_urls(&mut self, departing: impl Fn(SiteId) -> bool) -> Vec<(Url, UrlInfo)> {
+        let leaving: Vec<PageId> = self
+            .urls
+            .iter()
+            .filter(|(_, slot)| departing(slot.site))
+            .map(|(p, _)| p)
+            .collect();
+        leaving
+            .into_iter()
+            .filter_map(|p| {
+                self.urls
+                    .remove(p)
+                    .map(|slot| (Url::new(slot.site, p), slot.info))
+            })
+            .collect()
+    }
+
+    /// Merge a URL record extracted from another shard. Both shards may
+    /// know the same URL (each recorded its own sightings), so the merge
+    /// is deterministic: in-link evidence unions (ascending, capped),
+    /// discovery takes the earlier time, death the earlier observation.
+    pub fn absorb(&mut self, url: Url, info: UrlInfo) {
+        let max_sources = self.max_sources;
+        match self.urls.get_mut(url.page) {
+            Some(slot) => {
+                let merged: BTreeSet<PageId> = slot
+                    .info
+                    .in_link_sources
+                    .union(&info.in_link_sources)
+                    .copied()
+                    .take(max_sources)
+                    .collect();
+                slot.info.in_link_sources = merged;
+                slot.info.discovered = slot.info.discovered.min(info.discovered);
+                slot.info.dead_since = match (slot.info.dead_since, info.dead_since) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            None => {
+                self.urls.insert(url.page, UrlSlot { site: url.site, info });
+            }
+        }
+    }
+
     /// Candidate URLs for admission: known, not dead, not satisfying
     /// `exclude`, with at least one recorded in-link. Ascending page-id
     /// order.

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 use webevo_estimate::{BayesianEstimator, ChangeHistory};
 use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
-use webevo_types::{Checksum, DenseMap, PageId, Url};
+use webevo_types::{Checksum, DenseMap, PageId, SiteId, Url};
 
 /// One page's stored state.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -167,6 +167,40 @@ impl Collection {
             .values()
             .map(|s| s.importance)
             .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Remove and return every page whose site satisfies `departing`, in
+    /// ascending page-id order — the donor side of a fleet rebalance.
+    pub fn extract_pages(&mut self, departing: impl Fn(SiteId) -> bool) -> Vec<StoredPage> {
+        let leaving: Vec<PageId> = self
+            .pages
+            .iter()
+            .filter(|(_, stored)| departing(stored.url.site))
+            .map(|(p, _)| p)
+            .collect();
+        leaving
+            .into_iter()
+            .filter_map(|p| self.pages.remove(p))
+            .collect()
+    }
+
+    /// Re-insert a page extracted from another shard's collection, state
+    /// verbatim (change history, estimators, importance all carried
+    /// over). Panics if the page is already stored; unlike
+    /// [`Collection::save`] this may overfill — rebalancing trims to the
+    /// re-apportioned capacity afterwards via [`Collection::set_capacity`]
+    /// and explicit eviction.
+    pub fn absorb(&mut self, page: StoredPage) {
+        assert!(!self.pages.contains(page.url.page), "page already stored: cannot absorb");
+        self.pages.insert(page.url.page, page);
+    }
+
+    /// Rewrite the capacity — fleet rebalancing re-apportions capacity
+    /// along with site ownership. The caller is responsible for evicting
+    /// down to the new capacity.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "collection capacity must be positive");
+        self.capacity = capacity;
     }
 }
 

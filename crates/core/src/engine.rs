@@ -67,11 +67,12 @@
 //! ```
 
 use crate::collection::Collection;
-use crate::hooks::{CrawlHook, FetchRecord};
+use crate::hooks::CrawlHook;
 use crate::incremental::{IncrementalConfig, IncrementalCrawler};
 use crate::metrics::CrawlMetrics;
 use crate::modules::{EstimatorKind, RankingConfig, RevisitStrategy};
 use crate::periodic::{PeriodicConfig, PeriodicCrawler};
+use crate::routing::{RoutedBatch, RoutedLink, RoutingState, ShardScope, WalEvent};
 use crate::state::{CrawlerState, EngineClock};
 use crate::threaded::ThreadedCrawler;
 use serde::{Deserialize, Serialize};
@@ -223,18 +224,20 @@ pub trait CrawlEngine {
         until: f64,
     ) -> Result<&CrawlMetrics, WebEvoError>;
 
-    /// Re-apply a write-ahead-log tail after [`restore`]: records already
+    /// Re-apply a write-ahead-log tail after [`restore`]: events already
     /// covered by the snapshot (seq ≤ the restored `fetch_seq`) are
-    /// skipped, the rest drive the normal slot loop with logged outcomes
-    /// instead of live fetches, advancing `fetcher` alongside via
-    /// [`Fetcher::observe_replay`]. Afterwards the engine sits at the
-    /// exact state of the last flushed boundary; call
-    /// [`CrawlEngine::drive`] to continue crawling for real.
+    /// skipped, the rest drive the normal slot loop — logged fetch
+    /// outcomes instead of live fetches (advancing `fetcher` alongside
+    /// via [`Fetcher::observe_replay`]), logged [`WalEvent::Routed`]
+    /// batches re-injected at the recorded point in the sequence.
+    /// Afterwards the engine sits at the exact state of the last flushed
+    /// boundary; call [`CrawlEngine::drive`] to continue crawling for
+    /// real.
     fn replay(
         &mut self,
         universe: &WebUniverse,
         fetcher: &mut dyn Fetcher,
-        records: &[FetchRecord],
+        events: &[WalEvent],
     ) -> Result<(), WebEvoError>;
 
     /// Capture the full engine state. The fetcher state is left `None`;
@@ -264,6 +267,54 @@ pub trait CrawlEngine {
     fn uses_external_fetcher(&self) -> bool {
         true
     }
+
+    /// Restrict the engine to the sites one fleet shard owns: foreign
+    /// discoveries divert into the routing outbox instead of entering the
+    /// frontier, and the residual schedule never fetches a foreign URL.
+    /// Must be set before the run starts. Engines without routing support
+    /// return a typed error (the threaded engine; fleets are the
+    /// process-level concurrency story instead).
+    fn set_scope(&mut self, scope: ShardScope) -> Result<(), WebEvoError> {
+        let _ = scope;
+        Err(WebEvoError::InvalidState(format!(
+            "the {} engine does not support shard scoping",
+            self.kind()
+        )))
+    }
+
+    /// The engine's routing state (outbox, applied-exchange counter), when
+    /// the engine supports routing.
+    fn routing(&self) -> Option<&RoutingState> {
+        None
+    }
+
+    /// Deliver one exchange's routed links into the engine: clears the
+    /// outbox (its contents were drained by the coordinator that built
+    /// the batches), admits each owned link to the frontier, consumes one
+    /// sequence number, and bumps the applied-exchange counter. Returns
+    /// the applied batch so the caller can log it durably. The engine
+    /// must be started and quiescent (at a pass boundary).
+    fn inject_links(&mut self, links: Vec<RoutedLink>) -> Result<RoutedBatch, WebEvoError> {
+        let _ = links;
+        Err(WebEvoError::InvalidState(format!(
+            "the {} engine does not support link injection",
+            self.kind()
+        )))
+    }
+
+    /// Record the closing metrics sample a live [`CrawlEngine::drive`]
+    /// ending at `t` would have recorded, without advancing the engine.
+    /// The fleet coordinator calls this in place of a drive when a
+    /// recovered shard's clock already sits at (or just past) a barrier:
+    /// the interrupted run closed that drive with a sample at exactly
+    /// `t`, and WAL replay cannot reconstruct it because the sample
+    /// belongs to the drive *call*, not to any logged event. Idempotent —
+    /// a sample already present at `t` is not duplicated. The default is
+    /// a no-op, matching engines whose drives do not close with a sample
+    /// (the periodic engine samples on its grid only).
+    fn close_sample(&mut self, universe: &WebUniverse, t: f64) {
+        let _ = (universe, t);
+    }
 }
 
 /// Rebuild the right engine from a checkpointed state. Returns the engine
@@ -271,7 +322,7 @@ pub trait CrawlEngine {
 /// [`Fetcher::restore_state`]) before replaying or resuming.
 pub fn restore(
     state: CrawlerState,
-) -> Result<(Box<dyn CrawlEngine>, Option<FetcherState>), WebEvoError> {
+) -> Result<(Box<dyn CrawlEngine + Send>, Option<FetcherState>), WebEvoError> {
     match state.engine {
         EngineKind::Periodic => {
             let (engine, fetcher) = PeriodicCrawler::from_state(state)?;
@@ -325,10 +376,10 @@ pub(crate) enum FetchSource<'a> {
     Live(&'a mut dyn Fetcher),
     /// Re-apply logged outcomes, advancing `fetcher` alongside.
     Replay {
-        /// The committed WAL tail (snapshot-covered records already
+        /// The committed WAL tail (snapshot-covered events already
         /// skipped).
-        records: &'a [FetchRecord],
-        /// Next record to consume.
+        events: &'a [WalEvent],
+        /// Next event to consume.
         pos: usize,
         /// The fetcher to advance via [`Fetcher::observe_replay`].
         fetcher: &'a mut dyn Fetcher,
@@ -336,12 +387,40 @@ pub(crate) enum FetchSource<'a> {
 }
 
 impl FetchSource<'_> {
-    /// True once a replay source has no records left (a live source never
+    /// True once a replay source has no events left (a live source never
     /// exhausts).
     pub(crate) fn exhausted(&self) -> bool {
         match self {
             FetchSource::Live(_) => false,
-            FetchSource::Replay { records, pos, .. } => *pos >= records.len(),
+            FetchSource::Replay { events, pos, .. } => *pos >= events.len(),
+        }
+    }
+
+    /// The next event, when it is a routed batch awaiting re-injection
+    /// (`None` for live sources and for fetch events — those flow through
+    /// [`FetchSource::fetch`]).
+    pub(crate) fn peek_routed(&self) -> Option<&RoutedBatch> {
+        match self {
+            FetchSource::Live(_) => None,
+            FetchSource::Replay { events, pos, .. } => match events.get(*pos) {
+                Some(WalEvent::Routed(batch)) => Some(batch),
+                _ => None,
+            },
+        }
+    }
+
+    /// Consume the next event as a routed batch. Call only after
+    /// [`FetchSource::peek_routed`] returned `Some`.
+    pub(crate) fn take_routed(&mut self) -> Option<RoutedBatch> {
+        match self {
+            FetchSource::Live(_) => None,
+            FetchSource::Replay { events, pos, .. } => match events.get(*pos) {
+                Some(WalEvent::Routed(batch)) => {
+                    *pos += 1;
+                    Some(batch.clone())
+                }
+                _ => None,
+            },
         }
     }
 
@@ -362,8 +441,13 @@ impl FetchSource<'_> {
     ) -> Result<FetchOutcome, FetchError> {
         match self {
             FetchSource::Live(f) => f.fetch(url, t),
-            FetchSource::Replay { records, pos, fetcher } => {
-                let record = &records[*pos];
+            FetchSource::Replay { events, pos, fetcher } => {
+                let WalEvent::Fetch(record) = &events[*pos] else {
+                    panic!(
+                        "WAL replay out of sync at seq {seq}: engine scheduled a fetch, \
+                         log has a routed batch"
+                    );
+                };
                 assert_eq!(record.seq, seq, "WAL replay out of sync at seq {seq}");
                 assert_eq!(
                     record.url, url,

@@ -28,6 +28,7 @@ use crate::metrics::CrawlMetrics;
 use crate::modules::{
     CrawlModule, EstimatorKind, RankingConfig, RankingModule, RevisitStrategy, UpdateModule,
 };
+use crate::routing::{RoutedBatch, RoutedLink, RoutingState, ShardScope, WalEvent};
 use crate::state::{
     entries_to_queue, queue_to_entries, CrawlerState, EngineClock, EngineConfig, EngineKind,
 };
@@ -117,8 +118,13 @@ pub struct IncrementalCrawler {
     clock: EngineClock,
     /// Seed URLs injected (guards against double seeding on resume).
     seeded: bool,
-    /// Fetch attempts issued; pairs with [`FetchRecord::seq`].
+    /// Fetch attempts issued; pairs with [`FetchRecord::seq`]. Routed
+    /// batches consume numbers from the same counter, so the WAL is one
+    /// totally-ordered event stream.
     fetch_seq: u64,
+    /// Cross-shard routing: scope, outbox of foreign discoveries, and the
+    /// applied-exchange counter. Inert (default) when unsharded.
+    routing: RoutingState,
 }
 
 impl IncrementalCrawler {
@@ -142,6 +148,7 @@ impl IncrementalCrawler {
             clock: EngineClock { t: 0.0, next_ranking: 0.0, next_sample: 0.0 },
             seeded: false,
             fetch_seq: 0,
+            routing: RoutingState::default(),
             config,
         }
     }
@@ -173,6 +180,7 @@ impl IncrementalCrawler {
             clock: state.clock,
             seeded: state.seeded,
             fetch_seq: state.fetch_seq,
+            routing: state.routing,
             config,
         };
         Ok((crawler, state.fetcher))
@@ -216,6 +224,11 @@ impl IncrementalCrawler {
             next_sample: start,
         };
         for site in universe.sites() {
+            // A scoped (fleet-shard) engine seeds only the sites it owns;
+            // foreign sites are other shards' seeds.
+            if self.routing.is_foreign(site.id) {
+                continue;
+            }
             if let Some(root) = universe.occupant(site.id, 0, start) {
                 let url = Url::new(site.id, root);
                 self.all_urls.discover(url, start);
@@ -223,6 +236,30 @@ impl IncrementalCrawler {
             }
         }
         self.seeded = true;
+    }
+
+    /// Apply one routed-link delivery: the outbox the coordinator drained
+    /// to build this exchange is cleared, each link enters `AllUrls` (and
+    /// the frontier, collection permitting) exactly as a locally
+    /// discovered link would, one sequence number is consumed, and the
+    /// exchange counter advances. Shared by live injection and WAL
+    /// replay, so a replayed shard is bit-identical to the live one.
+    fn apply_routed(&mut self, batch: RoutedBatch) {
+        self.routing.outbox.clear();
+        self.fetch_seq = batch.seq;
+        self.routing.exchanges += 1;
+        let t = batch.t;
+        for link in batch.links {
+            let first_sighting = !self.all_urls.contains(link.url);
+            self.all_urls.add_in_link(link.url, link.from, t);
+            if !self.collection.is_full() && !self.collection.contains(link.url.page) {
+                if first_sighting {
+                    self.enqueue_front(link.url);
+                } else {
+                    self.enqueue(link.url, t);
+                }
+            }
+        }
     }
 
     /// The discrete-event loop over fetch slots, shared by live runs and
@@ -239,12 +276,43 @@ impl IncrementalCrawler {
     ) {
         let step = 1.0 / self.config.crawl_rate_per_day;
         while self.clock.t < end {
+            // Routed batches re-inject before anything else: live
+            // injection happens while the engine is frozen *between*
+            // drives, i.e. before the boundary handlers of the slot the
+            // clock froze on. The seq/t match is exact — slot times are
+            // multiples of `step` and batches record the frozen clock.
+            if let Some(batch) = source.peek_routed() {
+                if batch.t.to_bits() == self.clock.t.to_bits()
+                    && batch.seq == self.fetch_seq + 1
+                {
+                    let batch = source.take_routed().expect("peeked a routed batch");
+                    // A routed record marks the end of a live drive call,
+                    // which closed by flushing samples through the
+                    // exchange barrier — the ranking-cadence instant the
+                    // coordinator drove to, which the frozen clock has
+                    // just overshot. Reconstruct that flush (not a sample
+                    // at the clock, which belongs to no live row) so the
+                    // replayed series matches the interrupted one row for
+                    // row.
+                    let barrier = (self.routing.exchanges + 1) as f64
+                        * self.config.ranking_interval_days;
+                    self.flush_samples(universe, barrier);
+                    self.apply_routed(batch);
+                    continue;
+                }
+            }
             if source.exhausted() {
                 break;
             }
             let t = self.clock.t;
-            if t >= self.clock.next_sample {
-                self.sample_metrics(universe, t);
+            while t >= self.clock.next_sample {
+                // Sample at the grid instant, not the slot that crossed
+                // it: slot times depend on the crawl rate, and fleet
+                // shards run at ownership-apportioned rates yet must
+                // sample on one shared grid to merge (the periodic
+                // engine pins its grid the same way).
+                let ts = self.clock.next_sample;
+                self.sample_metrics(universe, ts);
                 self.clock.next_sample += self.config.sample_interval_days;
             }
             if t >= self.clock.next_ranking {
@@ -273,6 +341,14 @@ impl IncrementalCrawler {
                 continue;
             };
             self.queued.remove(visit.url.page);
+            if self.routing.is_foreign(visit.url.site) {
+                // Residual foreign entry (only possible in a frontier
+                // inherited from a pre-routing checkpoint): routed links,
+                // not fetches, cross shard boundaries — drop it without
+                // spending a fetch or touching the fetch accounting.
+                self.clock.t += step;
+                continue;
+            }
             self.crawl_one(universe, source, visit.url, t, hook);
             self.clock.t += step;
         }
@@ -337,6 +413,19 @@ impl IncrementalCrawler {
                 // Forward discovered URLs to AllUrls (Algorithm 5.1 steps
                 // [11]-[12]) with in-link evidence.
                 for link in &outcome.links {
+                    if self.routing.is_foreign(link.site) {
+                        // Another shard owns this site: queue the sighting
+                        // for the next fleet exchange instead of entering
+                        // the local frontier. Every sighting is routed
+                        // (no dedup), mirroring the per-sighting
+                        // `add_in_link` evidence a single node collects.
+                        self.routing.outbox.push(RoutedLink {
+                            seq: self.fetch_seq,
+                            from: url.page,
+                            url: *link,
+                        });
+                        continue;
+                    }
                     let first_sighting = !self.all_urls.contains(*link);
                     self.all_urls.add_in_link(*link, url.page, t);
                     // While the collection has room, brand-new URLs jump
@@ -414,6 +503,21 @@ impl IncrementalCrawler {
         }
         self.metrics.sample(t, fresh as f64 / n as f64, age_sum / n as f64);
     }
+
+    /// Emit every pending grid sample up to `until`, then the closing
+    /// sample at `until` itself (a no-op when `until` sits on the grid —
+    /// [`CrawlMetrics::sample`] dedups the identical instant). Every
+    /// drive boundary flushes through here, so the sampled instants are a
+    /// pure function of the drive horizons and the sampling cadence —
+    /// never of the crawl rate, whose slot times vary per fleet shard.
+    fn flush_samples(&mut self, universe: &WebUniverse, until: f64) {
+        while self.clock.next_sample <= until {
+            let ts = self.clock.next_sample;
+            self.sample_metrics(universe, ts);
+            self.clock.next_sample += self.config.sample_interval_days;
+        }
+        self.sample_metrics(universe, until);
+    }
 }
 
 impl CrawlEngine for IncrementalCrawler {
@@ -435,12 +539,14 @@ impl CrawlEngine for IncrementalCrawler {
     /// after a checkpoint restore, where the continuation is
     /// bit-identical to a never-interrupted run (`tests/determinism.rs`).
     ///
-    /// Each call closes with a metrics sample at `until`. A continued
-    /// in-memory run therefore carries one extra freshness/age row at the
-    /// earlier horizon that a single longer run would not have; the
-    /// checkpoint-recovery path (restore + replay + drive) does not,
-    /// because snapshots are captured at pass boundaries before the
-    /// closing sample.
+    /// Each call closes with a metrics sample at `until`. When `until`
+    /// sits on the sampling grid — as every fleet exchange barrier does —
+    /// the closing sample collapses into the grid sample at the same
+    /// instant (`CrawlMetrics::sample` dedups identical instants), so
+    /// segmented drives, single long drives, and the checkpoint-recovery
+    /// path (restore + replay + drive) all produce the same series; a
+    /// continued in-memory run carries one extra row only at an off-grid
+    /// intermediate horizon.
     fn drive(
         &mut self,
         universe: &WebUniverse,
@@ -464,7 +570,7 @@ impl CrawlEngine for IncrementalCrawler {
         }
         self.metrics.observe_speed(self.config.crawl_rate_per_day);
         self.advance(universe, &mut FetchSource::Live(fetcher), until, hook);
-        self.sample_metrics(universe, until);
+        self.flush_samples(universe, until);
         Ok(&self.metrics)
     }
 
@@ -479,29 +585,30 @@ impl CrawlEngine for IncrementalCrawler {
         &mut self,
         universe: &WebUniverse,
         fetcher: &mut dyn Fetcher,
-        records: &[FetchRecord],
+        events: &[WalEvent],
     ) -> Result<(), WebEvoError> {
         if !self.seeded {
             // A day-0 snapshot: the run died before its first cadence
             // snapshot. An empty tail means nothing ever hit the log;
             // otherwise the log necessarily starts at seq 1, so the replay
             // *is* the run from the top — start it exactly as drive would.
-            if records.is_empty() {
+            if events.is_empty() {
                 return Ok(());
             }
             self.begin_run(universe);
         }
-        let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
-        let tail = &records[skip..];
+        let skip = events.partition_point(|e| e.seq() <= self.fetch_seq);
+        let tail = &events[skip..];
         if let Some(first) = tail.first() {
-            if first.seq != self.fetch_seq + 1 {
+            if first.seq() != self.fetch_seq + 1 {
                 return Err(WebEvoError::InvalidState(format!(
                     "WAL gap: snapshot ends at seq {} but the log resumes at {}",
-                    self.fetch_seq, first.seq
+                    self.fetch_seq,
+                    first.seq()
                 )));
             }
         }
-        let mut source = FetchSource::Replay { records: tail, pos: 0, fetcher };
+        let mut source = FetchSource::Replay { events: tail, pos: 0, fetcher };
         // The log is finite and each non-idle slot consumes one record, so
         // the unbounded horizon is only ever reached by exhaustion.
         self.advance(universe, &mut source, f64::INFINITY, &mut NoopHook);
@@ -532,6 +639,7 @@ impl CrawlEngine for IncrementalCrawler {
             periodic: None,
             metrics: self.metrics.clone(),
             fetcher: None,
+            routing: self.routing.clone(),
         }
     }
 
@@ -549,6 +657,37 @@ impl CrawlEngine for IncrementalCrawler {
 
     fn passes(&self) -> u64 {
         self.ranking.runs()
+    }
+
+    fn set_scope(&mut self, scope: ShardScope) -> Result<(), WebEvoError> {
+        if self.seeded {
+            return Err(WebEvoError::InvalidState(
+                "shard scope must be set before the run starts".into(),
+            ));
+        }
+        self.routing.scope = Some(scope);
+        Ok(())
+    }
+
+    fn routing(&self) -> Option<&RoutingState> {
+        Some(&self.routing)
+    }
+
+    fn inject_links(&mut self, links: Vec<RoutedLink>) -> Result<RoutedBatch, WebEvoError> {
+        if !self.seeded {
+            return Err(WebEvoError::InvalidState(
+                "cannot inject routed links before the run starts".into(),
+            ));
+        }
+        let batch = RoutedBatch { seq: self.fetch_seq + 1, t: self.clock.t, links };
+        self.apply_routed(batch.clone());
+        Ok(batch)
+    }
+
+    fn close_sample(&mut self, universe: &WebUniverse, t: f64) {
+        if self.seeded {
+            self.flush_samples(universe, t);
+        }
     }
 }
 

@@ -29,6 +29,10 @@
 //!   (the right-hand column of Figure 10).
 //! * [`metrics`] — freshness/age/new-page-latency instrumentation against
 //!   simulator ground truth.
+//! * [`routing`] — cross-shard link routing for fleets: a scoped engine
+//!   diverts foreign-site discoveries into an outbox instead of burning
+//!   fetches on them, and the fleet coordinator delivers merged batches
+//!   back into the owning shards' frontiers (durably, via the WAL).
 //! * [`engine`] — the [`CrawlEngine`] trait all three engines implement:
 //!   one step-wise `drive`/`replay`/`export_state` contract, plus the
 //!   shared [`CrawlBudget`] both configuration families derive from. The
@@ -52,6 +56,7 @@ pub mod incremental;
 pub mod metrics;
 pub mod modules;
 pub mod periodic;
+pub mod routing;
 pub mod state;
 pub mod threaded;
 
@@ -65,5 +70,9 @@ pub use modules::{
     CrawlModule, EstimatorKind, RankingConfig, RankingModule, RevisitStrategy, UpdateModule,
 };
 pub use periodic::{PeriodicConfig, PeriodicCrawler, PeriodicState};
+pub use routing::{
+    merge_outboxes, rebalance_states, route_exchange, RoutedBatch, RoutedLink, RoutingState,
+    ShardScope, WalEvent,
+};
 pub use state::{CrawlerState, EngineClock, EngineConfig, EngineKind, QueueEntry};
 pub use threaded::ThreadedCrawler;

@@ -82,7 +82,18 @@ impl FreshnessSeriesLike {
 
 impl CrawlMetrics {
     /// Record one sampling instant: collection freshness and mean age.
+    ///
+    /// Sampling the same instant twice collapses to one row. Both the
+    /// per-day sampling grid and a drive call's closing sample can land on
+    /// the same `t` — the engine is frozen in between, so the collection
+    /// (and therefore the sampled values) cannot have changed — and a
+    /// fleet resume may reconstruct only one of the two. Dedup keeps the
+    /// series a pure function of `(state, t)`, bitwise identical across
+    /// run/kill/resume paths.
     pub fn sample(&mut self, t: f64, freshness: f64, mean_age: f64) {
+        if self.freshness.times().last().map(|last| last.to_bits()) == Some(t.to_bits()) {
+            return;
+        }
         self.freshness.push(t, freshness);
         self.age.push(t, mean_age);
     }

@@ -210,6 +210,20 @@ impl UpdateModule {
         self.intervals.remove(page);
     }
 
+    /// The page's assigned revisit interval, if it has one (pages never
+    /// touched by a reallocation run on the default).
+    pub fn interval(&self, page: PageId) -> Option<f64> {
+        self.intervals.get(page).copied()
+    }
+
+    /// Carry a page's assigned interval across a fleet rebalance — the
+    /// receiving shard keeps the donor's allocation until its own next
+    /// reallocation pass.
+    pub fn set_interval(&mut self, page: PageId, interval: f64) {
+        assert!(interval > 0.0, "revisit interval must be positive");
+        self.intervals.insert(page, interval);
+    }
+
     /// The configured strategy.
     pub fn strategy(&self) -> RevisitStrategy {
         self.strategy

@@ -21,6 +21,7 @@ use crate::engine::{CrawlBudget, CrawlEngine, FetchSource};
 use crate::hooks::{CrawlHook, FetchRecord, NoopHook};
 use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, EstimatorKind, RevisitStrategy, UpdateModule};
+use crate::routing::{RoutedBatch, RoutedLink, RoutingState, ShardScope, WalEvent};
 use crate::state::{CrawlerState, EngineClock, EngineConfig, EngineKind};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -205,6 +206,9 @@ pub struct PeriodicCrawler {
     /// See [`PeriodicState::idle`].
     idle: bool,
     window: Option<BatchWindow>,
+    /// Cross-shard routing: scope, outbox, and the routed-in inbox that
+    /// seeds the next batch window. Inert (default) when unsharded.
+    routing: RoutingState,
 }
 
 impl PeriodicCrawler {
@@ -226,6 +230,7 @@ impl PeriodicCrawler {
             cycle_start: 0.0,
             idle: false,
             window: None,
+            routing: RoutingState::default(),
         }
     }
 
@@ -258,6 +263,7 @@ impl PeriodicCrawler {
             cycle_start: periodic.cycle_start,
             idle: periodic.idle,
             window: periodic.window,
+            routing: state.routing,
         };
         Ok((crawler, state.fetcher))
     }
@@ -293,6 +299,10 @@ impl PeriodicCrawler {
             seen: DenseSet::new(),
         };
         for site in universe.sites() {
+            // A scoped (fleet-shard) engine seeds only the sites it owns.
+            if self.routing.is_foreign(site.id) {
+                continue;
+            }
             if let Some(root) = universe.occupant(site.id, 0, self.cycle_start) {
                 let url = Url::new(site.id, root);
                 if window.seen.insert(url.page) {
@@ -300,7 +310,41 @@ impl PeriodicCrawler {
                 }
             }
         }
+        // Routed-in URLs join the frontier after the owned roots, in the
+        // deterministic exchange order they arrived in.
+        for url in std::mem::take(&mut self.routing.inbox) {
+            if window.seen.insert(url.page) {
+                window.frontier.push_back(url);
+            }
+        }
         self.window = Some(window);
+    }
+
+    /// Apply one routed-link delivery: the outbox drained by the
+    /// coordinator is cleared, the delivered URLs queue in the inbox for
+    /// the next window seed (this engine can only admit URLs at a window
+    /// start), one sequence number is consumed, and the exchange counter
+    /// advances. Shared by live injection and WAL replay.
+    fn apply_routed(&mut self, batch: RoutedBatch) {
+        self.routing.outbox.clear();
+        self.fetch_seq = batch.seq;
+        self.routing.exchanges += 1;
+        for link in batch.links {
+            self.routing.inbox.push(link.url);
+        }
+    }
+
+    /// Whether the replay source's next event is the routed batch due at
+    /// the current point of the schedule; apply it if so.
+    fn try_apply_routed(&mut self, source: &mut FetchSource<'_>) -> bool {
+        if let Some(batch) = source.peek_routed() {
+            if batch.t.to_bits() == self.clock.t.to_bits() && batch.seq == self.fetch_seq + 1 {
+                let batch = source.take_routed().expect("peeked a routed batch");
+                self.apply_routed(batch);
+                return true;
+            }
+        }
+        false
     }
 
     /// The shared event loop: samples, batch fetches, shadow swaps, and
@@ -319,6 +363,14 @@ impl PeriodicCrawler {
         let capacity = self.config.capacity;
         let step = self.config.window_days / capacity as f64;
         loop {
+            // Routed batches re-inject before anything else: live
+            // injection happens while the engine is frozen between
+            // drives (normally mid-idle, clock parked at the window
+            // end), so replay applies the batch before the phase
+            // handlers of the frozen point run again.
+            if self.try_apply_routed(source) {
+                continue;
+            }
             if source.exhausted() {
                 return;
             }
@@ -331,6 +383,11 @@ impl PeriodicCrawler {
                     self.seed_window(universe);
                 }
                 loop {
+                    // A barrier can land mid-window when the batch window
+                    // spans the whole cycle; the batch replays here.
+                    if self.try_apply_routed(source) {
+                        continue;
+                    }
                     if source.exhausted() {
                         return;
                     }
@@ -353,6 +410,12 @@ impl PeriodicCrawler {
                     else {
                         break; // frontier exhausted before capacity
                     };
+                    if self.routing.is_foreign(url.site) {
+                        // Residual foreign entry (only possible in a
+                        // window inherited from a pre-routing
+                        // checkpoint): drop it without spending a fetch.
+                        continue;
+                    }
                     self.fetch_one(source, url, hook);
                     self.clock.t += step;
                 }
@@ -391,6 +454,17 @@ impl PeriodicCrawler {
                     .shadow
                     .insert(url.page, PeriodicPage { crawl_time: t, checksum: outcome.checksum });
                 for link in outcome.links {
+                    if self.routing.is_foreign(link.site) {
+                        // Another shard owns this site: queue the
+                        // sighting for the next fleet exchange instead of
+                        // entering the local frontier.
+                        self.routing.outbox.push(RoutedLink {
+                            seq: self.fetch_seq,
+                            from: url.page,
+                            url: link,
+                        });
+                        continue;
+                    }
                     if window.seen.insert(link.page) {
                         window.frontier.push_back(link);
                     }
@@ -526,28 +600,29 @@ impl CrawlEngine for PeriodicCrawler {
         &mut self,
         universe: &WebUniverse,
         fetcher: &mut dyn Fetcher,
-        records: &[FetchRecord],
+        events: &[WalEvent],
     ) -> Result<(), WebEvoError> {
         if !self.started {
             // Day-0 snapshot (killed before the first cadence snapshot):
             // an empty tail leaves the fresh engine untouched; a non-empty
             // one starts the run and replays it from the top.
-            if records.is_empty() {
+            if events.is_empty() {
                 return Ok(());
             }
             self.begin_run();
         }
-        let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
-        let tail = &records[skip..];
+        let skip = events.partition_point(|e| e.seq() <= self.fetch_seq);
+        let tail = &events[skip..];
         if let Some(first) = tail.first() {
-            if first.seq != self.fetch_seq + 1 {
+            if first.seq() != self.fetch_seq + 1 {
                 return Err(WebEvoError::InvalidState(format!(
                     "WAL gap: snapshot ends at seq {} but the log resumes at {}",
-                    self.fetch_seq, first.seq
+                    self.fetch_seq,
+                    first.seq()
                 )));
             }
         }
-        let mut source = FetchSource::Replay { records: tail, pos: 0, fetcher };
+        let mut source = FetchSource::Replay { events: tail, pos: 0, fetcher };
         self.advance(universe, &mut source, f64::INFINITY, &mut NoopHook);
         Ok(())
     }
@@ -587,6 +662,7 @@ impl CrawlEngine for PeriodicCrawler {
             }),
             metrics: self.metrics.clone(),
             fetcher: None,
+            routing: self.routing.clone(),
         }
     }
 
@@ -604,6 +680,31 @@ impl CrawlEngine for PeriodicCrawler {
 
     fn passes(&self) -> u64 {
         self.cycles
+    }
+
+    fn set_scope(&mut self, scope: ShardScope) -> Result<(), WebEvoError> {
+        if self.started {
+            return Err(WebEvoError::InvalidState(
+                "shard scope must be set before the run starts".into(),
+            ));
+        }
+        self.routing.scope = Some(scope);
+        Ok(())
+    }
+
+    fn routing(&self) -> Option<&RoutingState> {
+        Some(&self.routing)
+    }
+
+    fn inject_links(&mut self, links: Vec<RoutedLink>) -> Result<RoutedBatch, WebEvoError> {
+        if !self.started {
+            return Err(WebEvoError::InvalidState(
+                "cannot inject routed links before the run starts".into(),
+            ));
+        }
+        let batch = RoutedBatch { seq: self.fetch_seq + 1, t: self.clock.t, links };
+        self.apply_routed(batch.clone());
+        Ok(batch)
     }
 }
 

@@ -30,6 +30,7 @@ use crate::incremental::IncrementalConfig;
 use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, UpdateModule};
 use crate::periodic::{PeriodicConfig, PeriodicState};
+use crate::routing::RoutingState;
 use serde::{Deserialize, Serialize};
 use webevo_schedule::{RevisitQueue, ScheduledVisit};
 use webevo_sim::FetcherState;
@@ -195,6 +196,9 @@ pub struct CrawlerState {
     pub metrics: CrawlMetrics,
     /// Fetcher replay state, when the fetcher is stateful.
     pub fetcher: Option<FetcherState>,
+    /// Cross-shard routing state (inert default when unsharded; absent in
+    /// pre-routing snapshots, which decode to the default).
+    pub routing: RoutingState,
 }
 
 impl BinEncode for EngineKind {
@@ -298,6 +302,7 @@ impl BinEncode for CrawlerState {
         self.periodic.bin_encode(out);
         self.metrics.bin_encode(out);
         self.fetcher.bin_encode(out);
+        self.routing.bin_encode(out);
     }
 }
 
@@ -323,6 +328,13 @@ impl BinDecode for CrawlerState {
             periodic: Option::bin_decode(r)?,
             metrics: CrawlMetrics::bin_decode(r)?,
             fetcher: Option::bin_decode(r)?,
+            // Routing-era states append this block; earlier version-3
+            // snapshots end at `fetcher` and decode to the inert default.
+            routing: if r.is_exhausted() {
+                RoutingState::default()
+            } else {
+                RoutingState::bin_decode(r)?
+            },
         })
     }
 }

@@ -40,6 +40,7 @@ use crate::hooks::{CrawlHook, FetchRecord, NoopHook};
 use crate::incremental::IncrementalConfig;
 use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, RankingModule, UpdateModule};
+use crate::routing::WalEvent;
 use crate::state::{
     entries_to_queue, queue_to_entries, CrawlerState, EngineClock, EngineConfig, EngineKind,
 };
@@ -597,20 +598,30 @@ impl CrawlEngine for ThreadedCrawler {
         &mut self,
         universe: &WebUniverse,
         _fetcher: &mut dyn Fetcher,
-        records: &[FetchRecord],
+        events: &[WalEvent],
     ) -> Result<(), WebEvoError> {
         if !self.seeded {
             // Day-0 snapshot (killed before the first cadence snapshot):
             // an empty tail leaves the fresh engine untouched; a non-empty
             // one starts the run and replays it from the top.
-            if records.is_empty() {
+            if events.is_empty() {
                 return Ok(());
             }
             self.begin_run(universe);
         }
-        let skip = records.partition_point(|r| r.seq <= self.fetch_seq);
-        let tail = &records[skip..];
-        if let Some(first) = tail.first() {
+        let skip = events.partition_point(|e| e.seq() <= self.fetch_seq);
+        let records: Vec<FetchRecord> = events[skip..]
+            .iter()
+            .map(|event| match event {
+                WalEvent::Fetch(record) => Ok(record.clone()),
+                WalEvent::Routed(batch) => Err(WebEvoError::InvalidState(format!(
+                    "the threaded engine cannot replay routed batch at seq {} — \
+                     shard routing is not supported for this engine",
+                    batch.seq
+                ))),
+            })
+            .collect::<Result<_, _>>()?;
+        if let Some(first) = records.first() {
             if first.seq != self.fetch_seq + 1 {
                 return Err(WebEvoError::InvalidState(format!(
                     "WAL gap: snapshot ends at seq {} but the log resumes at {}",
@@ -618,7 +629,7 @@ impl CrawlEngine for ThreadedCrawler {
                 )));
             }
         }
-        self.replay_tail(universe, tail);
+        self.replay_tail(universe, &records);
         Ok(())
     }
 
@@ -646,6 +657,7 @@ impl CrawlEngine for ThreadedCrawler {
             periodic: None,
             metrics: self.metrics.clone(),
             fetcher: None,
+            routing: crate::routing::RoutingState::default(),
         }
     }
 
@@ -667,6 +679,12 @@ impl CrawlEngine for ThreadedCrawler {
 
     fn uses_external_fetcher(&self) -> bool {
         false
+    }
+
+    fn close_sample(&mut self, universe: &WebUniverse, t: f64) {
+        if self.seeded {
+            self.sample_metrics(universe, t);
+        }
     }
 }
 

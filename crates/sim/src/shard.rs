@@ -2,12 +2,19 @@
 //!
 //! A sharded fleet routes every URL to the shard that owns its site (see
 //! [`webevo_types::ShardPlan`]). A shard's crawl unit therefore must never
-//! fetch a foreign site's pages — in a real deployment those requests
-//! would be forwarded to the owning shard; here, where every shard crawls
-//! the same shared [`crate::WebUniverse`], the [`ShardedFetcher`] enforces the
-//! routing boundary instead: URLs outside the shard resolve to
-//! [`FetchError::NotFound`] without touching the inner fetcher, exactly as
-//! if the foreign site did not exist from this shard's point of view.
+//! fetch a foreign site's pages — those URLs are *routed*: a scoped engine
+//! diverts every foreign discovery into its routing outbox (delivered to
+//! the owning shard at the fleet's next exchange barrier) and skips
+//! foreign seeds and queue entries without ever scheduling a fetch, so no
+//! capacity is spent on pages another shard owns.
+//!
+//! The [`ShardedFetcher`] is the residual backstop beneath that routing
+//! layer: should a foreign URL reach the fetcher anyway, it resolves to
+//! [`FetchError::NotFound`] without touching the inner fetcher, and
+//! [`ShardedFetcher::foreign_rejects`] counts the hit. In a correctly
+//! routed fleet the count stays zero — the fleet's per-shard reports
+//! surface it precisely so a routing regression shows up as a nonzero
+//! reject count instead of silently lost pages.
 //!
 //! The rejection is a pure function of `(plan, shard, url.site)`, so it
 //! needs no replay state: [`Fetcher::export_state`],

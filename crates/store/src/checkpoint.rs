@@ -31,7 +31,7 @@ use crate::wal::{read_wal, WalWriter};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use webevo_core::{CrawlHook, CrawlerState, FetchRecord};
+use webevo_core::{CrawlHook, CrawlerState, FetchRecord, RoutedBatch, WalEvent};
 
 /// Snapshot file name within a checkpoint directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.wsnap";
@@ -69,6 +69,8 @@ impl CheckpointConfig {
 pub struct CheckpointStats {
     /// Fetch records buffered so far (lifetime total).
     pub records_logged: u64,
+    /// Routed-link batches buffered so far (fleet exchange deliveries).
+    pub routed_logged: u64,
     /// WAL flushes performed (= pass boundaries observed).
     pub flushes: u64,
     /// Full snapshots written.
@@ -79,11 +81,18 @@ pub struct CheckpointStats {
 #[derive(Debug)]
 pub struct Checkpointer {
     config: CheckpointConfig,
-    buffer: Vec<FetchRecord>,
+    buffer: Vec<WalEvent>,
     wal: WalWriter,
     last_snapshot_t: Option<f64>,
     last_seq: u64,
     stats: CheckpointStats,
+    /// When set, pass boundaries only flush; cadence snapshots are taken
+    /// exclusively through [`Checkpointer::barrier_snapshot`]. The fleet
+    /// coordinator runs shards in this mode so that no shard's snapshot
+    /// ever absorbs a link exchange its peers still hold only as a
+    /// trailing WAL record — the invariant that lets recovery roll any
+    /// single shard's torn tail back across the newest exchange.
+    barrier_only: bool,
 }
 
 impl Checkpointer {
@@ -109,6 +118,7 @@ impl Checkpointer {
             buffer: Vec::new(),
             wal,
             stats: CheckpointStats { snapshots: 1, ..CheckpointStats::default() },
+            barrier_only: false,
         })
     }
 
@@ -129,19 +139,69 @@ impl Checkpointer {
             buffer: Vec::new(),
             wal,
             stats: CheckpointStats { snapshots: 1, ..CheckpointStats::default() },
+            barrier_only: false,
         })
+    }
+
+    /// Restrict cadence snapshots to explicit
+    /// [`Checkpointer::barrier_snapshot`] calls; pass boundaries keep
+    /// flushing the WAL but never snapshot on their own. See the field
+    /// docs for why the fleet needs this.
+    pub fn snapshot_at_barriers_only(&mut self) {
+        self.barrier_only = true;
+    }
+
+    /// Take the cadence snapshot at an exchange barrier, if one is due:
+    /// flush the buffered leg, then — when `snapshot_every_days` have
+    /// passed since the last snapshot — write `state` and reset the WAL.
+    /// The fleet calls this with the shard's *pre-injection* state, so the
+    /// exchange delivered right after always lands in the fresh WAL, never
+    /// inside the snapshot.
+    pub fn barrier_snapshot(&mut self, t: f64, state: &CrawlerState) -> io::Result<()> {
+        self.flush()?;
+        let snapshot_due = match self.last_snapshot_t {
+            None => true,
+            Some(last) => t - last >= self.config.snapshot_every_days,
+        };
+        if snapshot_due {
+            write_snapshot_atomically(&self.config, state)?;
+            self.wal.reset()?;
+            self.last_snapshot_t = Some(t);
+            self.stats.snapshots += 1;
+        }
+        Ok(())
     }
 
     /// Durability counters so far.
     pub fn stats(&self) -> CheckpointStats {
         self.stats
     }
+
+    /// Buffer a routed-batch delivery (the fleet exchange's WAL record).
+    /// The batch consumed a sequence number from the engine's unified
+    /// counter, so it advances `last_seq` exactly like a fetch.
+    pub fn append_routed(&mut self, batch: &RoutedBatch) {
+        self.last_seq = batch.seq;
+        self.buffer.push(WalEvent::Routed(batch.clone()));
+        self.stats.routed_logged += 1;
+    }
+
+    /// Flush the buffered events to the WAL under one commit marker
+    /// without taking a snapshot — the fleet coordinator calls this right
+    /// after delivering an exchange, so a shard killed after the barrier
+    /// replays the injection it already absorbed.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.wal.append_committed(&self.buffer, self.last_seq)?;
+        self.buffer.clear();
+        self.stats.flushes += 1;
+        Ok(())
+    }
 }
 
 impl CrawlHook for Checkpointer {
     fn on_fetch(&mut self, record: &FetchRecord) {
         self.last_seq = record.seq;
-        self.buffer.push(record.clone());
+        self.buffer.push(WalEvent::Fetch(record.clone()));
         self.stats.records_logged += 1;
     }
 
@@ -149,15 +209,13 @@ impl CrawlHook for Checkpointer {
         // Flush first: should the snapshot below tear, the WAL still
         // carries everything up to this boundary on top of the *previous*
         // snapshot.
-        self.wal
-            .append_committed(&self.buffer, self.last_seq)
+        self.flush()
             .unwrap_or_else(|e| panic!("WAL append to {:?} failed: {e}", self.wal.path()));
-        self.buffer.clear();
-        self.stats.flushes += 1;
-        let snapshot_due = match self.last_snapshot_t {
-            None => true, // defensive: create/continue_from always seed one
-            Some(last) => t - last >= self.config.snapshot_every_days,
-        };
+        let snapshot_due = !self.barrier_only
+            && match self.last_snapshot_t {
+                None => true, // defensive: create/continue_from always seed one
+                Some(last) => t - last >= self.config.snapshot_every_days,
+            };
         if snapshot_due {
             let state = export();
             write_snapshot_atomically(&self.config, &state).unwrap_or_else(|e| {
@@ -194,9 +252,10 @@ fn write_snapshot_atomically(config: &CheckpointConfig, state: &CrawlerState) ->
 pub struct Recovered {
     /// The decoded snapshot.
     pub state: CrawlerState,
-    /// The committed WAL tail (may include records the snapshot already
-    /// covers; the engines' `replay` skips them by sequence number).
-    pub wal: Vec<FetchRecord>,
+    /// The committed WAL tail — fetches and routed batches alike (it may
+    /// include events the snapshot already covers; the engines' `replay`
+    /// skips them by sequence number).
+    pub wal: Vec<WalEvent>,
 }
 
 /// Load the newest consistent crawl state from a checkpoint directory:

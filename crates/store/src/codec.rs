@@ -55,6 +55,15 @@ pub enum StoreError {
         /// Committed records stranded in the log.
         committed_records: usize,
     },
+    /// A shard checkpoint was written under a different partition plan
+    /// than the fleet manifest now records — e.g. a pre-rebalance shard
+    /// directory restored next to a post-rebalance manifest, or a
+    /// checkpoint from before the routing era (no recorded scope at all).
+    /// Resuming it would route sites to the wrong shards.
+    ShardPlanMismatch {
+        /// The shard whose checkpoint disagrees with the manifest.
+        shard: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -75,6 +84,12 @@ impl fmt::Display for StoreError {
                 f,
                 "write-ahead log holds {committed_records} committed record(s) but no \
                  snapshot exists to replay them onto; refusing to discard durable work"
+            ),
+            StoreError::ShardPlanMismatch { shard } => write!(
+                f,
+                "shard {shard}'s checkpoint was written under a different shard plan \
+                 than the fleet manifest records; resuming it here would route sites \
+                 to the wrong shards"
             ),
         }
     }

@@ -5,16 +5,40 @@
 //! monitors 270 sites / 720,000 pages daily, and §4–5 argue the real
 //! crawler must spread that work across many concurrent crawl units. The
 //! fleet is that horizontal layer. A [`ShardPlan`] deterministically
-//! partitions the universe's sites across `N` shards; each shard runs as
-//! an *independent* [`CrawlSession`] — its own engine instance, its own
-//! site-filtered [`ShardedFetcher`] view (URLs owned by other shards
-//! resolve to `NotFound`, as if routed away), its own checkpoint
-//! directory — on a scoped worker thread. When every shard reaches the
-//! horizon, the per-shard [`CrawlMetrics`] are merged **in ascending shard
-//! order** via [`CrawlMetrics::merge_weighted`], so the fleet-level result
-//! is byte-identical across runs and across worker-thread counts: thread
-//! scheduling decides only *when* a shard's numbers are produced, never
-//! what they are.
+//! partitions the universe's sites across `N` shards; each shard runs as a
+//! scoped [`CrawlSession`] — its own engine instance, its own checkpoint
+//! directory — on a worker thread.
+//!
+//! # The link-exchange protocol
+//!
+//! Shards are *scoped*, not blind: a shard's engine knows the plan, skips
+//! seeds on foreign sites, and diverts every foreign link it discovers
+//! into its routing **outbox** instead of burning a fetch on a URL another
+//! shard owns (the site-filtered [`ShardedFetcher`] remains as a residual
+//! backstop, and [`ShardReport::foreign_rejects`] counts its hits — zero
+//! in a healthy fleet). The fleet drives all shards in lockstep between
+//! **exchange barriers** at `T(b) = b · interval` (the ranking interval
+//! for incremental shards, the cycle length for periodic ones). At each
+//! barrier the coordinator:
+//!
+//! 1. reads *every* shard's outbox (before injecting into any shard —
+//!    injection clears the receiving shard's own outbox);
+//! 2. merges the links per destination shard in `(source ShardId, seq)`
+//!    order ([`route_exchange`]), so the batches are a pure function of
+//!    the outbox contents, independent of thread scheduling;
+//! 3. injects each shard's batch into its engine frontier (consuming one
+//!    sequence number) and logs the applied batch as a routed record in
+//!    the shard's write-ahead log;
+//! 4. syncs every shard's log, so the exchange is durable before any
+//!    shard crawls past the barrier.
+//!
+//! Every shard receives a batch at every barrier — an empty one if
+//! nothing routed its way — so the applied-exchange counter stays uniform
+//! across the fleet, which is what lets recovery detect and align a kill
+//! that landed mid-exchange. The merged fleet result is byte-identical
+//! across runs and across [`FleetSessionBuilder::concurrency`] values:
+//! thread scheduling decides only *when* a shard's numbers are produced,
+//! never what they are.
 //!
 //! # On-disk layout
 //!
@@ -26,23 +50,40 @@
 //! ├── fleet.manifest     # shard count, partition fn, engine kind, seed
 //! ├── shard-0/           # a normal CrawlSession checkpoint dir:
 //! │   ├── snapshot.wsnap #   base snapshot at lineage start, then cadence
-//! │   └── wal.wlog       #   committed per-fetch deltas since the snapshot
+//! │   └── wal.wlog       #   committed per-fetch deltas, interleaved with
+//! │                      #   routed-batch records (frame tag 'X') at each
+//! │                      #   exchange barrier
 //! ├── shard-1/
 //! │   └── …
 //! └── shard-N-1/
 //! ```
 //!
-//! [`FleetSession::resume`] recovers the manifest, validates it against
-//! the builder's configuration (shard count, partition function, engine
-//! kind, and universe seed must match — a fleet must never resume under a
-//! different routing), and resumes every shard through the ordinary
-//! `snapshot + WAL` path. Shards are independent, so the fleet tolerates
-//! losing a single shard mid-run: that shard replays its WAL tail while
-//! the others continue from their snapshots, and the merged trajectory
-//! equals an uninterrupted fleet run (`tests/determinism.rs`). A shard
-//! whose worker was never scheduled before the kill (no checkpoint on
-//! disk at all) simply restarts from day 0 — it holds no durable work,
-//! so the restart reproduces the uninterrupted shard exactly.
+//! [`FleetSession::resume`] validates the manifest against the builder's
+//! configuration (shard count, partition function, engine kind, and
+//! universe seed must match — a fleet must never resume under a different
+//! routing) and each shard's recorded scope against the manifest plan (a
+//! shard checkpointed under another plan is a typed
+//! `StoreError::ShardPlanMismatch`). A kill can land mid-exchange, with
+//! some shards' logs holding a routed batch their peers never received;
+//! recovery *aligns* the fleet by dropping those trailing batches down to
+//! the fleet-wide minimum exchange count — every shard then sits exactly
+//! at the barrier with its outbox intact — and re-runs the exchange from
+//! the live outboxes, which reproduces the dropped batches byte for byte.
+//! The resumed trajectory therefore equals an uninterrupted run
+//! (`tests/determinism.rs`).
+//!
+//! # Rebalancing
+//!
+//! [`FleetSession::rebalance`] migrates a checkpointed incremental fleet
+//! onto a new [`ShardPlan`] (same shard count — e.g. hash → balanced to
+//! fix ownership skew) between passes: it recovers every shard, performs
+//! one final exchange so no outbox holds links routed under the old plan,
+//! moves pages, URL evidence, revisit-queue entries, and admissions to
+//! their new owners at the state level, re-apportions collection capacity
+//! to the new ownership, writes a fresh snapshot lineage per shard, and
+//! atomically rewrites the manifest. Resuming afterwards continues under
+//! the new plan; resuming a stale pre-rebalance shard directory against
+//! the rewritten manifest is the `ShardPlanMismatch` error above.
 //!
 //! The per-shard engine is [`EngineKind::Incremental`] or
 //! [`EngineKind::Periodic`]; the threaded engine is rejected at build
@@ -68,15 +109,20 @@
 //! // Every fetch the fleet performed happened on exactly one shard.
 //! let per_shard: u64 = results.shards.iter().map(|s| s.metrics.fetches).sum();
 //! assert_eq!(results.merged.fetches, per_shard);
+//! // Foreign discoveries route between shards instead of burning fetches.
+//! assert!(results.shards.iter().all(|s| s.foreign_rejects == 0));
+//! let routed: u64 = results.shards.iter().map(|s| s.routed_links).sum();
+//! assert!(routed > 0, "cross-shard links were exchanged");
 //! ```
 
+use crate::checkpoint::{recover, CheckpointConfig, Checkpointer, Recovered};
+use crate::codec::StoreError;
 use crate::session::CrawlSession;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use webevo_core::engine::{CrawlBudget, EngineKind};
-use webevo_core::CrawlMetrics;
+use webevo_core::{rebalance_states, route_exchange, CrawlMetrics, RoutedLink, ShardScope, WalEvent};
 use webevo_sim::{ShardedFetcher, SimFetcher, WebUniverse};
 use webevo_types::{ShardFn, ShardId, ShardPlan, WebEvoError};
 
@@ -96,6 +142,8 @@ pub fn shard_dir_name(shard: ShardId) -> String {
 /// operators but deliberately *not* validated (resuming under a new
 /// cadence is legitimate tuning, exactly as it is for a single
 /// `CrawlSession`). Serialized as one JSON object in [`MANIFEST_FILE`].
+/// [`FleetSession::rebalance`] rewrites it atomically when the plan
+/// changes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FleetManifest {
     /// Manifest format version ([`MANIFEST_VERSION`]).
@@ -125,9 +173,15 @@ pub struct ShardReport {
     pub sites: usize,
     /// Pages the shard's engine holds user-visible at the horizon.
     pub collection_len: usize,
-    /// Fetch attempts the shard's fetcher rejected as foreign (routing
-    /// boundary hits: seeds and cross-site links owned by other shards).
+    /// Fetch attempts the shard's fetcher rejected as foreign. With link
+    /// routing in force this is a residual backstop — engines divert
+    /// foreign discoveries into the outbox and never schedule a foreign
+    /// fetch, so a nonzero count indicates a routing bug.
     pub foreign_rejects: u64,
+    /// Links delivered *to* this shard by exchange barriers during the
+    /// run: foreign discoveries other shards routed here instead of
+    /// burning fetches on them.
+    pub routed_links: u64,
     /// The shard's own metrics.
     pub metrics: CrawlMetrics,
 }
@@ -147,6 +201,11 @@ impl FleetMetrics {
     /// Total pages user-visible across the fleet.
     pub fn collection_len(&self) -> usize {
         self.shards.iter().map(|s| s.collection_len).sum()
+    }
+
+    /// Total links delivered across all exchange barriers.
+    pub fn routed_links(&self) -> u64 {
+        self.shards.iter().map(|s| s.routed_links).sum()
     }
 }
 
@@ -183,6 +242,9 @@ impl<'a> FleetSessionBuilder<'a> {
     }
 
     /// The partition-function family (default: [`ShardFn::Hash`]).
+    /// [`ShardFn::Balanced`] round-robins sites by id, which keeps
+    /// per-shard ownership within one site of even — the skew-free choice
+    /// when sites carry comparable weight.
     pub fn partition(mut self, function: ShardFn) -> Self {
         self.function = function;
         self
@@ -198,11 +260,8 @@ impl<'a> FleetSessionBuilder<'a> {
 
     /// The *fleet-wide* fetch budget (required): capacity and crawl rate
     /// are split across the shards — equal rate per shard, capacity
-    /// divided as evenly as integers allow — so N shards together are
-    /// granted exactly the one-engine budget. (A small slice of each
-    /// shard's slots goes to discovering the routing boundary: foreign
-    /// seeds and cross-site links resolve to `NotFound`, visible as
-    /// [`ShardReport::foreign_rejects`].)
+    /// apportioned by owned sites — so N shards together are granted
+    /// exactly the one-engine budget.
     pub fn budget(mut self, budget: CrawlBudget) -> Self {
         self.budget = Some(budget);
         self
@@ -225,8 +284,9 @@ impl<'a> FleetSessionBuilder<'a> {
 
     /// Cap on concurrently running shard threads (default: one thread per
     /// shard). The outcome is byte-identical for every value ≥ 1 — shards
-    /// are independent and the merge order is fixed — so this only trades
-    /// memory/core pressure against wall-clock time.
+    /// advance in lockstep between exchange barriers and the merge order
+    /// is fixed — so this only trades memory/core pressure against
+    /// wall-clock time.
     pub fn concurrency(mut self, threads: usize) -> Self {
         self.concurrency = Some(threads);
         self
@@ -290,10 +350,7 @@ impl<'a> FleetSessionBuilder<'a> {
             })?;
         }
         let plan = ShardPlan::new(self.function, self.shards, universe.site_count() as u32);
-        let site_counts: Vec<usize> = plan
-            .shard_ids()
-            .map(|k| universe.sites().iter().filter(|s| plan.owns(k, s.id)).count())
-            .collect();
+        let site_counts = owned_site_counts(&plan, universe);
         let capacities = apportion_capacity(budget.capacity, &site_counts);
         Ok(FleetSession {
             universe,
@@ -308,6 +365,13 @@ impl<'a> FleetSessionBuilder<'a> {
             results: None,
         })
     }
+}
+
+/// Sites each shard owns under `plan`, index = shard id.
+fn owned_site_counts(plan: &ShardPlan, universe: &WebUniverse) -> Vec<usize> {
+    plan.shard_ids()
+        .map(|k| universe.sites().iter().filter(|s| plan.owns(k, s.id)).count())
+        .collect()
 }
 
 /// Split the fleet's collection capacity across shards **proportionally
@@ -355,6 +419,87 @@ fn apportion_capacity(capacity: usize, site_counts: &[usize]) -> Vec<usize> {
     caps
 }
 
+/// The exchanges a shard's durable state absorbs once its committed WAL
+/// tail replays: the snapshot's counter plus every routed record in the
+/// tail the snapshot does not already cover.
+fn replayed_exchanges(recovered: &Recovered) -> u64 {
+    let base_seq = recovered.state.fetch_seq;
+    recovered.state.routing.exchanges
+        + recovered
+            .wal
+            .iter()
+            .filter(|e| matches!(e, WalEvent::Routed(_)) && e.seq() > base_seq)
+            .count() as u64
+}
+
+/// Align a shard's recovery to `target` exchanges by dropping trailing
+/// routed records from its WAL tail. A kill mid-exchange leaves some
+/// shards' logs holding a batch their peers never received; by protocol
+/// those surplus batches sit at the very end of the log (no shard crawls
+/// past a barrier until every shard's batch is durable), so dropping them
+/// rolls the shard back to the barrier with its outbox intact, and the
+/// re-run exchange reproduces the dropped batches byte for byte.
+fn align_exchanges(recovered: &mut Recovered, target: u64) -> Result<(), WebEvoError> {
+    let mut e = replayed_exchanges(recovered);
+    while e > target {
+        match recovered.wal.last() {
+            Some(WalEvent::Routed(batch)) if batch.seq > recovered.state.fetch_seq => {
+                recovered.wal.pop();
+                e -= 1;
+            }
+            _ => {
+                return Err(WebEvoError::InvalidState(format!(
+                    "checkpoint holds {e} applied exchange(s) inside its snapshot but the \
+                     fleet minimum is {target}; the shards' histories have diverged"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Drive every session whose clock lies short of `until` up to `until`,
+/// on a pool of `threads` scoped workers. Which thread drives which shard
+/// is scheduling noise; each shard's trajectory is deterministic.
+///
+/// A recovered shard whose replayed clock already sits at `until` (its
+/// interrupted drive completed this leg) is not re-driven, but it still
+/// records the closing metrics sample the interrupted drive ended with —
+/// see [`CrawlSession::close_sample`] — so every shard's sampling grid
+/// stays identical to an uninterrupted fleet's.
+fn drive_all(
+    sessions: &mut [CrawlSession<'_>],
+    until: f64,
+    threads: usize,
+) -> Result<(), WebEvoError> {
+    let shard_count = sessions.len();
+    let work: Mutex<Vec<(usize, &mut CrawlSession<'_>)>> =
+        Mutex::new(sessions.iter_mut().enumerate().collect());
+    let slots: Vec<Mutex<Option<WebEvoError>>> =
+        (0..shard_count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let item = work.lock().expect("no worker poisoned the queue").pop();
+                let Some((k, session)) = item else { break };
+                if until > session.clock().t {
+                    if let Err(e) = session.run(until) {
+                        *slots[k].lock().expect("no worker poisoned this slot") = Some(e);
+                    }
+                } else {
+                    session.close_sample(until);
+                }
+            });
+        }
+    });
+    for (k, slot) in slots.into_iter().enumerate() {
+        if let Some(e) = slot.into_inner().expect("no worker poisoned this slot") {
+            return Err(WebEvoError::InvalidState(format!("shard#{k}: {e}")));
+        }
+    }
+    Ok(())
+}
+
 /// A sharded crawl fleet over one universe. Built by
 /// [`FleetSession::builder`]; see the module docs.
 pub struct FleetSession<'a> {
@@ -378,7 +523,8 @@ impl<'a> FleetSession<'a> {
         FleetSessionBuilder::new()
     }
 
-    /// The site partition in force.
+    /// The site partition in force (after a [`FleetSession::rebalance`],
+    /// the new plan).
     pub fn plan(&self) -> &ShardPlan {
         &self.plan
     }
@@ -399,7 +545,8 @@ impl<'a> FleetSession<'a> {
         self.results.as_ref()
     }
 
-    /// Run every shard from day 0 to day `days` and merge. With
+    /// Run every shard from day 0 to day `days` in lockstep (exchange
+    /// barriers between segments; see the module docs) and merge. With
     /// checkpointing configured, writes the fleet manifest and starts a
     /// fresh snapshot+WAL lineage per shard.
     pub fn run(&mut self, days: f64) -> Result<&FleetMetrics, WebEvoError> {
@@ -410,17 +557,22 @@ impl<'a> FleetSession<'a> {
     }
 
     /// Recover every shard from the fleet directory and continue to day
-    /// `days`: validate the manifest against this configuration, then
-    /// resume each shard through its own `snapshot + WAL tail` (a shard
-    /// killed mid-run replays its log; the others continue from their
-    /// snapshots), and merge as usual.
+    /// `days`: validate the manifest against this configuration and every
+    /// shard's recorded scope against the manifest plan, align the
+    /// shards' exchange counters (a kill mid-exchange leaves them one
+    /// apart; see `align_exchanges`), then continue the lockstep drive.
     pub fn resume(&mut self, days: f64) -> Result<&FleetMetrics, WebEvoError> {
         let Some((dir, _)) = self.checkpoint.clone() else {
             return Err(WebEvoError::InvalidState(
                 "resume requires .checkpoint(dir, every) on the builder".into(),
             ));
         };
-        let manifest = read_manifest(&dir)?;
+        self.validate_manifest(&dir)?;
+        self.execute(days, true)
+    }
+
+    fn validate_manifest(&self, dir: &Path) -> Result<(), WebEvoError> {
+        let manifest = read_manifest(dir)?;
         let expected = self.manifest();
         if manifest.version != MANIFEST_VERSION {
             return Err(WebEvoError::InvalidState(format!(
@@ -456,38 +608,242 @@ impl<'a> FleetSession<'a> {
                 manifest.seed, expected.seed
             )));
         }
-        self.execute(days, true)
+        Ok(())
     }
 
-    /// Drive all shards (pool of `concurrency` scoped threads pulling
-    /// shard ids) and merge in ascending shard order.
+    /// Days between exchange barriers: the engines' natural pass cadence,
+    /// so injection always lands at a quiescent boundary.
+    fn barrier_interval(&self) -> f64 {
+        match self.engine {
+            EngineKind::Periodic => self.budget.periodic_config().cycle_days,
+            _ => self.budget.incremental_config().ranking_interval_days,
+        }
+    }
+
+    /// Recover every shard's checkpoint, validate its recorded scope
+    /// against the current plan, and align the fleet to its minimum
+    /// exchange count. `None` entries are shards with no durable state at
+    /// all — legal only before the first exchange (they restart fresh);
+    /// afterwards the batches delivered to them are gone and the fleet
+    /// refuses to guess.
+    fn recover_aligned(&self, dir: &Path) -> Result<Vec<Option<Recovered>>, WebEvoError> {
+        let shard_count = self.plan.shards() as usize;
+        let mut recoveries: Vec<Option<Recovered>> = Vec::with_capacity(shard_count);
+        for k in 0..shard_count {
+            let shard_dir = dir.join(shard_dir_name(ShardId(k as u32)));
+            let rec = recover(&shard_dir).map_err(|e| {
+                WebEvoError::InvalidState(format!(
+                    "shard#{k}: checkpoint dir {shard_dir:?} cannot be recovered: {e}"
+                ))
+            })?;
+            recoveries.push(rec);
+        }
+        let counts: Vec<u64> = recoveries
+            .iter()
+            .flatten()
+            .map(replayed_exchanges)
+            .collect();
+        let e_min = counts.iter().copied().min().unwrap_or(0);
+        let e_max = counts.iter().copied().max().unwrap_or(0);
+        if e_max > e_min + 1 {
+            return Err(WebEvoError::InvalidState(format!(
+                "shard checkpoints disagree by more than one exchange ({e_min}..{e_max}); \
+                 they are not one fleet's lineage"
+            )));
+        }
+        if e_max > 0 {
+            if let Some(k) = recoveries.iter().position(Option::is_none) {
+                return Err(WebEvoError::InvalidState(format!(
+                    "shard#{k} has no checkpoint, but the fleet has completed link \
+                     exchanges — the batches delivered to it cannot be reconstructed; \
+                     restore its checkpoint directory"
+                )));
+            }
+        }
+        for (k, rec) in recoveries.iter_mut().enumerate() {
+            if let Some(rec) = rec {
+                let expected = ShardScope { plan: self.plan, shard: ShardId(k as u32) };
+                if rec.state.routing.scope != Some(expected) {
+                    return Err(WebEvoError::InvalidState(format!(
+                        "shard#{k}: {}",
+                        StoreError::ShardPlanMismatch { shard: k as u32 }
+                    )));
+                }
+                align_exchanges(rec, e_min)?;
+            }
+        }
+        Ok(recoveries)
+    }
+
+    /// Build shard `k`'s scoped session over `fetcher`.
+    fn shard_session<'s>(
+        &self,
+        shard: ShardId,
+        fetcher: &'s mut ShardedFetcher<'a>,
+    ) -> Result<CrawlSession<'s>, WebEvoError>
+    where
+        'a: 's,
+    {
+        let capacity = self.capacities[shard.index()];
+        let mut builder = CrawlSession::builder()
+            .engine(self.engine)
+            .universe(self.universe)
+            .scope(self.plan, shard)
+            .fetcher(fetcher);
+        builder = match self.engine {
+            EngineKind::Periodic => {
+                let mut config = self.budget.periodic_config();
+                config.capacity = capacity;
+                builder.periodic(config)
+            }
+            _ => {
+                let mut config = self.budget.incremental_config();
+                let total: usize = self.capacities.iter().sum();
+                config.capacity = capacity;
+                // The fleet's aggregate rate, apportioned like the
+                // capacity: a shard that owns a third of the pages gets a
+                // third of the fetch slots. An even split would leave
+                // large shards unable to cover their sites within the
+                // horizon while small shards burn slots on early
+                // revisits — the collection deficit the routing protocol
+                // exists to close. Rates differ per shard, so metrics
+                // sampling is pinned to the shared grid (see
+                // `IncrementalCrawler::advance`), keeping the per-shard
+                // series mergeable.
+                config.crawl_rate_per_day =
+                    self.budget.steady_rate() * capacity as f64 / total.max(1) as f64;
+                builder.incremental(config)
+            }
+        };
+        if let Some((dir, every)) = &self.checkpoint {
+            builder = builder.checkpoint(dir.join(shard_dir_name(shard)), *every);
+        }
+        builder.build()
+    }
+
+    /// One exchange barrier: read every outbox, merge per destination in
+    /// `(ShardId, seq)` order, inject each shard's batch (logging it to
+    /// the shard's WAL), then sync every shard so the exchange is durable
+    /// before anyone crawls on. Returns links delivered per shard.
+    fn exchange(&self, sessions: &mut [CrawlSession<'_>]) -> Result<Vec<u64>, WebEvoError> {
+        // Read all outboxes before injecting into any shard: injection
+        // clears the receiving shard's own outbox.
+        let parts: Vec<(ShardId, Vec<RoutedLink>)> = sessions
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let outbox = s.routing().map(|r| r.outbox.clone()).unwrap_or_default();
+                (ShardId(k as u32), outbox)
+            })
+            .collect();
+        let batches = route_exchange(&self.plan, &parts);
+        let mut delivered = vec![0u64; sessions.len()];
+        for (k, (session, links)) in sessions.iter_mut().zip(batches).enumerate() {
+            delivered[k] = links.len() as u64;
+            session
+                .inject_routed(links)
+                .map_err(|e| WebEvoError::InvalidState(format!("shard#{k}: {e}")))?;
+        }
+        for (k, session) in sessions.iter_mut().enumerate() {
+            session
+                .sync()
+                .map_err(|e| WebEvoError::InvalidState(format!("shard#{k}: {e}")))?;
+        }
+        Ok(delivered)
+    }
+
+    /// Drive all shards in lockstep to day `days`, exchanging at every
+    /// barrier strictly inside the horizon, and merge in ascending shard
+    /// order.
     fn execute(&mut self, days: f64, resume: bool) -> Result<&FleetMetrics, WebEvoError> {
         let shard_count = self.plan.shards() as usize;
         let threads = self.concurrency.unwrap_or(shard_count).min(shard_count);
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<ShardReport, WebEvoError>>>> =
-            (0..shard_count).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= shard_count {
-                        break;
-                    }
-                    let report = self.run_shard(ShardId(k as u32), days, resume);
-                    *slots[k].lock().expect("no shard poisoned this slot") = Some(report);
-                });
+        let mut fetchers: Vec<ShardedFetcher<'a>> = self
+            .plan
+            .shard_ids()
+            .map(|k| {
+                ShardedFetcher::new(
+                    SimFetcher::new(self.universe).with_failure_rate(self.failure_rate),
+                    self.plan,
+                    k,
+                )
+            })
+            .collect();
+        let mut sessions: Vec<CrawlSession<'_>> = Vec::with_capacity(shard_count);
+        for (k, fetcher) in fetchers.iter_mut().enumerate() {
+            let mut session = self
+                .shard_session(ShardId(k as u32), fetcher)
+                .map_err(|e| WebEvoError::InvalidState(format!("shard#{k}: {e}")))?;
+            // Fleet snapshot discipline: cadence snapshots fire only at
+            // exchange barriers, pre-injection, so no shard's snapshot
+            // ever absorbs an exchange a peer still holds only as a
+            // trailing WAL record — the invariant that keeps any single
+            // shard's torn WAL tail recoverable (see `align_exchanges`).
+            session.snapshot_at_barriers_only();
+            sessions.push(session);
+        }
+        if resume {
+            let (dir, _) = self.checkpoint.clone().expect("resume checked checkpointing");
+            let recoveries = self.recover_aligned(&dir)?;
+            for (k, rec) in recoveries.into_iter().enumerate() {
+                if let Some(rec) = rec {
+                    sessions[k]
+                        .adopt(rec)
+                        .map_err(|e| WebEvoError::InvalidState(format!("shard#{k}: {e}")))?;
+                }
+                // A shard with no durable state (legal only before the
+                // first exchange) simply starts fresh from day 0 below.
             }
-        });
+        }
+        // Lockstep: segments end at exchange barriers T(b) = b·interval.
+        // The next barrier index always equals the applied-exchange
+        // counter + 1 — recovery aligned the counters, so one number
+        // schedules the whole fleet.
+        let interval = self.barrier_interval();
+        let mut routed = vec![0u64; shard_count];
+        let mut exchanges = sessions
+            .first()
+            .and_then(|s| s.routing())
+            .map(|r| r.exchanges)
+            .unwrap_or(0);
+        loop {
+            let barrier = (exchanges + 1) as f64 * interval;
+            if barrier >= days {
+                break;
+            }
+            drive_all(&mut sessions, barrier, threads)?;
+            // Cadence snapshots happen here, before the injection below,
+            // so the exchange always lands in every shard's fresh WAL.
+            for (k, session) in sessions.iter_mut().enumerate() {
+                session
+                    .snapshot_if_due()
+                    .map_err(|e| WebEvoError::InvalidState(format!("shard#{k}: {e}")))?;
+            }
+            let delivered = self.exchange(&mut sessions)?;
+            for (k, n) in delivered.into_iter().enumerate() {
+                routed[k] += n;
+            }
+            exchanges += 1;
+        }
+        drive_all(&mut sessions, days, threads)?;
+        let outcomes: Vec<(CrawlMetrics, usize)> = sessions
+            .iter()
+            .map(|s| (s.metrics().clone(), s.collection_len()))
+            .collect();
+        drop(sessions);
         let mut shards = Vec::with_capacity(shard_count);
-        for (k, slot) in slots.into_iter().enumerate() {
-            let report = slot
-                .into_inner()
-                .expect("no shard poisoned this slot")
-                .expect("the pool visits every shard");
-            shards.push(report.map_err(|e| {
-                WebEvoError::InvalidState(format!("shard#{k}: {e}"))
-            })?);
+        for (k, ((metrics, collection_len), fetcher)) in
+            outcomes.into_iter().zip(&fetchers).enumerate()
+        {
+            shards.push(ShardReport {
+                shard: ShardId(k as u32),
+                capacity: self.capacities[k],
+                sites: self.site_counts[k],
+                collection_len,
+                foreign_rejects: fetcher.foreign_rejects(),
+                routed_links: routed[k],
+                metrics,
+            });
         }
         let parts: Vec<(f64, &CrawlMetrics)> = shards
             .iter()
@@ -500,86 +856,115 @@ impl<'a> FleetSession<'a> {
 
     /// The collection capacity shard `k` gets: the budget's capacity
     /// apportioned proportionally to the sites the shard owns (floor of
-    /// one page; see [`apportion_capacity`]), so capacity sits where the
+    /// one page; see `apportion_capacity`), so capacity sits where the
     /// reachable pages are even under a skewed hash partition.
     pub fn shard_capacity(&self, shard: ShardId) -> usize {
         self.capacities[shard.index()]
     }
 
-    /// One shard, end to end: site-filtered fetcher, per-shard engine
-    /// configuration (equal crawl rate per shard — one shared float, so
-    /// every shard samples metrics on the same slot grid and the merge
-    /// lines up exactly), per-shard checkpoint dir, run or resume.
-    fn run_shard(
-        &self,
-        shard: ShardId,
-        days: f64,
-        resume: bool,
-    ) -> Result<ShardReport, WebEvoError> {
-        let capacity = self.shard_capacity(shard);
-        let sites = self.site_counts[shard.index()];
-        let mut fetcher = ShardedFetcher::new(
-            SimFetcher::new(self.universe).with_failure_rate(self.failure_rate),
-            self.plan,
-            shard,
-        );
-        let mut builder = CrawlSession::builder()
-            .engine(self.engine)
-            .universe(self.universe)
-            .fetcher(&mut fetcher);
-        builder = match self.engine {
-            EngineKind::Periodic => {
-                let mut config = self.budget.periodic_config();
-                config.capacity = capacity;
-                builder.periodic(config)
-            }
-            _ => {
-                let mut config = self.budget.incremental_config();
-                config.capacity = capacity;
-                config.crawl_rate_per_day =
-                    self.budget.steady_rate() / self.plan.shards() as f64;
-                builder.incremental(config)
-            }
+    /// Migrate a checkpointed incremental fleet onto `new_plan` between
+    /// passes. Recovers every shard, performs one final exchange so no
+    /// outbox holds links routed under the old plan, moves pages, URL
+    /// evidence, revisit-queue entries, and admissions to their new
+    /// owners, re-apportions collection capacity to the new ownership,
+    /// writes a fresh snapshot lineage per shard, and atomically rewrites
+    /// the fleet manifest. Afterwards [`FleetSession::resume`] continues
+    /// under `new_plan`; a stale pre-rebalance shard directory fails it
+    /// with a typed shard-plan mismatch.
+    ///
+    /// The shard *count* cannot change (capacity and crawl rate were
+    /// split at build time), and only the incremental engine migrates —
+    /// the periodic engine's mid-cycle shadow state has no stable home in
+    /// a different partition.
+    pub fn rebalance(&mut self, new_plan: ShardPlan) -> Result<(), WebEvoError> {
+        let Some((dir, every)) = self.checkpoint.clone() else {
+            return Err(WebEvoError::InvalidState(
+                "rebalance requires .checkpoint(dir, every) on the builder".into(),
+            ));
         };
-        let mut start_fresh = false;
-        if let Some((dir, every)) = &self.checkpoint {
-            let shard_dir = dir.join(shard_dir_name(shard));
-            if resume && !shard_dir.join(crate::checkpoint::SNAPSHOT_FILE).exists() {
-                // A shard whose worker never got scheduled before the kill
-                // (e.g. under a small concurrency cap) has no checkpoint —
-                // and therefore no durable work to lose: restart it fresh,
-                // which reproduces the uninterrupted shard exactly.
-                // `recover` distinguishes that empty state from an
-                // orphaned WAL, which still refuses to resume.
-                match crate::checkpoint::recover(&shard_dir) {
-                    Ok(None) => start_fresh = true,
-                    Ok(Some(_)) => {}
-                    Err(e) => {
-                        return Err(WebEvoError::InvalidState(format!(
-                            "checkpoint dir {shard_dir:?} cannot be recovered: {e}"
-                        )))
-                    }
-                }
-            }
-            builder = builder.checkpoint(shard_dir, *every);
+        if !matches!(self.engine, EngineKind::Incremental) {
+            return Err(WebEvoError::InvalidState(format!(
+                "only incremental fleets rebalance; this fleet runs the {} engine",
+                self.engine.name()
+            )));
         }
-        let mut session = builder.build()?;
-        if resume && !start_fresh {
-            session.resume(days)?;
-        } else {
-            session.run(days)?;
+        if new_plan.shards() != self.plan.shards() {
+            return Err(WebEvoError::InvalidState(format!(
+                "rebalance cannot change the shard count ({} -> {}); it re-routes sites \
+                 across the existing shards",
+                self.plan.shards(),
+                new_plan.shards()
+            )));
         }
-        let metrics = session.metrics().clone();
-        let collection_len = session.collection_len();
-        drop(session);
-        Ok(ShardReport {
-            shard,
-            capacity,
-            sites,
-            collection_len,
-            foreign_rejects: fetcher.foreign_rejects(),
-            metrics,
-        })
+        if new_plan.total_sites() != self.plan.total_sites() {
+            return Err(WebEvoError::InvalidState(format!(
+                "the new plan covers {} sites but the fleet crawls {}",
+                new_plan.total_sites(),
+                self.plan.total_sites()
+            )));
+        }
+        self.validate_manifest(&dir)?;
+        let shard_count = self.plan.shards() as usize;
+
+        // Materialize every shard at its last committed boundary (aligned,
+        // under the *old* plan).
+        let recoveries = self.recover_aligned(&dir)?;
+        if let Some(k) = recoveries.iter().position(Option::is_none) {
+            return Err(WebEvoError::InvalidState(format!(
+                "shard#{k} has no checkpoint; run the fleet before rebalancing"
+            )));
+        }
+        let mut fetchers: Vec<ShardedFetcher<'a>> = self
+            .plan
+            .shard_ids()
+            .map(|k| {
+                ShardedFetcher::new(
+                    SimFetcher::new(self.universe).with_failure_rate(self.failure_rate),
+                    self.plan,
+                    k,
+                )
+            })
+            .collect();
+        let mut sessions: Vec<CrawlSession<'_>> = Vec::with_capacity(shard_count);
+        for (k, fetcher) in fetchers.iter_mut().enumerate() {
+            sessions.push(
+                self.shard_session(ShardId(k as u32), fetcher)
+                    .map_err(|e| WebEvoError::InvalidState(format!("shard#{k}: {e}")))?,
+            );
+        }
+        for (k, rec) in recoveries.into_iter().enumerate() {
+            let rec = rec.expect("checked above");
+            sessions[k]
+                .adopt(rec)
+                .map_err(|e| WebEvoError::InvalidState(format!("shard#{k}: {e}")))?;
+        }
+        // Final exchange under the old plan: migration must not find links
+        // in any outbox that were routed by the partition being retired.
+        self.exchange(&mut sessions)?;
+        let mut states: Vec<_> = sessions.iter_mut().map(|s| s.export_state()).collect();
+        drop(sessions);
+
+        // Re-apportion capacity to the new ownership and migrate.
+        let site_counts = owned_site_counts(&new_plan, self.universe);
+        let capacities = apportion_capacity(self.budget.capacity, &site_counts);
+        rebalance_states(&mut states, &new_plan, &capacities)?;
+
+        // Fresh snapshot lineage per shard, then the new manifest — the
+        // manifest rename is the atomic commit point of the rebalance.
+        for (k, state) in states.iter().enumerate() {
+            let shard_dir = dir.join(shard_dir_name(ShardId(k as u32)));
+            let config = CheckpointConfig::new(shard_dir.clone(), every);
+            Checkpointer::continue_from(config, state).map_err(|e| {
+                WebEvoError::InvalidState(format!(
+                    "shard#{k}: checkpoint dir {shard_dir:?} is not writable: {e}"
+                ))
+            })?;
+        }
+        self.plan = new_plan;
+        self.site_counts = site_counts;
+        self.capacities = capacities;
+        self.results = None;
+        write_manifest(&dir, &self.manifest())
     }
 }
 
@@ -599,7 +984,7 @@ fn write_manifest(dir: &Path, manifest: &FleetManifest) -> Result<(), WebEvoErro
 
 /// Read and decode the manifest of a fleet directory. A stale
 /// `fleet.manifest.tmp` — the residue of a crash between the temp write
-/// and the rename in [`write_manifest`] — is removed here, mirroring the
+/// and the rename in `write_manifest` — is removed here, mirroring the
 /// snapshot-tmp cleanup in [`crate::checkpoint::recover`]: the rename
 /// never happened, so the file belongs to no lineage.
 pub fn read_manifest(dir: &Path) -> Result<FleetManifest, WebEvoError> {
@@ -677,6 +1062,21 @@ mod tests {
     }
 
     #[test]
+    fn balanced_partition_owns_evenly() {
+        let u = universe(60);
+        let fleet = FleetSession::builder()
+            .shards(3)
+            .partition(ShardFn::Balanced)
+            .budget(CrawlBudget::paper_monthly(30))
+            .universe(&u)
+            .build()
+            .expect("valid fleet");
+        let counts: Vec<usize> = (0..3).map(|k| fleet.site_counts[k]).collect();
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "balanced ownership within one site: {counts:?}");
+    }
+
+    #[test]
     fn stale_manifest_tmp_is_removed_on_read() {
         let dir = temp_dir("manifest-tmp");
         let u = universe(59);
@@ -714,17 +1114,39 @@ mod tests {
             assert!(report.metrics.fetches > 0, "{} idle", report.shard);
             assert!(report.collection_len <= report.capacity);
         }
-        // The routing boundary is real: somewhere in the fleet, a foreign
-        // URL (a seed or a cross-site link owned by another shard) was
-        // rejected. (Not guaranteed per shard at short horizons — the
-        // front-of-queue admission lane can starve the foreign seeds.)
+        // Routing replaced rejection: no shard ever burned a fetch on a
+        // foreign URL, and the boundary traffic flowed through exchanges.
         let rejects: u64 = results.shards.iter().map(|s| s.foreign_rejects).sum();
-        assert!(rejects > 0, "no shard ever hit the routing boundary");
+        assert_eq!(rejects, 0, "the routing layer must keep fetches on owned sites");
+        assert!(results.routed_links() > 0, "cross-shard links were exchanged");
         assert_eq!(
             results.merged.fetches,
             results.shards.iter().map(|s| s.metrics.fetches).sum::<u64>()
         );
         assert!(results.collection_len() > 0);
+    }
+
+    #[test]
+    fn concurrency_does_not_change_the_result() {
+        let u = universe(61);
+        let run_with = |threads: usize| {
+            let mut fleet = FleetSession::builder()
+                .shards(3)
+                .budget(CrawlBudget::paper_monthly(30).with_cycle_days(5.0))
+                .universe(&u)
+                .concurrency(threads)
+                .build()
+                .expect("valid fleet");
+            let r = fleet.run(9.0).expect("runs").clone();
+            (
+                r.merged.fetches,
+                r.routed_links(),
+                r.shards.iter().map(|s| s.collection_len).collect::<Vec<_>>(),
+            )
+        };
+        let one = run_with(1);
+        assert_eq!(one, run_with(2));
+        assert_eq!(one, run_with(3));
     }
 
     #[test]
@@ -842,13 +1264,12 @@ mod tests {
     }
 
     #[test]
-    fn resume_restarts_a_never_started_shard_fresh() {
-        // A kill can land before some shard's worker was ever scheduled
-        // (small concurrency cap): that shard has no checkpoint directory
-        // contents at all. Resuming the fleet must restart it from day 0
-        // — it holds no durable work — and still merge to the exact
-        // uninterrupted trajectory.
-        let dir = temp_dir("never-started");
+    fn pre_exchange_shard_loss_restarts_fresh() {
+        // Before the first exchange barrier, shards hold no routed state —
+        // a shard that lost its checkpoint can restart from day 0 and the
+        // fleet still merges to the exact uninterrupted trajectory. (The
+        // default ranking interval is 1 day, so stop short of day 1.)
+        let dir = temp_dir("pre-exchange-loss");
         let u = universe(58);
         let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
         let build = |checkpoint: bool| {
@@ -863,20 +1284,152 @@ mod tests {
             b.build().expect("valid fleet")
         };
         let mut killed = build(true);
-        killed.run(14.0).expect("runs");
+        killed.run(0.75).expect("runs");
         drop(killed);
-        // Erase shard 1's directory wholesale: the on-disk state of a
-        // shard whose thread never ran.
         std::fs::remove_dir_all(dir.join(shard_dir_name(ShardId(1)))).expect("dir exists");
 
         let mut resumed = build(true);
-        let recovered = resumed.resume(22.0).expect("fleet resumes").clone();
+        let recovered = resumed.resume(12.0).expect("fleet resumes").clone();
         let mut reference = build(false);
-        let uninterrupted = reference.run(22.0).expect("runs").clone();
+        let uninterrupted = reference.run(12.0).expect("runs").clone();
         assert_eq!(recovered.merged.fetches, uninterrupted.merged.fetches);
+        assert_eq!(recovered.routed_links(), uninterrupted.routed_links());
         let a: Vec<(f64, f64)> = recovered.merged.freshness.rows().collect();
         let b: Vec<(f64, f64)> = uninterrupted.merged.freshness.rows().collect();
         assert_eq!(a, b, "merged trajectory must survive the missing shard");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn post_exchange_shard_loss_is_typed() {
+        // After a barrier, the batches delivered to a shard exist only in
+        // its own checkpoint; losing it wholesale is unrecoverable and
+        // must say so instead of silently restarting the shard (which
+        // would lose the routed pages forever).
+        let dir = temp_dir("post-exchange-loss");
+        let u = universe(62);
+        let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
+        let mut fleet = FleetSession::builder()
+            .shards(3)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 4.0)
+            .build()
+            .expect("valid fleet");
+        fleet.run(6.0).expect("runs");
+        drop(fleet);
+        std::fs::remove_dir_all(dir.join(shard_dir_name(ShardId(1)))).expect("dir exists");
+        let mut resumed = FleetSession::builder()
+            .shards(3)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 4.0)
+            .build()
+            .expect("valid fleet");
+        let err = resumed.resume(12.0).map(|_| ()).expect_err("must refuse");
+        assert!(err.to_string().contains("no checkpoint"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebalance_migrates_and_rewrites_the_manifest() {
+        let dir = temp_dir("rebalance");
+        let u = universe(63);
+        let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
+        let mut fleet = FleetSession::builder()
+            .shards(2)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 4.0)
+            .build()
+            .expect("valid fleet");
+        let before = fleet.run(6.0).expect("runs").clone();
+        let total_before = before.collection_len();
+
+        let new_plan = ShardPlan::new(ShardFn::Balanced, 2, u.site_count() as u32);
+        fleet.rebalance(new_plan).expect("rebalances");
+        assert_eq!(*fleet.plan(), new_plan);
+        assert_eq!(read_manifest(&dir).expect("manifest").plan, new_plan);
+
+        // The migrated fleet resumes under the new plan and keeps crawling.
+        let after = fleet.resume(12.0).expect("resumes post-rebalance").clone();
+        assert!(after.merged.fetches >= before.merged.fetches);
+        assert!(after.collection_len() >= total_before.saturating_sub(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_pre_rebalance_checkpoint_is_a_plan_mismatch() {
+        let dir = temp_dir("stale-shard");
+        let u = universe(64);
+        let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
+        let mut fleet = FleetSession::builder()
+            .shards(2)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 4.0)
+            .build()
+            .expect("valid fleet");
+        fleet.run(6.0).expect("runs");
+        // Save shard 0's pre-rebalance checkpoint aside.
+        let shard0 = dir.join(shard_dir_name(ShardId(0)));
+        let saved = dir.join("shard-0.saved");
+        copy_dir(&shard0, &saved);
+        let new_plan = ShardPlan::new(ShardFn::Balanced, 2, u.site_count() as u32);
+        fleet.rebalance(new_plan).expect("rebalances");
+        // Restore the stale directory: its recorded scope carries the old
+        // plan, which no longer matches the rewritten manifest.
+        std::fs::remove_dir_all(&shard0).unwrap();
+        copy_dir(&saved, &shard0);
+        let err = fleet.resume(12.0).map(|_| ()).expect_err("must refuse");
+        assert!(err.to_string().contains("different shard plan"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn copy_dir(from: &Path, to: &Path) {
+        std::fs::create_dir_all(to).unwrap();
+        for entry in std::fs::read_dir(from).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+        }
+    }
+
+    #[test]
+    fn rebalance_preconditions_are_typed() {
+        let u = universe(65);
+        let budget = CrawlBudget::paper_monthly(30).with_cycle_days(5.0);
+        let plan2 = ShardPlan::new(ShardFn::Balanced, 2, u.site_count() as u32);
+        // No checkpointing.
+        let mut no_ckpt = FleetSession::builder()
+            .shards(2)
+            .budget(budget)
+            .universe(&u)
+            .build()
+            .expect("valid fleet");
+        assert!(no_ckpt.rebalance(plan2).is_err());
+        // Periodic engine.
+        let dir = temp_dir("rebalance-pre");
+        let mut periodic = FleetSession::builder()
+            .shards(2)
+            .engine(EngineKind::Periodic)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 4.0)
+            .build()
+            .expect("valid fleet");
+        assert!(periodic.rebalance(plan2).is_err());
+        // Shard-count change.
+        let mut fleet = FleetSession::builder()
+            .shards(2)
+            .budget(budget)
+            .universe(&u)
+            .checkpoint(&dir, 4.0)
+            .build()
+            .expect("valid fleet");
+        let plan3 = ShardPlan::new(ShardFn::Balanced, 3, u.site_count() as u32);
+        assert!(fleet.rebalance(plan3).is_err());
+        // Never ran: nothing on disk to migrate.
+        assert!(fleet.rebalance(plan2).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -63,11 +63,15 @@
 //! WEBEVO-WAL 2
 //! R <u32 LE payload len> <fnv64 LE of payload> <payload: FetchRecord, binary>
 //! R ...
+//! X <u32 LE payload len> <fnv64 LE of payload> <payload: RoutedBatch, binary>
 //! C <u32 LE payload len> <fnv64 LE of payload> <payload: varint seq of the last record>
 //! ```
 //!
-//! `R` frames are fetch records; a `C` frame is a **commit marker**
-//! written at each pass-boundary flush. Readers trust records only up to
+//! `R` frames are fetch records; an `X` frame is a **routed batch** — the
+//! cross-shard links a fleet exchange barrier delivered into this shard's
+//! frontier, logged so single-shard recovery replays the exchange exactly
+//! (see [`fleet`]); a `C` frame is a **commit marker** written at each
+//! pass-boundary flush. Readers trust records only up to
 //! the last valid commit marker: a torn tail — a half-written frame, a
 //! frame whose checksum fails, or records flushed without their commit —
 //! is discarded rather than mis-parsed, which keeps recovery aligned with
@@ -93,7 +97,8 @@ pub use checkpoint::{
 };
 pub use codec::{decode_snapshot, encode_snapshot, encode_snapshot_json, fnv64, StoreError};
 pub use fleet::{
-    FleetManifest, FleetMetrics, FleetSession, FleetSessionBuilder, ShardReport, MANIFEST_FILE,
+    read_manifest, shard_dir_name, FleetManifest, FleetMetrics, FleetSession,
+    FleetSessionBuilder, ShardReport, MANIFEST_FILE,
 };
 pub use session::{CrawlSession, CrawlSessionBuilder};
 pub use wal::{read_wal, WalWriter};

@@ -36,21 +36,22 @@
 //! assert!(metrics.fetches > 0);
 //! ```
 
-use crate::checkpoint::{recover, CheckpointConfig, CheckpointStats, Checkpointer};
+use crate::checkpoint::{recover, CheckpointConfig, CheckpointStats, Checkpointer, Recovered};
 use std::path::{Path, PathBuf};
 use webevo_core::engine::{restore, CrawlBudget, CrawlEngine};
 use webevo_core::{
     Collection, CrawlHook, CrawlMetrics, IncrementalConfig, IncrementalCrawler, NoopHook,
-    PairHook, PeriodicConfig, PeriodicCrawler, ThreadedCrawler,
+    PairHook, PeriodicConfig, PeriodicCrawler, RoutedBatch, RoutedLink, RoutingState,
+    ShardScope, ThreadedCrawler,
 };
 use webevo_core::{EngineClock, EngineKind};
 use webevo_sim::{Fetcher, SimFetcher, WebUniverse};
-use webevo_types::WebEvoError;
+use webevo_types::{ShardId, ShardPlan, WebEvoError};
 
 /// The fetcher a session crawls through: caller-supplied, or a default
 /// [`SimFetcher`] over the session's universe.
 enum SessionFetcher<'a> {
-    Borrowed(&'a mut dyn Fetcher),
+    Borrowed(&'a mut (dyn Fetcher + Send)),
     Owned(SimFetcher<'a>),
 }
 
@@ -70,9 +71,10 @@ pub struct CrawlSessionBuilder<'a> {
     incremental_config: Option<IncrementalConfig>,
     periodic_config: Option<PeriodicConfig>,
     universe: Option<&'a WebUniverse>,
-    fetcher: Option<&'a mut dyn Fetcher>,
-    hook: Option<&'a mut dyn CrawlHook>,
+    fetcher: Option<&'a mut (dyn Fetcher + Send)>,
+    hook: Option<&'a mut (dyn CrawlHook + Send)>,
     checkpoint: Option<(PathBuf, f64)>,
+    scope: Option<ShardScope>,
 }
 
 impl<'a> CrawlSessionBuilder<'a> {
@@ -86,6 +88,7 @@ impl<'a> CrawlSessionBuilder<'a> {
             fetcher: None,
             hook: None,
             checkpoint: None,
+            scope: None,
         }
     }
 
@@ -131,15 +134,26 @@ impl<'a> CrawlSessionBuilder<'a> {
     /// own worker fetchers, so combining this with
     /// `EngineKind::Threaded` is a build error — a politeness- or
     /// failure-configured fetcher would otherwise be dropped silently.
-    pub fn fetcher(mut self, fetcher: &'a mut dyn Fetcher) -> Self {
+    pub fn fetcher(mut self, fetcher: &'a mut (dyn Fetcher + Send)) -> Self {
         self.fetcher = Some(fetcher);
         self
     }
 
     /// An observer hook that sees every fetch and pass boundary, alongside
     /// the checkpointer when both are configured.
-    pub fn hook(mut self, hook: &'a mut dyn CrawlHook) -> Self {
+    pub fn hook(mut self, hook: &'a mut (dyn CrawlHook + Send)) -> Self {
         self.hook = Some(hook);
+        self
+    }
+
+    /// Scope the session to the sites one fleet shard owns under `plan`:
+    /// foreign link discoveries divert into the routing outbox (drained by
+    /// the fleet coordinator at exchange barriers) instead of burning
+    /// fetches, and seeds on foreign sites are skipped. Only the
+    /// single-threaded engines support scoping; the threaded engine makes
+    /// this a build error.
+    pub fn scope(mut self, plan: ShardPlan, shard: ShardId) -> Self {
+        self.scope = Some(ShardScope { plan, shard });
         self
     }
 
@@ -178,7 +192,7 @@ impl<'a> CrawlSessionBuilder<'a> {
 
         // Resolve the engine configuration: explicit config > budget.
         let budget = self.budget;
-        let engine: Box<dyn CrawlEngine> = match kind {
+        let mut engine: Box<dyn CrawlEngine + Send> = match kind {
             EngineKind::Periodic => {
                 let config = match (self.periodic_config, budget) {
                     (Some(config), _) => config,
@@ -212,6 +226,12 @@ impl<'a> CrawlSessionBuilder<'a> {
             }
         };
 
+        // Shard scoping binds before the run seeds; engines that cannot be
+        // scoped (the threaded one) reject it here, at build time.
+        if let Some(scope) = self.scope {
+            engine.set_scope(scope)?;
+        }
+
         // Checkpointing: the directory must exist (or be creatable) and be
         // writable *now*, not at the first pass boundary mid-crawl.
         let checkpoint = match self.checkpoint {
@@ -238,6 +258,8 @@ impl<'a> CrawlSessionBuilder<'a> {
             hook: self.hook,
             checkpoint,
             checkpointer: None,
+            scope: self.scope,
+            barrier_snapshots: false,
         })
     }
 }
@@ -300,12 +322,18 @@ fn probe_writable(dir: &Path) -> Result<(), WebEvoError> {
 /// A configured crawl over one universe with one engine. Built by
 /// [`CrawlSession::builder`]; see the module docs.
 pub struct CrawlSession<'a> {
-    engine: Box<dyn CrawlEngine>,
+    engine: Box<dyn CrawlEngine + Send>,
     universe: &'a WebUniverse,
     fetcher: SessionFetcher<'a>,
-    hook: Option<&'a mut dyn CrawlHook>,
+    hook: Option<&'a mut (dyn CrawlHook + Send)>,
     checkpoint: Option<CheckpointConfig>,
     checkpointer: Option<Checkpointer>,
+    scope: Option<ShardScope>,
+    /// Fleet mode: cadence snapshots happen only through
+    /// [`CrawlSession::snapshot_if_due`] at exchange barriers, never at
+    /// pass boundaries mid-leg (see
+    /// [`Checkpointer::snapshot_at_barriers_only`]).
+    barrier_snapshots: bool,
 }
 
 impl<'a> CrawlSession<'a> {
@@ -325,12 +353,15 @@ impl<'a> CrawlSession<'a> {
                 // run starts from, so a kill before the first cadence
                 // snapshot still recovers (base + whole WAL).
                 let initial = self.export_state();
-                let ckpt = Checkpointer::create(config.clone(), &initial).map_err(|e| {
+                let mut ckpt = Checkpointer::create(config.clone(), &initial).map_err(|e| {
                     WebEvoError::invalid(format!(
                         "checkpoint dir {:?} is not writable: {e}",
                         config.dir
                     ))
                 })?;
+                if self.barrier_snapshots {
+                    ckpt.snapshot_at_barriers_only();
+                }
                 self.checkpointer = Some(ckpt);
             }
         }
@@ -371,6 +402,28 @@ impl<'a> CrawlSession<'a> {
                     config.dir
                 ))
             })?;
+        self.adopt(recovered)?;
+        if days > self.engine.clock().t {
+            self.drive(days)
+        } else {
+            Ok(self.engine.metrics())
+        }
+    }
+
+    /// Install a recovered checkpoint into this session: validate it
+    /// against the session's configuration, rebuild the engine, restore
+    /// the fetcher's replay state, re-apply the committed WAL tail, and
+    /// start a fresh checkpoint lineage over the recovered state. The
+    /// engine afterwards sits at the last committed boundary; no driving
+    /// happens. `FleetSession` recovers shards itself (it aligns their
+    /// exchange counters first) and adopts each one through this.
+    pub(crate) fn adopt(&mut self, recovered: Recovered) -> Result<(), WebEvoError> {
+        let config = self.checkpoint.clone().ok_or_else(|| {
+            WebEvoError::InvalidState(
+                "adopting a recovered state requires .checkpoint(dir, every) on the builder"
+                    .into(),
+            )
+        })?;
         if !recovered.state.engine.same_family(&self.engine.kind()) {
             return Err(WebEvoError::InvalidState(format!(
                 "checkpoint in {:?} was written by the {} engine, but this session is \
@@ -379,6 +432,15 @@ impl<'a> CrawlSession<'a> {
                 recovered.state.engine.name(),
                 self.engine.kind().name()
             )));
+        }
+        if let Some(scope) = self.scope {
+            if recovered.state.routing.scope != Some(scope) {
+                return Err(WebEvoError::InvalidState(format!(
+                    "checkpoint in {:?} was written under a different shard scope than \
+                     this session was built with",
+                    config.dir
+                )));
+            }
         }
         let (engine, fetcher_state) = restore(recovered.state)?;
         self.engine = engine;
@@ -393,17 +455,84 @@ impl<'a> CrawlSession<'a> {
         if self.engine.uses_external_fetcher() {
             state.fetcher = self.fetcher.get().export_state();
         }
-        let ckpt = Checkpointer::continue_from(config.clone(), &state).map_err(|e| {
+        let mut ckpt = Checkpointer::continue_from(config.clone(), &state).map_err(|e| {
             WebEvoError::invalid(format!(
                 "checkpoint dir {:?} is not writable: {e}",
                 config.dir
             ))
         })?;
+        if self.barrier_snapshots {
+            ckpt.snapshot_at_barriers_only();
+        }
         self.checkpointer = Some(ckpt);
-        if days > self.engine.clock().t {
-            self.drive(days)
-        } else {
-            Ok(self.engine.metrics())
+        Ok(())
+    }
+
+    /// Switch this session into the fleet's snapshot discipline: cadence
+    /// snapshots fire only through [`CrawlSession::snapshot_if_due`] at
+    /// exchange barriers, so a snapshot never absorbs a link exchange a
+    /// peer shard still holds only as a trailing WAL record.
+    pub(crate) fn snapshot_at_barriers_only(&mut self) {
+        self.barrier_snapshots = true;
+        if let Some(ckpt) = &mut self.checkpointer {
+            ckpt.snapshot_at_barriers_only();
+        }
+    }
+
+    /// Flush the buffered leg and take the cadence snapshot if one is due,
+    /// with the engine's *current* (pre-injection) state. The fleet calls
+    /// this at every exchange barrier, right before delivering the routed
+    /// batches.
+    pub(crate) fn snapshot_if_due(&mut self) -> Result<(), WebEvoError> {
+        if self.checkpointer.is_none() {
+            return Ok(());
+        }
+        let t = self.engine.clock().t;
+        let state = self.export_state();
+        let ckpt = self.checkpointer.as_mut().expect("checked above");
+        ckpt.barrier_snapshot(t, &state).map_err(|e| {
+            WebEvoError::InvalidState(format!("barrier snapshot failed: {e}"))
+        })
+    }
+
+    /// The engine's routing state (shard scope, outbox, applied-exchange
+    /// counter), when the engine supports routing.
+    pub fn routing(&self) -> Option<&RoutingState> {
+        self.engine.routing()
+    }
+
+    /// Deliver one exchange's routed links into the engine (see
+    /// [`CrawlEngine::inject_links`]) and log the applied batch to the
+    /// write-ahead log, so a kill-and-resume replays the exchange exactly.
+    /// Call [`CrawlSession::sync`] afterwards to commit the log.
+    pub fn inject_routed(&mut self, links: Vec<RoutedLink>) -> Result<RoutedBatch, WebEvoError> {
+        let batch = self.engine.inject_links(links)?;
+        if let Some(ckpt) = &mut self.checkpointer {
+            ckpt.append_routed(&batch);
+        }
+        Ok(batch)
+    }
+
+    /// Record the closing metrics sample a live drive ending at `t` would
+    /// have recorded, without advancing the engine (see
+    /// [`CrawlEngine::close_sample`]). The fleet coordinator calls this
+    /// when a recovered shard's replayed clock already sits at a barrier:
+    /// the interrupted process closed that drive with a sample at exactly
+    /// `t`, which no logged event reconstructs. Idempotent.
+    pub fn close_sample(&mut self, t: f64) {
+        self.engine.close_sample(self.universe, t);
+    }
+
+    /// Commit all buffered write-ahead-log events to disk without waiting
+    /// for the next pass boundary. The fleet coordinator calls this on
+    /// every shard after an exchange so the delivered batches are durable
+    /// before any shard crawls past the barrier.
+    pub fn sync(&mut self) -> Result<(), WebEvoError> {
+        match &mut self.checkpointer {
+            Some(ckpt) => ckpt.flush().map_err(|e| {
+                WebEvoError::InvalidState(format!("write-ahead log flush failed: {e}"))
+            }),
+            None => Ok(()),
         }
     }
 

@@ -17,7 +17,7 @@ use crate::codec::fnv64;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use webevo_core::FetchRecord;
+use webevo_core::{FetchRecord, RoutedBatch, WalEvent};
 use webevo_types::binio::{put_var_u64, BinDecode, BinEncode, BinReader};
 
 /// Header line opening every version-2 (binary) WAL file.
@@ -28,6 +28,10 @@ pub const WAL_HEADER_V1: &str = "WEBEVO-WAL 1";
 
 /// Frame tag: one fetch record.
 const TAG_RECORD: u8 = b'R';
+/// Frame tag: one routed-link batch delivered by the fleet exchange
+/// (payload: a `RoutedBatch`). Version-2 logs written before the routing
+/// era simply never contain this tag; readers of *this* build handle both.
+const TAG_ROUTED: u8 = b'X';
 /// Frame tag: a commit marker naming the batch it commits.
 const TAG_COMMIT: u8 = b'C';
 /// Bytes of frame overhead before the payload: tag + u32 length + fnv64.
@@ -66,18 +70,26 @@ impl WalWriter {
         &self.path
     }
 
-    /// Append a batch of records followed by its commit marker, as one
+    /// Append a batch of events followed by its commit marker, as one
     /// write, then fsync (the per-boundary sync of the module-level
-    /// contract). Readers only surface records whose commit marker landed,
+    /// contract). Readers only surface events whose commit marker landed,
     /// so a crash mid-append — process *or* machine — tears at worst into
     /// the discarded region.
-    pub fn append_committed(&mut self, records: &[FetchRecord], last_seq: u64) -> io::Result<()> {
-        let mut chunk: Vec<u8> = Vec::with_capacity(records.len() * 96 + FRAME_HEAD);
+    pub fn append_committed(&mut self, events: &[WalEvent], last_seq: u64) -> io::Result<()> {
+        let mut chunk: Vec<u8> = Vec::with_capacity(events.len() * 96 + FRAME_HEAD);
         let mut payload: Vec<u8> = Vec::with_capacity(96);
-        for record in records {
+        for event in events {
             payload.clear();
-            record.bin_encode(&mut payload);
-            push_frame(&mut chunk, TAG_RECORD, &payload);
+            match event {
+                WalEvent::Fetch(record) => {
+                    record.bin_encode(&mut payload);
+                    push_frame(&mut chunk, TAG_RECORD, &payload);
+                }
+                WalEvent::Routed(batch) => {
+                    batch.bin_encode(&mut payload);
+                    push_frame(&mut chunk, TAG_ROUTED, &payload);
+                }
+            }
         }
         payload.clear();
         put_var_u64(&mut payload, last_seq);
@@ -104,13 +116,14 @@ fn push_frame(chunk: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     chunk.extend_from_slice(payload);
 }
 
-/// Read every *committed* record from a WAL file: records after the last
+/// Read every *committed* event from a WAL file: events after the last
 /// valid commit marker — including a torn final frame, a frame whose
 /// checksum fails, or a batch whose commit never landed — are discarded.
 /// A missing file reads as empty (no log yet). Both the binary version-2
 /// framing and the legacy version-1 JSON lines are understood; the header
-/// line picks the parser.
-pub fn read_wal(path: &Path) -> io::Result<Vec<FetchRecord>> {
+/// line picks the parser (v1 predates routing, so its lines are all
+/// fetches).
+pub fn read_wal(path: &Path) -> io::Result<Vec<WalEvent>> {
     let bytes = match std::fs::read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
@@ -132,9 +145,9 @@ pub fn read_wal(path: &Path) -> io::Result<Vec<FetchRecord>> {
 }
 
 /// Parse the version-2 binary frame stream.
-fn read_binary_frames(body: &[u8]) -> Vec<FetchRecord> {
-    let mut committed: Vec<FetchRecord> = Vec::new();
-    let mut pending: Vec<FetchRecord> = Vec::new();
+fn read_binary_frames(body: &[u8]) -> Vec<WalEvent> {
+    let mut committed: Vec<WalEvent> = Vec::new();
+    let mut pending: Vec<WalEvent> = Vec::new();
     let mut pos = 0usize;
     while body.len() - pos >= FRAME_HEAD {
         let tag = body[pos];
@@ -157,7 +170,16 @@ fn read_binary_frames(body: &[u8]) -> Vec<FetchRecord> {
                 if !reader.is_exhausted() {
                     break;
                 }
-                pending.push(record);
+                pending.push(WalEvent::Fetch(record));
+            }
+            TAG_ROUTED => {
+                let Ok(batch) = RoutedBatch::bin_decode(&mut reader) else {
+                    break;
+                };
+                if !reader.is_exhausted() {
+                    break;
+                }
+                pending.push(WalEvent::Routed(batch));
             }
             TAG_COMMIT => {
                 let Ok(seq) = u64::bin_decode(&mut reader) else {
@@ -170,7 +192,7 @@ fn read_binary_frames(body: &[u8]) -> Vec<FetchRecord> {
                 // (a stale or spliced marker that happens to checksum) is
                 // corruption, same as a failed frame checksum.
                 if let Some(last) = pending.last() {
-                    if last.seq != seq {
+                    if last.seq() != seq {
                         break;
                     }
                 }
@@ -185,9 +207,9 @@ fn read_binary_frames(body: &[u8]) -> Vec<FetchRecord> {
 
 /// Parse the legacy version-1 line stream (`R <fnv64> <json>` records and
 /// `C <fnv64> <seq>` commit markers).
-fn read_v1_lines(body: &[u8]) -> Vec<FetchRecord> {
-    let mut committed: Vec<FetchRecord> = Vec::new();
-    let mut pending: Vec<FetchRecord> = Vec::new();
+fn read_v1_lines(body: &[u8]) -> Vec<WalEvent> {
+    let mut committed: Vec<WalEvent> = Vec::new();
+    let mut pending: Vec<WalEvent> = Vec::new();
     // A torn write can truncate the final line: only lines terminated by
     // `\n` are candidates. `split` leaves either the torn remainder or an
     // empty slice after the last newline — drop it either way.
@@ -198,10 +220,10 @@ fn read_v1_lines(body: &[u8]) -> Vec<FetchRecord> {
             break; // corruption: trust nothing at or beyond this point
         };
         match parsed {
-            WalLine::Record(record) => pending.push(record),
+            WalLine::Record(record) => pending.push(WalEvent::Fetch(record)),
             WalLine::Commit(seq) => {
                 if let Some(last) = pending.last() {
-                    if last.seq != seq {
+                    if last.seq() != seq {
                         break;
                     }
                 }
@@ -236,6 +258,7 @@ fn parse_v1_line(line: &[u8]) -> Option<WalLine> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use webevo_core::RoutedLink;
     use webevo_sim::FetchError;
     use webevo_types::{PageId, SiteId, Url};
 
@@ -248,6 +271,22 @@ mod tests {
         }
     }
 
+    fn fetch(seq: u64) -> WalEvent {
+        WalEvent::Fetch(record(seq))
+    }
+
+    fn routed(seq: u64) -> WalEvent {
+        WalEvent::Routed(RoutedBatch {
+            seq,
+            t: seq as f64 * 0.25,
+            links: vec![RoutedLink {
+                seq: seq + 100,
+                from: PageId(7),
+                url: Url::new(SiteId(2), PageId(seq + 200)),
+            }],
+        })
+    }
+
     fn temp_path(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("webevo-wal-{}-{name}", std::process::id()))
     }
@@ -256,10 +295,35 @@ mod tests {
     fn roundtrip_batches() {
         let path = temp_path("roundtrip");
         let mut w = WalWriter::create(&path).unwrap();
-        w.append_committed(&[record(1), record(2)], 2).unwrap();
-        w.append_committed(&[record(3)], 3).unwrap();
-        let records = read_wal(&path).unwrap();
-        assert_eq!(records, vec![record(1), record(2), record(3)]);
+        w.append_committed(&[fetch(1), fetch(2)], 2).unwrap();
+        w.append_committed(&[fetch(3)], 3).unwrap();
+        let events = read_wal(&path).unwrap();
+        assert_eq!(events, vec![fetch(1), fetch(2), fetch(3)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn routed_batches_roundtrip_interleaved() {
+        // A fleet shard's log mixes fetches with exchange deliveries; both
+        // kinds must survive the trip in order, under one commit marker.
+        let path = temp_path("routed");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append_committed(&[fetch(1), routed(2), fetch(3)], 3).unwrap();
+        w.append_committed(&[routed(4)], 4).unwrap();
+        let events = read_wal(&path).unwrap();
+        assert_eq!(events, vec![fetch(1), routed(2), fetch(3), routed(4)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn commit_marker_covers_a_trailing_routed_batch() {
+        // The marker names the last *event* seq, fetch or routed alike; a
+        // contradicting marker must not commit the batch.
+        let path = temp_path("routed-commit");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append_committed(&[fetch(1), routed(2)], 2).unwrap();
+        w.append_committed(&[routed(3)], 99).unwrap();
+        assert_eq!(read_wal(&path).unwrap(), vec![fetch(1), routed(2)]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -267,7 +331,7 @@ mod tests {
     fn uncommitted_tail_is_discarded() {
         let path = temp_path("uncommitted");
         let mut w = WalWriter::create(&path).unwrap();
-        w.append_committed(&[record(1)], 1).unwrap();
+        w.append_committed(&[fetch(1)], 1).unwrap();
         // Hand-append a record frame with no commit marker: a flush that
         // never completed.
         let mut payload = Vec::new();
@@ -280,7 +344,7 @@ mod tests {
             .unwrap()
             .write_all(&frame)
             .unwrap();
-        assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
+        assert_eq!(read_wal(&path).unwrap(), vec![fetch(1)]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -288,12 +352,12 @@ mod tests {
     fn torn_final_frame_is_discarded() {
         let path = temp_path("torn");
         let mut w = WalWriter::create(&path).unwrap();
-        w.append_committed(&[record(1)], 1).unwrap();
-        w.append_committed(&[record(2)], 2).unwrap();
+        w.append_committed(&[fetch(1)], 1).unwrap();
+        w.append_committed(&[fetch(2)], 2).unwrap();
         // Truncate mid-frame: chop the last 10 bytes.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
-        assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
+        assert_eq!(read_wal(&path).unwrap(), vec![fetch(1)]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -303,16 +367,16 @@ mod tests {
         // or corrupt records — only a prefix of fully committed batches.
         let path = temp_path("sweep");
         let mut w = WalWriter::create(&path).unwrap();
-        w.append_committed(&[record(1), record(2)], 2).unwrap();
-        w.append_committed(&[record(3)], 3).unwrap();
+        w.append_committed(&[fetch(1), fetch(2)], 2).unwrap();
+        w.append_committed(&[fetch(3)], 3).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         for cut in 0..bytes.len() {
             std::fs::write(&path, &bytes[..cut]).unwrap();
             let records = read_wal(&path).unwrap();
             assert!(
                 records.is_empty()
-                    || records == vec![record(1), record(2)]
-                    || records == vec![record(1), record(2), record(3)],
+                    || records == vec![fetch(1), fetch(2)]
+                    || records == vec![fetch(1), fetch(2), fetch(3)],
                 "cut at {cut} surfaced a non-prefix: {records:?}"
             );
         }
@@ -323,16 +387,16 @@ mod tests {
     fn corrupt_checksum_stops_reading() {
         let path = temp_path("corrupt");
         let mut w = WalWriter::create(&path).unwrap();
-        w.append_committed(&[record(1)], 1).unwrap();
+        w.append_committed(&[fetch(1)], 1).unwrap();
         let intact_len = std::fs::read(&path).unwrap().len();
-        w.append_committed(&[record(2), record(3)], 3).unwrap();
+        w.append_committed(&[fetch(2), fetch(3)], 3).unwrap();
         // Flip a byte inside the second batch's first record payload.
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[intact_len + FRAME_HEAD + 2] ^= 0x20;
         std::fs::write(&path, &bytes).unwrap();
         // Batch 1 committed and intact; everything from the corrupt frame
         // on is dropped, commit marker or not.
-        assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
+        assert_eq!(read_wal(&path).unwrap(), vec![fetch(1)]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -340,11 +404,11 @@ mod tests {
     fn commit_marker_must_name_its_batch() {
         let path = temp_path("badcommit");
         let mut w = WalWriter::create(&path).unwrap();
-        w.append_committed(&[record(1)], 1).unwrap();
+        w.append_committed(&[fetch(1)], 1).unwrap();
         // A marker that contradicts the records it claims to commit (valid
         // checksum, wrong seq) must not commit them.
-        w.append_committed(&[record(2), record(3)], 99).unwrap();
-        assert_eq!(read_wal(&path).unwrap(), vec![record(1)]);
+        w.append_committed(&[fetch(2), fetch(3)], 99).unwrap();
+        assert_eq!(read_wal(&path).unwrap(), vec![fetch(1)]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -352,11 +416,11 @@ mod tests {
     fn reset_empties_the_log() {
         let path = temp_path("reset");
         let mut w = WalWriter::create(&path).unwrap();
-        w.append_committed(&[record(1)], 1).unwrap();
+        w.append_committed(&[fetch(1)], 1).unwrap();
         w.reset().unwrap();
         assert!(read_wal(&path).unwrap().is_empty());
-        w.append_committed(&[record(9)], 9).unwrap();
-        assert_eq!(read_wal(&path).unwrap(), vec![record(9)]);
+        w.append_committed(&[fetch(9)], 9).unwrap();
+        assert_eq!(read_wal(&path).unwrap(), vec![fetch(9)]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -374,7 +438,7 @@ mod tests {
         let orphan = serde_json::to_string(&record(3)).unwrap();
         text.push_str(&format!("R {:016x} {orphan}\n", fnv64(orphan.as_bytes())));
         std::fs::write(&path, text).unwrap();
-        assert_eq!(read_wal(&path).unwrap(), vec![record(1), record(2)]);
+        assert_eq!(read_wal(&path).unwrap(), vec![fetch(1), fetch(2)]);
         std::fs::remove_file(&path).unwrap();
     }
 

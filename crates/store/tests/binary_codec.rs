@@ -15,6 +15,7 @@
 use proptest::prelude::*;
 use webevo_core::{
     CrawlEngine, FetchRecord, IncrementalConfig, IncrementalCrawler, NoopHook, QueueEntry,
+    RoutedBatch, RoutedLink, WalEvent,
 };
 use webevo_sim::{FetchError, FetchOutcome, SimFetcher, UniverseConfig, WebUniverse};
 use webevo_store::{decode_snapshot, encode_snapshot, read_wal, WalWriter};
@@ -92,41 +93,74 @@ proptest! {
         prop_assert_eq!(encode_snapshot(&back), doc);
     }
 
-    /// Fetch records of every result shape round-trip through the binary
-    /// WAL framing.
+    /// WAL events of every shape — fetch records of every result kind,
+    /// interleaved with routed batches carrying arbitrary link payloads —
+    /// round-trip through the binary framing.
     #[test]
-    fn wal_roundtrips_arbitrary_records(
-        specs in prop::collection::vec((0u32..50, 0u64..1000, 0u64..u64::MAX, 0u8..2), 1..30),
+    fn wal_roundtrips_arbitrary_events(
+        specs in prop::collection::vec(
+            (0u32..50, 0u64..1000, 0u64..u64::MAX, 0u8..3, 0usize..4),
+            1..30,
+        ),
     ) {
-        let records: Vec<FetchRecord> = specs
+        let mut seq = 0u64;
+        let events: Vec<WalEvent> = specs
             .iter()
-            .enumerate()
-            .map(|(i, &(site, page, t_bits, ok))| {
-                record_from(i as u64 + 1, site, page, t_bits, ok == 1)
+            .map(|&(site, page, t_bits, kind, links)| {
+                seq += 1;
+                if kind == 2 {
+                    // A routed batch delivered at this sequence number.
+                    WalEvent::Routed(RoutedBatch {
+                        seq,
+                        t: f64::from_bits(t_bits),
+                        links: (0..links)
+                            .map(|i| RoutedLink {
+                                seq: seq.saturating_sub(1),
+                                from: PageId(page),
+                                url: Url::new(SiteId(site), PageId(page + i as u64)),
+                            })
+                            .collect(),
+                    })
+                } else {
+                    WalEvent::Fetch(record_from(seq, site, page, t_bits, kind == 1))
+                }
             })
             .collect();
         let path = std::env::temp_dir().join(format!(
             "webevo-prop-wal-{}-{}.wlog",
             std::process::id(),
-            records.len()
+            events.len()
         ));
         let mut w = WalWriter::create(&path).expect("temp WAL writable");
-        w.append_committed(&records, records.last().expect("non-empty").seq)
-            .expect("append");
+        w.append_committed(&events, seq).expect("append");
         let back = read_wal(&path).expect("reads");
         let _ = std::fs::remove_file(&path);
-        prop_assert_eq!(back.len(), records.len());
-        for (a, b) in records.iter().zip(back.iter()) {
-            prop_assert_eq!(a.seq, b.seq);
-            prop_assert_eq!(a.url, b.url);
-            prop_assert_eq!(a.t.to_bits(), b.t.to_bits(), "slot time must be bit-exact");
-            match (&a.result, &b.result) {
-                (Ok(x), Ok(y)) => {
-                    prop_assert_eq!(x.checksum, y.checksum);
+        prop_assert_eq!(back.len(), events.len());
+        for (a, b) in events.iter().zip(back.iter()) {
+            prop_assert_eq!(a.seq(), b.seq());
+            prop_assert_eq!(a.t().to_bits(), b.t().to_bits(), "times must be bit-exact");
+            match (a, b) {
+                (WalEvent::Fetch(x), WalEvent::Fetch(y)) => {
+                    prop_assert_eq!(x.url, y.url);
+                    match (&x.result, &y.result) {
+                        (Ok(p), Ok(q)) => {
+                            prop_assert_eq!(p.checksum, q.checksum);
+                            prop_assert_eq!(&p.links, &q.links);
+                        }
+                        // NaN retry times are bit-preserved but compare
+                        // unequal under PartialEq; check the bits.
+                        (
+                            Err(FetchError::RateLimited { retry_at: p }),
+                            Err(FetchError::RateLimited { retry_at: q }),
+                        ) => prop_assert_eq!(p.to_bits(), q.to_bits()),
+                        (Err(p), Err(q)) => prop_assert_eq!(p, q),
+                        _ => prop_assert!(false, "Ok/Err flipped in the WAL"),
+                    }
+                }
+                (WalEvent::Routed(x), WalEvent::Routed(y)) => {
                     prop_assert_eq!(&x.links, &y.links);
                 }
-                (Err(x), Err(y)) => prop_assert_eq!(x, y),
-                _ => prop_assert!(false, "Ok/Err flipped in the WAL"),
+                _ => prop_assert!(false, "fetch/routed frame tag flipped in the WAL"),
             }
         }
     }
@@ -148,13 +182,29 @@ proptest! {
         let mut seq = 0u64;
         let mut batch_ends = Vec::new();
         for &size in &batch_sizes {
-            let records: Vec<FetchRecord> = (0..size)
+            let mut events: Vec<WalEvent> = (0..size)
                 .map(|_| {
                     seq += 1;
-                    record_from(seq, 1, seq, (seq as f64 * 0.5).to_bits(), seq % 4 != 0)
+                    WalEvent::Fetch(record_from(
+                        seq, 1, seq, (seq as f64 * 0.5).to_bits(), seq % 4 != 0,
+                    ))
                 })
                 .collect();
-            w.append_committed(&records, seq).expect("append");
+            // Every other batch closes with a routed record, as a fleet
+            // shard's exchange-barrier flush does.
+            if batch_ends.len() % 2 == 0 {
+                seq += 1;
+                events.push(WalEvent::Routed(RoutedBatch {
+                    seq,
+                    t: seq as f64 * 0.5,
+                    links: vec![RoutedLink {
+                        seq: seq - 1,
+                        from: PageId(seq),
+                        url: Url::new(SiteId(2), PageId(seq + 1)),
+                    }],
+                }));
+            }
+            w.append_committed(&events, seq).expect("append");
             batch_ends.push(seq);
         }
         let bytes = std::fs::read(&path).expect("readable");
@@ -165,9 +215,9 @@ proptest! {
         // The surfaced records must be exactly the first N committed
         // batches for some N: sequential from 1 and ending on a batch end.
         for (i, r) in back.iter().enumerate() {
-            prop_assert_eq!(r.seq, i as u64 + 1, "records must be a sequential prefix");
+            prop_assert_eq!(r.seq(), i as u64 + 1, "events must be a sequential prefix");
         }
-        let tail_seq = back.last().map(|r| r.seq).unwrap_or(0);
+        let tail_seq = back.last().map(|r| r.seq()).unwrap_or(0);
         prop_assert!(
             tail_seq == 0 || batch_ends.contains(&tail_seq),
             "tail seq {} does not align with a commit boundary {:?}",

@@ -9,6 +9,7 @@
 //! family ([`ShardFn::Hash`] scatters sites uniformly, [`ShardFn::Range`]
 //! keeps contiguous id ranges together).
 
+use crate::binio::{BinDecode, BinEncode, BinError, BinReader};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -45,6 +46,13 @@ pub enum ShardFn {
     /// Contiguous site-id ranges: shard `k` owns ids in
     /// `[k·S/N, (k+1)·S/N)` (up to rounding), preserving id locality.
     Range,
+    /// Greedy least-loaded assignment over the site list in ascending id
+    /// order: each site goes to the shard with the fewest sites so far
+    /// (ties to the lower shard id). With unit site weights that greedy
+    /// walk collapses to the closed form `site % shards`, so ownership
+    /// counts differ by at most one — the skew-free alternative to
+    /// [`ShardFn::Hash`].
+    Balanced,
 }
 
 impl fmt::Display for ShardFn {
@@ -52,6 +60,7 @@ impl fmt::Display for ShardFn {
         match self {
             ShardFn::Hash => f.write_str("hash"),
             ShardFn::Range => f.write_str("range"),
+            ShardFn::Balanced => f.write_str("balanced"),
         }
     }
 }
@@ -108,6 +117,7 @@ impl ShardPlan {
                 let k = (site.0 as u64 * self.shards as u64) / self.total_sites as u64;
                 ShardId(k.min(self.shards as u64 - 1) as u32)
             }
+            ShardFn::Balanced => ShardId(site.0 % self.shards),
         }
     }
 
@@ -122,6 +132,59 @@ impl ShardPlan {
     }
 }
 
+impl BinEncode for ShardId {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.0.bin_encode(out);
+    }
+}
+
+impl BinDecode for ShardId {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<ShardId, BinError> {
+        Ok(ShardId(u32::bin_decode(r)?))
+    }
+}
+
+impl BinEncode for ShardFn {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ShardFn::Hash => 0,
+            ShardFn::Range => 1,
+            ShardFn::Balanced => 2,
+        });
+    }
+}
+
+impl BinDecode for ShardFn {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<ShardFn, BinError> {
+        match r.byte()? {
+            0 => Ok(ShardFn::Hash),
+            1 => Ok(ShardFn::Range),
+            2 => Ok(ShardFn::Balanced),
+            other => Err(BinError::new(format!("invalid ShardFn tag {other}"))),
+        }
+    }
+}
+
+impl BinEncode for ShardPlan {
+    fn bin_encode(&self, out: &mut Vec<u8>) {
+        self.shards.bin_encode(out);
+        self.total_sites.bin_encode(out);
+        self.function.bin_encode(out);
+    }
+}
+
+impl BinDecode for ShardPlan {
+    fn bin_decode(r: &mut BinReader<'_>) -> Result<ShardPlan, BinError> {
+        let shards = u32::bin_decode(r)?;
+        let total_sites = u32::bin_decode(r)?;
+        let function = ShardFn::bin_decode(r)?;
+        if shards == 0 {
+            return Err(BinError::new("shard plan with zero shards"));
+        }
+        Ok(ShardPlan { shards, total_sites, function })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,7 +192,7 @@ mod tests {
 
     #[test]
     fn every_site_maps_to_exactly_one_shard() {
-        for function in [ShardFn::Hash, ShardFn::Range] {
+        for function in [ShardFn::Hash, ShardFn::Range, ShardFn::Balanced] {
             let plan = ShardPlan::new(function, 4, 90);
             for s in 0..90u32 {
                 let shard = plan.shard_of(SiteId(s));
@@ -174,11 +237,41 @@ mod tests {
 
     #[test]
     fn single_shard_owns_everything() {
-        for function in [ShardFn::Hash, ShardFn::Range] {
+        for function in [ShardFn::Hash, ShardFn::Range, ShardFn::Balanced] {
             let plan = ShardPlan::new(function, 1, 50);
             for s in 0..50u32 {
                 assert_eq!(plan.shard_of(SiteId(s)), ShardId(0));
             }
+        }
+    }
+
+    #[test]
+    fn balanced_partition_is_within_one_site_of_even() {
+        // Greedy equal-weight assignment must beat Hash's skew: ownership
+        // counts differ by at most one, for any site count.
+        for total in [7u32, 90, 1000] {
+            let plan = ShardPlan::new(ShardFn::Balanced, 4, total);
+            let mut counts = [0usize; 4];
+            for s in 0..total {
+                counts[plan.shard_of(SiteId(s)).index()] += 1;
+            }
+            let min = *counts.iter().min().unwrap();
+            let max = *counts.iter().max().unwrap();
+            assert!(max - min <= 1, "total={total}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_matches_the_greedy_walk() {
+        // The closed form `site % shards` is exactly what greedy
+        // least-loaded (ties to the lower shard id) produces over the
+        // ascending site list with unit weights.
+        let plan = ShardPlan::new(ShardFn::Balanced, 3, 20);
+        let mut loads = [0usize; 3];
+        for s in 0..20u32 {
+            let greedy = (0..3usize).min_by_key(|&k| (loads[k], k)).unwrap();
+            assert_eq!(plan.shard_of(SiteId(s)), ShardId(greedy as u32), "site {s}");
+            loads[greedy] += 1;
         }
     }
 
@@ -195,6 +288,7 @@ mod tests {
         assert_eq!(ShardId(3).to_string(), "shard#3");
         assert_eq!(ShardFn::Hash.to_string(), "hash");
         assert_eq!(ShardFn::Range.to_string(), "range");
+        assert_eq!(ShardFn::Balanced.to_string(), "balanced");
     }
 
     #[test]

@@ -69,7 +69,8 @@ pub mod prelude {
         collection_quality, AllUrls, Collection, CrawlBudget, CrawlEngine, CrawlHook,
         CrawlMetrics, CrawlerState, EngineConfig, EngineKind, EstimatorKind, FetchRecord,
         IncrementalConfig, IncrementalCrawler, NoopHook, PairHook, PeriodicConfig,
-        PeriodicCrawler, RankingConfig, RevisitStrategy, ThreadedCrawler,
+        PeriodicCrawler, RankingConfig, RevisitStrategy, RoutedBatch, RoutedLink,
+        RoutingState, ShardScope, ThreadedCrawler, WalEvent,
     };
     pub use webevo_estimate::{
         estimate_ep, estimate_irregular_mle, estimate_naive,

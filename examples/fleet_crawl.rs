@@ -1,11 +1,14 @@
-//! A sharded crawl fleet with per-shard durability.
+//! A sharded crawl fleet with per-shard durability and link routing.
 //!
 //! Partitions the universe's sites across four shards, runs each shard as
-//! an independent checkpointed `CrawlSession` on its own thread, kills
-//! the whole fleet mid-run (including tearing one shard's WAL mid-frame,
-//! as a crash during a flush would), resumes it, and verifies the merged
-//! freshness trajectory is byte-identical to a fleet that was never
-//! interrupted.
+//! an independent checkpointed `CrawlSession` on its own thread — with
+//! cross-shard link discoveries routed to their owning shards at exchange
+//! barriers instead of being dropped — kills the whole fleet mid-run
+//! (including tearing one shard's WAL mid-frame, as a crash during a
+//! flush would), resumes it, and verifies the merged freshness trajectory
+//! is byte-identical to a fleet that was never interrupted. Finally it
+//! rebalances the fleet onto a skew-free partition and resumes under the
+//! new plan.
 //!
 //! ```sh
 //! cargo run --release --example fleet_crawl
@@ -44,10 +47,19 @@ fn main() {
     let first = fleet.run(20.0).expect("the fleet runs").clone();
     for report in &first.shards {
         println!(
-            "  {}: {} sites, {} fetches, {} pages held",
-            report.shard, report.sites, report.metrics.fetches, report.collection_len
+            "  {}: {} sites, {} fetches, {} pages held, {} links routed in",
+            report.shard,
+            report.sites,
+            report.metrics.fetches,
+            report.collection_len,
+            report.routed_links
         );
     }
+    assert_eq!(
+        first.shards.iter().map(|s| s.foreign_rejects).sum::<u64>(),
+        0,
+        "link routing keeps every fetch on an owned site"
+    );
     drop(fleet); // the crash: every in-memory structure is gone
 
     // Tear shard 2's WAL mid-frame — that shard also lost its last flush.
@@ -76,10 +88,26 @@ fn main() {
     assert_eq!(uninterrupted.merged.fetches, recovered.merged.fetches);
     println!(
         "crash+resume trajectory matches the uninterrupted fleet bitwise \
-         ({} freshness samples, avg {:.3})",
+         ({} freshness samples, {} cross-shard links routed, avg {:.3})",
         a.len(),
+        recovered.routed_links(),
         recovered.merged.average_freshness_from(12.0)
     );
+
+    // Phase 3: migrate the fleet onto the skew-free balanced partition —
+    // pages move between shard checkpoints, the manifest is rewritten
+    // atomically — then keep crawling under the new plan.
+    let new_plan = ShardPlan::new(ShardFn::Balanced, shards, universe.site_count() as u32);
+    resumed.rebalance(new_plan).expect("the fleet rebalances");
+    let rebalanced = resumed.resume(45.0).expect("resumes under the new plan").clone();
+    let sites: Vec<usize> = rebalanced.shards.iter().map(|s| s.sites).collect();
+    println!(
+        "rebalanced onto {} and resumed to day 45: per-shard sites {:?}, {} pages",
+        new_plan.function(),
+        sites,
+        rebalanced.collection_len()
+    );
+    assert!(sites.iter().max().unwrap() - sites.iter().min().unwrap() <= 1);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

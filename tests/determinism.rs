@@ -409,12 +409,24 @@ fn fleet_merge_identical_across_runs_and_thread_counts() {
         four_wide.shards.iter().all(|s| s.metrics.fetches > 0),
         "every shard should actually crawl"
     );
+    // The link-exchange protocol in action: cross-shard discoveries route
+    // between shards instead of burning fetches as foreign rejects.
+    assert!(four_wide.routed_links() > 0, "cross-shard links were exchanged");
+    assert!(
+        four_wide.shards.iter().all(|s| s.foreign_rejects == 0),
+        "routing must keep every fetch on an owned site"
+    );
     // Repeatability at the same thread count, and independence from it:
     // one thread serializes the shards, two interleaves them differently —
-    // the results must not notice.
+    // the results, including the exchanged batches, must not notice.
     for other in [run(4), run(1), run(2)] {
         assert_fleet_identical(&four_wide, &other);
         for (sa, sb) in four_wide.shards.iter().zip(&other.shards) {
+            assert_eq!(
+                sa.routed_links, sb.routed_links,
+                "{} exchange deliveries diverged between fresh runs",
+                sa.shard
+            );
             assert_eq!(
                 sa.foreign_rejects, sb.foreign_rejects,
                 "{} routing-boundary hits diverged between fresh runs",
@@ -454,7 +466,9 @@ fn fleet_kill_one_shard_resume_matches_uninterrupted() {
 
     // Phase 2: resume the whole fleet. Shard 1 replays its committed WAL
     // prefix and re-crawls the torn tail; shards 0 and 2 continue from
-    // their snapshots.
+    // their snapshots — first rolling back any link exchange shard 1
+    // never committed, then re-running it so all three shards re-enter
+    // the barrier loop in lockstep.
     let mut resumed = build(true);
     let resumed_results = resumed.resume(40.0).expect("the fleet recovers").clone();
 
@@ -468,6 +482,48 @@ fn fleet_kill_one_shard_resume_matches_uninterrupted() {
     );
     assert_fleet_identical(&reference_results, &resumed_results);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_rebalance_then_resume_matches_uninterrupted() {
+    // Rebalancing migrates pages between shard checkpoints and rewrites
+    // the manifest; what it must NOT do is perturb the crawl itself. Two
+    // fleets take the same run → rebalance → resume path, but one is
+    // additionally killed and recovered partway through the post-rebalance
+    // leg — the final results must be bit-identical.
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(47));
+    let budget = CrawlBudget::paper_monthly(36).with_cycle_days(6.0);
+    let run_variant = |tag: &str, interrupt: bool| {
+        let dir = temp_dir(tag);
+        let build = |partition: ShardFn| {
+            FleetSession::builder()
+                .shards(3)
+                .partition(partition)
+                .budget(budget)
+                .universe(&universe)
+                .checkpoint(&dir, 4.0)
+                .build()
+                .expect("a valid fleet")
+        };
+        let mut fleet = build(ShardFn::Hash);
+        fleet.run(12.0).expect("the fleet runs");
+        let new_plan = ShardPlan::new(ShardFn::Balanced, 3, universe.site_count() as u32);
+        fleet.rebalance(new_plan).expect("rebalances");
+        if interrupt {
+            fleet.resume(26.0).expect("the first post-rebalance leg runs");
+            drop(fleet);
+            // A fresh process picking up a rebalanced fleet configures the
+            // partition the manifest records.
+            fleet = build(ShardFn::Balanced);
+        }
+        let out = fleet.resume(40.0).expect("resumes to the end").clone();
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    };
+    let straight = run_variant("rebalance-straight", false);
+    let staged = run_variant("rebalance-staged", true);
+    assert!(straight.merged.fetches > 0, "the fleet should actually crawl");
+    assert_fleet_identical(&straight, &staged);
 }
 
 #[test]
