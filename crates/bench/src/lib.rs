@@ -2,7 +2,28 @@
 
 #![forbid(unsafe_code)]
 
+use std::time::Instant;
 use webevo::prelude::*;
+
+/// Median wall-clock seconds of `reps` invocations of `f`. The shared
+/// timing primitive of every `repro` perf leg (`bench`, `fleet`, the
+/// obs-overhead gate): fleet and codec workloads are deterministic, so
+/// repetitions produce identical results and the median only damps
+/// scheduler noise — one noisy-neighbor stall on a shared CI runner must
+/// not trip a regression gate.
+pub fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let out = f();
+            let secs = start.elapsed().as_secs_f64();
+            std::hint::black_box(out);
+            secs
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[samples.len() / 2]
+}
 
 /// The standard reproduction universe: medium scale (Table 1 domain
 /// ratio, 100-page windows), fixed seed.

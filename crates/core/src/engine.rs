@@ -76,6 +76,7 @@ use crate::routing::{RoutedBatch, RoutedLink, RoutingState, ShardScope, WalEvent
 use crate::state::{CrawlerState, EngineClock};
 use crate::threaded::ThreadedCrawler;
 use serde::{Deserialize, Serialize};
+use webevo_obs::ObsSink;
 use webevo_sim::{FetchError, FetchOutcome, Fetcher, FetcherState, WebUniverse};
 use webevo_types::{Url, WebEvoError};
 
@@ -300,6 +301,16 @@ pub trait CrawlEngine {
             "the {} engine does not support link injection",
             self.kind()
         )))
+    }
+
+    /// Install an observability sink: the engine stamps its drive, pass,
+    /// and fetch-batch stages (and fetch-outcome counters) into it.
+    /// Observation is strictly write-only — the hard invariant is that a
+    /// traced run's crawl output stays byte-identical to an untraced
+    /// run's, so the sink never appears in [`CrawlerState`] and no engine
+    /// reads anything back from it. The default keeps the no-op sink.
+    fn set_obs(&mut self, obs: ObsSink) {
+        let _ = obs;
     }
 
     /// Record the closing metrics sample a live [`CrawlEngine::drive`]

@@ -33,6 +33,7 @@ use crate::state::{
     entries_to_queue, queue_to_entries, CrawlerState, EngineClock, EngineConfig, EngineKind,
 };
 use serde::{Deserialize, Serialize};
+use webevo_obs::{LogicalClock, ObsSink, SpanGuard, Stage};
 use webevo_schedule::RevisitQueue;
 use webevo_sim::{FetchError, Fetcher, FetcherState, WebUniverse};
 use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
@@ -125,6 +126,10 @@ pub struct IncrementalCrawler {
     /// Cross-shard routing: scope, outbox of foreign discoveries, and the
     /// applied-exchange counter. Inert (default) when unsharded.
     routing: RoutingState,
+    /// Observability sink. Write-only and deliberately absent from
+    /// [`CrawlerState`]: spans and counters describe the run, they never
+    /// steer it, so a traced run stays byte-identical to an untraced one.
+    obs: ObsSink,
 }
 
 impl IncrementalCrawler {
@@ -149,6 +154,7 @@ impl IncrementalCrawler {
             seeded: false,
             fetch_seq: 0,
             routing: RoutingState::default(),
+            obs: ObsSink::noop(),
             config,
         }
     }
@@ -181,6 +187,7 @@ impl IncrementalCrawler {
             seeded: state.seeded,
             fetch_seq: state.fetch_seq,
             routing: state.routing,
+            obs: ObsSink::noop(),
             config,
         };
         Ok((crawler, state.fetcher))
@@ -275,6 +282,10 @@ impl IncrementalCrawler {
         hook: &mut dyn CrawlHook,
     ) {
         let step = 1.0 / self.config.crawl_rate_per_day;
+        // The open fetch-batch span, lazily started at the first fetch
+        // after a boundary and closed (dropped) at the next one — so the
+        // trace alternates fetch_batch / pass under the drive span.
+        let mut fetch_span: Option<SpanGuard> = None;
         while self.clock.t < end {
             // Routed batches re-inject before anything else: live
             // injection happens while the engine is frozen *between*
@@ -316,6 +327,9 @@ impl IncrementalCrawler {
                 self.clock.next_sample += self.config.sample_interval_days;
             }
             if t >= self.clock.next_ranking {
+                fetch_span = None;
+                let _pass = self.obs.span(Stage::Pass, LogicalClock::new(t, self.fetch_seq));
+                self.obs.gauge("queue_depth", self.queue.len() as f64);
                 self.run_ranking(t);
                 // Advance the clock *before* the hook: a snapshot must
                 // record this pass as done, or the restored engine would
@@ -349,6 +363,10 @@ impl IncrementalCrawler {
                 self.clock.t += step;
                 continue;
             }
+            if self.obs.enabled() && fetch_span.is_none() {
+                fetch_span =
+                    Some(self.obs.span(Stage::FetchBatch, LogicalClock::new(t, self.fetch_seq)));
+            }
             self.crawl_one(universe, source, visit.url, t, hook);
             self.clock.t += step;
         }
@@ -371,6 +389,7 @@ impl IncrementalCrawler {
         }
         match result {
             Ok(outcome) => {
+                self.obs.add("fetch_ok_total", 1);
                 self.metrics.record_fetch(true);
                 let in_collection = self.collection.contains(url.page);
                 if in_collection {
@@ -444,6 +463,7 @@ impl IncrementalCrawler {
                 self.enqueue(url, self.update.next_due(url.page, t));
             }
             Err(FetchError::NotFound) => {
+                self.obs.add("fetch_not_found_total", 1);
                 self.metrics.record_fetch(false);
                 self.all_urls.mark_dead(url, t);
                 self.admissions.remove(url.page);
@@ -453,11 +473,13 @@ impl IncrementalCrawler {
                 // The freed slot is refilled by the next ranking pass.
             }
             Err(FetchError::Transient) => {
+                self.obs.add("fetch_transient_total", 1);
                 self.metrics.record_fetch(false);
                 // Retry with a small backoff.
                 self.enqueue(url, t + 0.25);
             }
             Err(FetchError::RateLimited { retry_at }) => {
+                self.obs.add("fetch_rate_limited_total", 1);
                 self.enqueue(url, retry_at.max(t + 0.01));
             }
         }
@@ -569,6 +591,7 @@ impl CrawlEngine for IncrementalCrawler {
             )));
         }
         self.metrics.observe_speed(self.config.crawl_rate_per_day);
+        let _drive = self.obs.span(Stage::Drive, LogicalClock::new(self.clock.t, self.fetch_seq));
         self.advance(universe, &mut FetchSource::Live(fetcher), until, hook);
         self.flush_samples(universe, until);
         Ok(&self.metrics)
@@ -657,6 +680,10 @@ impl CrawlEngine for IncrementalCrawler {
 
     fn passes(&self) -> u64 {
         self.ranking.runs()
+    }
+
+    fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     fn set_scope(&mut self, scope: ShardScope) -> Result<(), WebEvoError> {

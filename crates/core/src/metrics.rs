@@ -199,6 +199,63 @@ impl CrawlMetrics {
         }
         Ok(merged)
     }
+
+    /// Render the standard crawl-quality report as a table: one labelled
+    /// column per metric set, one row per summary channel (freshness
+    /// averaged from `warmup_days` on, copy age, visibility latencies,
+    /// peak speed, fetch totals). This is *the* freshness/age table — the
+    /// `repro crawlers` target, the examples, and [`CrawlMetrics`]'s own
+    /// [`std::fmt::Display`] all print through it, so the report stays
+    /// consistent everywhere.
+    pub fn comparison_table(columns: &[(&str, &CrawlMetrics)], warmup_days: f64) -> String {
+        use std::fmt::Write as _;
+        fn row(out: &mut String, name: &str, values: impl Iterator<Item = String>) {
+            let _ = write!(out, "{name:<34}");
+            for value in values {
+                let _ = write!(out, "{value:>13}");
+            }
+            let _ = writeln!(out);
+        }
+        let mut out = String::new();
+        row(&mut out, "metric", columns.iter().map(|(label, _)| label.to_string()));
+        row(
+            &mut out,
+            "avg freshness (post-warmup)",
+            columns
+                .iter()
+                .map(|(_, m)| format!("{:.3}", m.average_freshness_from(warmup_days))),
+        );
+        row(
+            &mut out,
+            "avg copy age (days)",
+            columns.iter().map(|(_, m)| format!("{:.2}", m.age.time_average())),
+        );
+        row(
+            &mut out,
+            "found->visible latency (days)",
+            columns.iter().map(|(_, m)| format!("{:.2}", m.discovery_latency.mean())),
+        );
+        row(
+            &mut out,
+            "birth->visible latency (days)",
+            columns.iter().map(|(_, m)| format!("{:.2}", m.new_page_latency.mean())),
+        );
+        row(
+            &mut out,
+            "peak crawl speed (pages/day)",
+            columns.iter().map(|(_, m)| format!("{:.1}", m.peak_speed)),
+        );
+        row(&mut out, "total fetches", columns.iter().map(|(_, m)| m.fetches.to_string()));
+        out
+    }
+}
+
+impl std::fmt::Display for CrawlMetrics {
+    /// The single-column report table (no warm-up cut: freshness averages
+    /// over the whole run).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&CrawlMetrics::comparison_table(&[("value", self)], 0.0))
+    }
 }
 
 impl BinEncode for FreshnessSeriesLike {
@@ -316,6 +373,29 @@ mod tests {
         assert_eq!(merged.peak_speed, 40.0, "fleet peak is the concurrent sum");
         assert_eq!(merged.new_page_latency.count(), 2);
         assert!((merged.new_page_latency.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_table_and_display_share_one_format() {
+        let mut a = CrawlMetrics::default();
+        a.sample(0.0, 1.0, 0.0);
+        a.sample(10.0, 0.5, 2.0);
+        a.record_fetch(true);
+        a.observe_speed(25.0);
+        let mut b = CrawlMetrics::default();
+        b.sample(0.0, 0.2, 5.0);
+        b.sample(10.0, 0.2, 5.0);
+        let table = CrawlMetrics::comparison_table(&[("inc", &a), ("per", &b)], 0.0);
+        let header = table.lines().next().unwrap();
+        assert!(header.contains("inc") && header.contains("per"));
+        assert!(table.contains("avg freshness (post-warmup)"));
+        assert!(table.contains("peak crawl speed (pages/day)"));
+        assert!(table.contains("total fetches"));
+        assert_eq!(table.lines().count(), 7);
+        // Display is the one-column variant of the same table.
+        let shown = format!("{a}");
+        assert!(shown.contains("value"));
+        assert!(shown.contains("0.750"), "whole-run freshness average: {shown}");
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::routing::{RoutedBatch, RoutedLink, RoutingState, ShardScope, WalEvent
 use crate::state::{CrawlerState, EngineClock, EngineConfig, EngineKind};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use webevo_obs::{LogicalClock, ObsSink, SpanGuard, Stage};
 use webevo_sim::{FetchError, Fetcher, FetcherState, WebUniverse};
 use webevo_types::binio::{BinDecode, BinEncode, BinError, BinReader};
 use webevo_types::{Checksum, DenseMap, DenseSet, Url, WebEvoError};
@@ -209,6 +210,10 @@ pub struct PeriodicCrawler {
     /// Cross-shard routing: scope, outbox, and the routed-in inbox that
     /// seeds the next batch window. Inert (default) when unsharded.
     routing: RoutingState,
+    /// Observability sink. Write-only and deliberately absent from
+    /// [`CrawlerState`]: a traced run stays byte-identical to an untraced
+    /// one.
+    obs: ObsSink,
 }
 
 impl PeriodicCrawler {
@@ -231,6 +236,7 @@ impl PeriodicCrawler {
             idle: false,
             window: None,
             routing: RoutingState::default(),
+            obs: ObsSink::noop(),
         }
     }
 
@@ -264,6 +270,7 @@ impl PeriodicCrawler {
             idle: periodic.idle,
             window: periodic.window,
             routing: state.routing,
+            obs: ObsSink::noop(),
         };
         Ok((crawler, state.fetcher))
     }
@@ -362,6 +369,12 @@ impl PeriodicCrawler {
     ) {
         let capacity = self.config.capacity;
         let step = self.config.window_days / capacity as f64;
+        // Open cycle / fetch-batch spans. Local to this call on purpose: a
+        // drive horizon landing mid-cycle closes the spans with the drive
+        // and the next drive opens fresh ones — the trace describes wall
+        // time actually spent inside each call.
+        let mut cycle_span: Option<SpanGuard> = None;
+        let mut batch_span: Option<SpanGuard> = None;
         loop {
             // Routed batches re-inject before anything else: live
             // injection happens while the engine is frozen between
@@ -381,6 +394,15 @@ impl PeriodicCrawler {
                 }
                 if self.window.is_none() {
                     self.seed_window(universe);
+                }
+                if self.obs.enabled() {
+                    let clock = LogicalClock::new(self.clock.t, self.fetch_seq);
+                    if cycle_span.is_none() {
+                        cycle_span = Some(self.obs.span(Stage::Cycle, clock));
+                    }
+                    if batch_span.is_none() {
+                        batch_span = Some(self.obs.span(Stage::FetchBatch, clock));
+                    }
                 }
                 loop {
                     // A barrier can land mid-window when the batch window
@@ -419,6 +441,7 @@ impl PeriodicCrawler {
                     self.fetch_one(source, url, hook);
                     self.clock.t += step;
                 }
+                drop(batch_span.take());
                 self.swap(universe, source, hook);
             } else {
                 // --- Idle until the next cycle, sampling metrics. ---
@@ -431,6 +454,7 @@ impl PeriodicCrawler {
                     self.sample_metrics(universe, ts);
                     self.clock.next_sample += self.config.sample_interval_days;
                 }
+                cycle_span = None;
                 self.cycle_start += self.config.cycle_days;
                 self.clock.t = self.cycle_start;
                 self.idle = false;
@@ -449,6 +473,7 @@ impl PeriodicCrawler {
         let window = self.window.as_mut().expect("window in progress");
         match result {
             Ok(outcome) => {
+                self.obs.add("fetch_ok_total", 1);
                 self.metrics.record_fetch(true);
                 window
                     .shadow
@@ -470,11 +495,17 @@ impl PeriodicCrawler {
                     }
                 }
             }
-            Err(FetchError::NotFound) | Err(FetchError::Transient) => {
+            Err(FetchError::NotFound) => {
+                self.obs.add("fetch_not_found_total", 1);
+                self.metrics.record_fetch(false);
+            }
+            Err(FetchError::Transient) => {
+                self.obs.add("fetch_transient_total", 1);
                 self.metrics.record_fetch(false);
             }
             Err(FetchError::RateLimited { .. }) => {
                 // Batch crawlers just retry later in the window.
+                self.obs.add("fetch_rate_limited_total", 1);
                 window.frontier.push_back(url);
             }
         }
@@ -492,6 +523,8 @@ impl PeriodicCrawler {
         hook: &mut dyn CrawlHook,
     ) {
         let window = self.window.take().expect("window in progress");
+        let _pass = self.obs.span(Stage::Pass, LogicalClock::new(self.clock.t, self.fetch_seq));
+        self.obs.gauge("queue_depth", window.frontier.len() as f64);
         let swap_time = self.cycle_start + self.config.window_days;
         for (p, snap) in window.shadow.iter() {
             if !self.first_visible.contains(p) {
@@ -588,6 +621,7 @@ impl CrawlEngine for PeriodicCrawler {
             )));
         }
         self.metrics.observe_speed(self.config.peak_speed());
+        let _drive = self.obs.span(Stage::Drive, LogicalClock::new(self.clock.t, self.fetch_seq));
         self.advance(universe, &mut FetchSource::Live(fetcher), until, hook);
         Ok(&self.metrics)
     }
@@ -680,6 +714,10 @@ impl CrawlEngine for PeriodicCrawler {
 
     fn passes(&self) -> u64 {
         self.cycles
+    }
+
+    fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     fn set_scope(&mut self, scope: ShardScope) -> Result<(), WebEvoError> {

@@ -45,6 +45,7 @@ use crate::state::{
     entries_to_queue, queue_to_entries, CrawlerState, EngineClock, EngineConfig, EngineKind,
 };
 use crossbeam::channel;
+use webevo_obs::{LogicalClock, ObsSink, SpanGuard, Stage};
 use webevo_schedule::RevisitQueue;
 use webevo_sim::{FetchError, FetchOutcome, Fetcher, Politeness, SimFetcher, WebUniverse};
 use webevo_types::{DenseSet, PageId, Url, WebEvoError};
@@ -111,6 +112,11 @@ pub struct ThreadedCrawler {
     /// [`ThreadedCrawler::from_state`] and updated during WAL replay,
     /// consumed when the live coordinator starts.
     unsent_rank_request: Option<RankRequest>,
+    /// Observability sink, touched only on the coordinator thread.
+    /// Write-only and deliberately absent from [`CrawlerState`]: spans
+    /// never alter the deterministic slot schedule that `replay_tail`
+    /// mirrors.
+    obs: ObsSink,
 }
 
 impl ThreadedCrawler {
@@ -134,6 +140,7 @@ impl ThreadedCrawler {
             fetch_seq: 0,
             rank_pending: false,
             unsent_rank_request: None,
+            obs: ObsSink::noop(),
             config,
         }
     }
@@ -168,6 +175,7 @@ impl ThreadedCrawler {
             fetch_seq: state.fetch_seq,
             rank_pending: state.rank_pending,
             unsent_rank_request: None,
+            obs: ObsSink::noop(),
             config,
         };
         if crawler.rank_pending {
@@ -324,6 +332,9 @@ impl ThreadedCrawler {
             });
 
             // --- Coordinator: the UpdateModule role. ---
+            // Spans are coordinator-only: workers never touch the sink, so
+            // recording cannot perturb the race-free batch application.
+            let mut fetch_span: Option<SpanGuard> = None;
             let mut rank_in_flight = false;
             // A restored/replayed engine re-issues the outstanding request.
             if let Some(req) = self.unsent_rank_request.take() {
@@ -345,6 +356,10 @@ impl ThreadedCrawler {
                     self.clock.next_sample += self.config.sample_interval_days;
                 }
                 if t >= self.clock.next_ranking {
+                    fetch_span = None;
+                    let _pass =
+                        self.obs.span(Stage::Pass, LogicalClock::new(t, self.fetch_seq));
+                    self.obs.gauge("queue_depth", self.queue.len() as f64);
                     // The response to the request issued one interval ago
                     // lands here — a fixed application point, not "whenever
                     // the ranking thread finishes", so replay can reproduce
@@ -375,6 +390,11 @@ impl ThreadedCrawler {
                 // jobs, never crossing the next boundary. Workers race to
                 // grab them; slot order is restored at application time.
                 let horizon = self.clock.next_sample.min(self.clock.next_ranking).min(end);
+                if self.obs.enabled() && fetch_span.is_none() && !self.queue.is_empty() {
+                    fetch_span = Some(
+                        self.obs.span(Stage::FetchBatch, LogicalClock::new(t, self.fetch_seq)),
+                    );
+                }
                 let mut dispatched = 0usize;
                 while dispatched < workers && self.clock.t < horizon {
                     let Some(visit) = self.queue.pop() else { break };
@@ -399,6 +419,7 @@ impl ThreadedCrawler {
                     self.apply_result(universe, done, hook);
                 }
             }
+            drop(fetch_span); // close the trailing fetch batch, if open
             drop(work_tx); // workers exit
             drop(rank_req_tx); // ranking thread exits
             // Apply the in-flight ranking outcome rather than discarding
@@ -422,6 +443,7 @@ impl ThreadedCrawler {
         }
         match result {
             Ok(outcome) => {
+                self.obs.add("fetch_ok_total", 1);
                 self.metrics.record_fetch(true);
                 if self.collection.contains(url.page) {
                     self.collection.update(url.page, outcome.checksum, outcome.links.clone(), t);
@@ -468,6 +490,7 @@ impl ThreadedCrawler {
                 self.enqueue(url, due);
             }
             Err(FetchError::NotFound) => {
+                self.obs.add("fetch_not_found_total", 1);
                 self.metrics.record_fetch(false);
                 self.all_urls.mark_dead(url, t);
                 self.admissions.remove(url.page);
@@ -476,10 +499,12 @@ impl ThreadedCrawler {
                 }
             }
             Err(FetchError::Transient) => {
+                self.obs.add("fetch_transient_total", 1);
                 self.metrics.record_fetch(false);
                 self.enqueue(url, t + 0.25);
             }
             Err(FetchError::RateLimited { retry_at }) => {
+                self.obs.add("fetch_rate_limited_total", 1);
                 self.enqueue(url, retry_at.max(t + 0.01));
             }
         }
@@ -582,6 +607,7 @@ impl CrawlEngine for ThreadedCrawler {
             )));
         }
         self.metrics.observe_speed(self.config.crawl_rate_per_day);
+        let _drive = self.obs.span(Stage::Drive, LogicalClock::new(self.clock.t, self.fetch_seq));
         self.advance_live(universe, until, hook);
         self.sample_metrics(universe, until);
         Ok(&self.metrics)
@@ -679,6 +705,10 @@ impl CrawlEngine for ThreadedCrawler {
 
     fn uses_external_fetcher(&self) -> bool {
         false
+    }
+
+    fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     fn close_sample(&mut self, universe: &WebUniverse, t: f64) {

@@ -32,6 +32,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use webevo_core::{CrawlHook, CrawlerState, FetchRecord, RoutedBatch, WalEvent};
+use webevo_obs::{LogicalClock, ObsSink, Stage};
 
 /// Snapshot file name within a checkpoint directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.wsnap";
@@ -93,6 +94,16 @@ pub struct Checkpointer {
     /// trailing WAL record — the invariant that lets recovery roll any
     /// single shard's torn tail back across the newest exchange.
     barrier_only: bool,
+    /// Observability sink. Write-only: spans and counters recorded here
+    /// never feed back into what gets snapshotted or when, so a traced
+    /// lineage stays byte-identical to an untraced one.
+    obs: ObsSink,
+    /// WAL fsyncs already reported to `obs` (delta tracking, so the
+    /// `wal_fsyncs_total` counter mirrors [`WalWriter::fsyncs`] exactly).
+    fsyncs_seen: u64,
+    /// Simulated day of the most recent hook callback — the logical-clock
+    /// stamp for WAL-flush and snapshot spans.
+    clock_t: f64,
 }
 
 impl Checkpointer {
@@ -114,11 +125,14 @@ impl Checkpointer {
         Ok(Checkpointer {
             last_snapshot_t: Some(initial.clock.t),
             last_seq: initial.fetch_seq,
+            clock_t: initial.clock.t,
             config,
             buffer: Vec::new(),
             wal,
             stats: CheckpointStats { snapshots: 1, ..CheckpointStats::default() },
             barrier_only: false,
+            obs: ObsSink::noop(),
+            fsyncs_seen: 0,
         })
     }
 
@@ -135,11 +149,14 @@ impl Checkpointer {
         Ok(Checkpointer {
             last_snapshot_t: Some(state.clock.t),
             last_seq: state.fetch_seq,
+            clock_t: state.clock.t,
             config,
             buffer: Vec::new(),
             wal,
             stats: CheckpointStats { snapshots: 1, ..CheckpointStats::default() },
             barrier_only: false,
+            obs: ObsSink::noop(),
+            fsyncs_seen: 0,
         })
     }
 
@@ -151,6 +168,15 @@ impl Checkpointer {
         self.barrier_only = true;
     }
 
+    /// Install an observability sink. Spans (WAL flush, snapshot encode)
+    /// and counters (`wal_appends_total`, `wal_bytes_total`,
+    /// `wal_fsyncs_total`, `snapshots_total`) flow into it from every
+    /// subsequent flush and snapshot; the base snapshot written by
+    /// [`Checkpointer::create`] predates the sink and is not traced.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
+    }
+
     /// Take the cadence snapshot at an exchange barrier, if one is due:
     /// flush the buffered leg, then — when `snapshot_every_days` have
     /// passed since the last snapshot — write `state` and reset the WAL.
@@ -158,14 +184,16 @@ impl Checkpointer {
     /// exchange delivered right after always lands in the fresh WAL, never
     /// inside the snapshot.
     pub fn barrier_snapshot(&mut self, t: f64, state: &CrawlerState) -> io::Result<()> {
+        self.clock_t = t;
         self.flush()?;
         let snapshot_due = match self.last_snapshot_t {
             None => true,
             Some(last) => t - last >= self.config.snapshot_every_days,
         };
         if snapshot_due {
-            write_snapshot_atomically(&self.config, state)?;
+            self.traced_snapshot(state)?;
             self.wal.reset()?;
+            self.sync_fsync_counter();
             self.last_snapshot_t = Some(t);
             self.stats.snapshots += 1;
         }
@@ -191,10 +219,38 @@ impl Checkpointer {
     /// after delivering an exchange, so a shard killed after the barrier
     /// replays the injection it already absorbed.
     pub fn flush(&mut self) -> io::Result<()> {
-        self.wal.append_committed(&self.buffer, self.last_seq)?;
+        let _span = self.obs.span(Stage::WalFlush, LogicalClock::new(self.clock_t, self.last_seq));
+        self.obs.observe("wal_flush_records", self.buffer.len() as f64);
+        let bytes = self.wal.append_committed(&self.buffer, self.last_seq)?;
         self.buffer.clear();
         self.stats.flushes += 1;
+        self.obs.add("wal_appends_total", 1);
+        self.obs.add("wal_bytes_total", bytes);
+        self.sync_fsync_counter();
         Ok(())
+    }
+
+    /// Take `state`'s snapshot under a [`Stage::SnapshotEncode`] span and
+    /// record its size. Shared by cadence and barrier snapshots.
+    fn traced_snapshot(&mut self, state: &CrawlerState) -> io::Result<u64> {
+        let _span =
+            self.obs.span(Stage::SnapshotEncode, LogicalClock::new(self.clock_t, self.last_seq));
+        let bytes = write_snapshot_atomically(&self.config, state)?;
+        self.obs.add("snapshots_total", 1);
+        self.obs.observe("snapshot_bytes", bytes as f64);
+        Ok(bytes)
+    }
+
+    /// Report WAL fsyncs accrued since the last report, so the registry's
+    /// `wal_fsyncs_total` counter tracks [`WalWriter::fsyncs`] exactly —
+    /// including the header sync from [`WalWriter::create`] and the sync
+    /// inside each [`WalWriter::reset`].
+    fn sync_fsync_counter(&mut self) {
+        let fsyncs = self.wal.fsyncs();
+        if fsyncs > self.fsyncs_seen {
+            self.obs.add("wal_fsyncs_total", fsyncs - self.fsyncs_seen);
+            self.fsyncs_seen = fsyncs;
+        }
     }
 }
 
@@ -206,6 +262,7 @@ impl CrawlHook for Checkpointer {
     }
 
     fn on_pass_boundary(&mut self, t: f64, export: &mut dyn FnMut() -> CrawlerState) {
+        self.clock_t = t;
         // Flush first: should the snapshot below tear, the WAL still
         // carries everything up to this boundary on top of the *previous*
         // snapshot.
@@ -218,7 +275,7 @@ impl CrawlHook for Checkpointer {
             };
         if snapshot_due {
             let state = export();
-            write_snapshot_atomically(&self.config, &state).unwrap_or_else(|e| {
+            self.traced_snapshot(&state).unwrap_or_else(|e| {
                 panic!("snapshot write to {:?} failed: {e}", self.config.snapshot_path())
             });
             // Records at or below the snapshot's fetch_seq are now
@@ -227,24 +284,27 @@ impl CrawlHook for Checkpointer {
             self.wal
                 .reset()
                 .unwrap_or_else(|e| panic!("WAL reset of {:?} failed: {e}", self.wal.path()));
+            self.sync_fsync_counter();
             self.last_snapshot_t = Some(t);
             self.stats.snapshots += 1;
         }
     }
 }
 
-fn write_snapshot_atomically(config: &CheckpointConfig, state: &CrawlerState) -> io::Result<()> {
+fn write_snapshot_atomically(config: &CheckpointConfig, state: &CrawlerState) -> io::Result<u64> {
     use std::io::Write;
     let tmp = config.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
     let mut file = fs::File::create(&tmp)?;
-    file.write_all(&encode_snapshot(state))?;
+    let doc = encode_snapshot(state);
+    file.write_all(&doc)?;
     // Sync before the rename so the directory entry can never point at a
     // half-written file after a machine crash; sync the directory after so
     // the rename itself is durable.
     file.sync_all()?;
     drop(file);
     fs::rename(&tmp, config.snapshot_path())?;
-    fs::File::open(&config.dir)?.sync_all()
+    fs::File::open(&config.dir)?.sync_all()?;
+    Ok(doc.len() as u64)
 }
 
 /// What [`recover`] found in a checkpoint directory.

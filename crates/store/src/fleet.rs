@@ -123,6 +123,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use webevo_core::engine::{CrawlBudget, EngineKind};
 use webevo_core::{rebalance_states, route_exchange, CrawlMetrics, RoutedLink, ShardScope, WalEvent};
+use webevo_obs::{LogicalClock, ObsSink, Stage};
 use webevo_sim::{ShardedFetcher, SimFetcher, WebUniverse};
 use webevo_types::{ShardFn, ShardId, ShardPlan, WebEvoError};
 
@@ -219,6 +220,7 @@ pub struct FleetSessionBuilder<'a> {
     checkpoint: Option<(PathBuf, f64)>,
     concurrency: Option<usize>,
     failure_rate: f64,
+    obs: ObsSink,
 }
 
 impl<'a> FleetSessionBuilder<'a> {
@@ -232,6 +234,7 @@ impl<'a> FleetSessionBuilder<'a> {
             checkpoint: None,
             concurrency: None,
             failure_rate: 0.0,
+            obs: ObsSink::noop(),
         }
     }
 
@@ -299,6 +302,17 @@ impl<'a> FleetSessionBuilder<'a> {
         self
     }
 
+    /// Observe the fleet through `sink`: each shard's session gets a
+    /// shard-labelled view of it (see [`ObsSink::for_shard`]), the
+    /// coordinator stamps exchange barriers and rebalances, and
+    /// [`ObsSink::merged_registry`] afterwards folds the per-shard
+    /// histograms into one fleet-wide view. The default [`ObsSink::noop`]
+    /// records nothing; tracing never changes what the fleet crawls.
+    pub fn obs(mut self, sink: ObsSink) -> Self {
+        self.obs = sink;
+        self
+    }
+
     /// Validate the configuration and construct the fleet. All failure
     /// modes are typed [`WebEvoError`]s.
     pub fn build(self) -> Result<FleetSession<'a>, WebEvoError> {
@@ -362,6 +376,7 @@ impl<'a> FleetSessionBuilder<'a> {
             checkpoint: self.checkpoint,
             concurrency: self.concurrency,
             failure_rate: self.failure_rate,
+            obs: self.obs,
             results: None,
         })
     }
@@ -514,6 +529,9 @@ pub struct FleetSession<'a> {
     checkpoint: Option<(PathBuf, f64)>,
     concurrency: Option<usize>,
     failure_rate: f64,
+    /// Fleet-level observability sink; shard sessions receive
+    /// shard-labelled views of it.
+    obs: ObsSink,
     results: Option<FleetMetrics>,
 }
 
@@ -627,6 +645,7 @@ impl<'a> FleetSession<'a> {
     /// afterwards the batches delivered to them are gone and the fleet
     /// refuses to guess.
     fn recover_aligned(&self, dir: &Path) -> Result<Vec<Option<Recovered>>, WebEvoError> {
+        let _span = self.obs.span(Stage::SnapshotDecode, LogicalClock::new(0.0, 0));
         let shard_count = self.plan.shards() as usize;
         let mut recoveries: Vec<Option<Recovered>> = Vec::with_capacity(shard_count);
         for k in 0..shard_count {
@@ -718,6 +737,9 @@ impl<'a> FleetSession<'a> {
         if let Some((dir, every)) = &self.checkpoint {
             builder = builder.checkpoint(dir.join(shard_dir_name(shard)), *every);
         }
+        if self.obs.enabled() {
+            builder = builder.obs(self.obs.for_shard(shard));
+        }
         builder.build()
     }
 
@@ -726,6 +748,8 @@ impl<'a> FleetSession<'a> {
     /// the shard's WAL), then sync every shard so the exchange is durable
     /// before anyone crawls on. Returns links delivered per shard.
     fn exchange(&self, sessions: &mut [CrawlSession<'_>]) -> Result<Vec<u64>, WebEvoError> {
+        let barrier_t = sessions.first().map(|s| s.clock().t).unwrap_or(0.0);
+        let _span = self.obs.span(Stage::ExchangeBarrier, LogicalClock::new(barrier_t, 0));
         // Read all outboxes before injecting into any shard: injection
         // clears the receiving shard's own outbox.
         let parts: Vec<(ShardId, Vec<RoutedLink>)> = sessions
@@ -733,6 +757,11 @@ impl<'a> FleetSession<'a> {
             .enumerate()
             .map(|(k, s)| {
                 let outbox = s.routing().map(|r| r.outbox.clone()).unwrap_or_default();
+                if self.obs.enabled() {
+                    self.obs
+                        .for_shard(ShardId(k as u32))
+                        .observe("outbox_depth", outbox.len() as f64);
+                }
                 (ShardId(k as u32), outbox)
             })
             .collect();
@@ -740,6 +769,11 @@ impl<'a> FleetSession<'a> {
         let mut delivered = vec![0u64; sessions.len()];
         for (k, (session, links)) in sessions.iter_mut().zip(batches).enumerate() {
             delivered[k] = links.len() as u64;
+            if self.obs.enabled() {
+                self.obs
+                    .for_shard(ShardId(k as u32))
+                    .observe("routed_batch_size", links.len() as f64);
+            }
             session
                 .inject_routed(links)
                 .map_err(|e| WebEvoError::InvalidState(format!("shard#{k}: {e}")))?;
@@ -905,6 +939,7 @@ impl<'a> FleetSession<'a> {
         }
         self.validate_manifest(&dir)?;
         let shard_count = self.plan.shards() as usize;
+        let _span = self.obs.span(Stage::Rebalance, LogicalClock::new(0.0, 0));
 
         // Materialize every shard at its last committed boundary (aligned,
         // under the *old* plan).

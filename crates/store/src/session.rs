@@ -45,6 +45,7 @@ use webevo_core::{
     ShardScope, ThreadedCrawler,
 };
 use webevo_core::{EngineClock, EngineKind};
+use webevo_obs::{LogicalClock, ObsSink, Stage};
 use webevo_sim::{Fetcher, SimFetcher, WebUniverse};
 use webevo_types::{ShardId, ShardPlan, WebEvoError};
 
@@ -75,6 +76,7 @@ pub struct CrawlSessionBuilder<'a> {
     hook: Option<&'a mut (dyn CrawlHook + Send)>,
     checkpoint: Option<(PathBuf, f64)>,
     scope: Option<ShardScope>,
+    obs: ObsSink,
 }
 
 impl<'a> CrawlSessionBuilder<'a> {
@@ -89,6 +91,7 @@ impl<'a> CrawlSessionBuilder<'a> {
             hook: None,
             checkpoint: None,
             scope: None,
+            obs: ObsSink::noop(),
         }
     }
 
@@ -154,6 +157,17 @@ impl<'a> CrawlSessionBuilder<'a> {
     /// this a build error.
     pub fn scope(mut self, plan: ShardPlan, shard: ShardId) -> Self {
         self.scope = Some(ShardScope { plan, shard });
+        self
+    }
+
+    /// Observe this session through `sink`: the engine's drive/pass/fetch
+    /// spans and fetch-outcome counters, plus the checkpointer's WAL-flush
+    /// and snapshot-encode spans, all land in it. The default
+    /// [`ObsSink::noop`] records nothing at near-zero cost. Tracing is
+    /// write-only — a traced run's crawl output is byte-identical to an
+    /// untraced one (`tests/determinism.rs` pins this).
+    pub fn obs(mut self, sink: ObsSink) -> Self {
+        self.obs = sink;
         self
     }
 
@@ -231,6 +245,9 @@ impl<'a> CrawlSessionBuilder<'a> {
         if let Some(scope) = self.scope {
             engine.set_scope(scope)?;
         }
+        if self.obs.enabled() {
+            engine.set_obs(self.obs.clone());
+        }
 
         // Checkpointing: the directory must exist (or be creatable) and be
         // writable *now*, not at the first pass boundary mid-crawl.
@@ -260,6 +277,7 @@ impl<'a> CrawlSessionBuilder<'a> {
             checkpointer: None,
             scope: self.scope,
             barrier_snapshots: false,
+            obs: self.obs,
         })
     }
 }
@@ -334,6 +352,9 @@ pub struct CrawlSession<'a> {
     /// pass boundaries mid-leg (see
     /// [`Checkpointer::snapshot_at_barriers_only`]).
     barrier_snapshots: bool,
+    /// The observability sink shared by the engine and the checkpointer
+    /// (a noop unless [`CrawlSessionBuilder::obs`] installed one).
+    obs: ObsSink,
 }
 
 impl<'a> CrawlSession<'a> {
@@ -362,6 +383,9 @@ impl<'a> CrawlSession<'a> {
                 if self.barrier_snapshots {
                     ckpt.snapshot_at_barriers_only();
                 }
+                if self.obs.enabled() {
+                    ckpt.set_obs(self.obs.clone());
+                }
                 self.checkpointer = Some(ckpt);
             }
         }
@@ -389,19 +413,22 @@ impl<'a> CrawlSession<'a> {
                 "resume requires .checkpoint(dir, every) on the builder".into(),
             )
         })?;
-        let recovered = recover(&config.dir)
-            .map_err(|e| {
-                WebEvoError::InvalidState(format!(
-                    "checkpoint dir {:?} cannot be recovered: {e}",
-                    config.dir
-                ))
-            })?
-            .ok_or_else(|| {
-                WebEvoError::InvalidState(format!(
-                    "nothing to resume: no snapshot in {:?} (run() first)",
-                    config.dir
-                ))
-            })?;
+        let recovered = {
+            let _span = self.obs.span(Stage::SnapshotDecode, LogicalClock::new(0.0, 0));
+            recover(&config.dir)
+                .map_err(|e| {
+                    WebEvoError::InvalidState(format!(
+                        "checkpoint dir {:?} cannot be recovered: {e}",
+                        config.dir
+                    ))
+                })?
+                .ok_or_else(|| {
+                    WebEvoError::InvalidState(format!(
+                        "nothing to resume: no snapshot in {:?} (run() first)",
+                        config.dir
+                    ))
+                })?
+        };
         self.adopt(recovered)?;
         if days > self.engine.clock().t {
             self.drive(days)
@@ -444,6 +471,9 @@ impl<'a> CrawlSession<'a> {
         }
         let (engine, fetcher_state) = restore(recovered.state)?;
         self.engine = engine;
+        if self.obs.enabled() {
+            self.engine.set_obs(self.obs.clone());
+        }
         if let Some(state) = fetcher_state {
             self.fetcher.get().restore_state(state);
         }
@@ -463,6 +493,9 @@ impl<'a> CrawlSession<'a> {
         })?;
         if self.barrier_snapshots {
             ckpt.snapshot_at_barriers_only();
+        }
+        if self.obs.enabled() {
+            ckpt.set_obs(self.obs.clone());
         }
         self.checkpointer = Some(ckpt);
         Ok(())

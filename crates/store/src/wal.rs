@@ -46,6 +46,15 @@ const FRAME_HEAD: usize = 1 + 4 + 8;
 pub struct WalWriter {
     path: PathBuf,
     file: BufWriter<File>,
+    /// Committed batches appended (one per pass boundary).
+    appends: u64,
+    /// Payload bytes appended across all batches (frames included).
+    bytes_appended: u64,
+    /// `sync_data` calls issued over this writer's lifetime — the
+    /// observable face of the module-level fsync contract: one per
+    /// `create`/`reset` (durable header) plus exactly one per
+    /// `append_committed`, never one per record.
+    fsyncs: u64,
 }
 
 /// Truncate (or create) the log file and write a durable header through a
@@ -62,7 +71,13 @@ fn start_log(path: &Path) -> io::Result<BufWriter<File>> {
 impl WalWriter {
     /// Create (or truncate) the WAL at `path` and write the header.
     pub fn create(path: &Path) -> io::Result<WalWriter> {
-        Ok(WalWriter { path: path.to_path_buf(), file: start_log(path)? })
+        Ok(WalWriter {
+            path: path.to_path_buf(),
+            file: start_log(path)?,
+            appends: 0,
+            bytes_appended: 0,
+            fsyncs: 1, // the durable header write
+        })
     }
 
     /// The file this writer appends to.
@@ -70,12 +85,30 @@ impl WalWriter {
         &self.path
     }
 
+    /// Committed batches appended so far (one per pass boundary).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Total bytes appended by [`WalWriter::append_committed`] calls.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// `sync_data` calls issued by this writer (see the fsync contract in
+    /// the module docs; `tests` pin one sync per boundary, none per
+    /// record).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
     /// Append a batch of events followed by its commit marker, as one
     /// write, then fsync (the per-boundary sync of the module-level
     /// contract). Readers only surface events whose commit marker landed,
     /// so a crash mid-append — process *or* machine — tears at worst into
-    /// the discarded region.
-    pub fn append_committed(&mut self, events: &[WalEvent], last_seq: u64) -> io::Result<()> {
+    /// the discarded region. Returns the bytes appended (frames included),
+    /// which the checkpoint layer feeds into the observability registry.
+    pub fn append_committed(&mut self, events: &[WalEvent], last_seq: u64) -> io::Result<u64> {
         let mut chunk: Vec<u8> = Vec::with_capacity(events.len() * 96 + FRAME_HEAD);
         let mut payload: Vec<u8> = Vec::with_capacity(96);
         for event in events {
@@ -96,7 +129,11 @@ impl WalWriter {
         push_frame(&mut chunk, TAG_COMMIT, &payload);
         self.file.write_all(&chunk)?;
         self.file.flush()?;
-        self.file.get_ref().sync_data()
+        self.file.get_ref().sync_data()?;
+        self.appends += 1;
+        self.bytes_appended += chunk.len() as u64;
+        self.fsyncs += 1;
+        Ok(chunk.len() as u64)
     }
 
     /// Truncate back to an empty (header-only) log — called right after a
@@ -104,6 +141,7 @@ impl WalWriter {
     /// buffered open path as [`WalWriter::create`].
     pub fn reset(&mut self) -> io::Result<()> {
         self.file = start_log(&self.path)?;
+        self.fsyncs += 1;
         Ok(())
     }
 }
@@ -324,6 +362,31 @@ mod tests {
         w.append_committed(&[fetch(1), routed(2)], 2).unwrap();
         w.append_committed(&[routed(3)], 99).unwrap();
         assert_eq!(read_wal(&path).unwrap(), vec![fetch(1), routed(2)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsync_contract_one_sync_per_boundary_none_per_record() {
+        // The module-level contract, pinned: `create` syncs the header
+        // once, every `append_committed` — the pass-boundary flush — syncs
+        // exactly once no matter how many records it lands, and no
+        // per-record path exists at all (records only reach the file
+        // inside a boundary batch).
+        let path = temp_path("fsync-contract");
+        let mut w = WalWriter::create(&path).unwrap();
+        assert_eq!(w.fsyncs(), 1, "durable header: one sync at create");
+        assert_eq!(w.appends(), 0);
+        let bytes = w.append_committed(&[fetch(1), fetch(2), fetch(3)], 3).unwrap();
+        assert!(bytes > 0, "append reports the bytes it landed");
+        assert_eq!(w.fsyncs(), 2, "three records, ONE boundary, one sync");
+        assert_eq!(w.appends(), 1);
+        assert_eq!(w.bytes_appended(), bytes);
+        let more = w.append_committed(&[fetch(4)], 4).unwrap();
+        assert_eq!(w.fsyncs(), 3, "one more boundary, one more sync");
+        assert_eq!(w.appends(), 2);
+        assert_eq!(w.bytes_appended(), bytes + more);
+        w.reset().unwrap();
+        assert_eq!(w.fsyncs(), 4, "reset re-syncs the fresh header");
         std::fs::remove_file(&path).unwrap();
     }
 

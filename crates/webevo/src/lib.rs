@@ -48,6 +48,7 @@
 //! | [`schedule`] | §4.3 | uniform/proportional/optimal revisit, Figure 9 |
 //! | [`core`] | §5 | all three crawl engines behind one `CrawlEngine` trait |
 //! | [`store`] | §5 | durable crawl state, the `CrawlSession` entry point, sharded `FleetSession`s |
+//! | [`obs`] | — | structured tracing, metrics registry, stage profiling |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +58,7 @@ pub use webevo_estimate as estimate;
 pub use webevo_experiment as experiment;
 pub use webevo_freshness as freshness;
 pub use webevo_graph as graph;
+pub use webevo_obs as obs;
 pub use webevo_schedule as schedule;
 pub use webevo_sim as sim;
 pub use webevo_stats as stats;
@@ -86,6 +88,7 @@ pub mod prelude {
         FreshnessSeries, UpdateMode,
     };
     pub use webevo_graph::{hits, pagerank, PageGraph, PageRankConfig};
+    pub use webevo_obs::{LogicalClock, MetricsRegistry, ObsSink, SpanRecord, Stage};
     pub use webevo_schedule::{
         evaluate_allocation, optimal_allocation, optimal_frequency_curve,
         proportional_allocation, uniform_allocation, RevisitPolicy,

@@ -38,36 +38,10 @@ fn main() {
     let per = run(EngineKind::Periodic);
 
     let warmup = 2.0 * cycle_days;
-    println!("metric                     incremental   periodic");
     println!(
-        "avg freshness (post-warmup)   {:>8.3}   {:>8.3}",
-        inc.average_freshness_from(warmup),
-        per.average_freshness_from(warmup)
+        "{}",
+        CrawlMetrics::comparison_table(&[("incremental", &inc), ("periodic", &per)], warmup)
     );
-    println!(
-        "avg copy age (days)           {:>8.2}   {:>8.2}",
-        inc.age.time_average(),
-        per.age.time_average()
-    );
-    println!(
-        "birth->visible (days)         {:>8.2}   {:>8.2}",
-        inc.new_page_latency.mean(),
-        per.new_page_latency.mean()
-    );
-    println!(
-        "found->visible (days)         {:>8.2}   {:>8.2}",
-        inc.discovery_latency.mean(),
-        per.discovery_latency.mean()
-    );
-    println!(
-        "peak crawl speed (pages/day)  {:>8.1}   {:>8.1}",
-        inc.peak_speed, per.peak_speed
-    );
-    println!(
-        "total fetches                 {:>8}   {:>8}",
-        inc.fetches, per.fetches
-    );
-    println!();
     println!(
         "The incremental crawler should win on freshness, latency and peak\n\
          load (Figure 10's left column); the periodic crawler's only draw is\n\

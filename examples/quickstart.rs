@@ -33,21 +33,16 @@ fn main() {
         .expect("a valid session");
     session.run(60.0).expect("the crawl runs");
 
-    let m = session.metrics();
     println!("collection size:        {}", session.collection_len());
-    println!("fetches issued:         {}", m.fetches);
     println!("ranking passes:         {}", session.passes());
-    println!(
-        "steady-state freshness: {:.3}",
-        m.average_freshness_from(20.0)
-    );
-    println!(
-        "new-page latency:       {:.1} days mean over {} admissions",
-        m.new_page_latency.mean(),
-        m.new_page_latency.count()
-    );
     println!(
         "collection quality:     {:.3} (1.0 = holds exactly the top pages)",
         session.quality(60.0).expect("incremental engines have a collection")
+    );
+    // The standard metrics table (shared with `repro crawlers` and the
+    // crawler_comparison example), post-warmup freshness from day 20.
+    println!(
+        "{}",
+        CrawlMetrics::comparison_table(&[("value", session.metrics())], 20.0)
     );
 }

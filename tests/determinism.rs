@@ -638,6 +638,145 @@ fn periodic_killed_before_any_boundary_restarts_cleanly() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// --------------------------------------------------------------------
+// The observability extension of the replay contract: attaching a fully
+// recording `ObsSink` must not perturb the crawl by a single byte.
+// Spans time stages out of band and no observed value feeds back into a
+// crawl decision, so a traced run and a Noop-sink run must agree on
+// every metric channel AND on the raw checkpoint bytes (snapshot + WAL)
+// they leave on disk.
+// --------------------------------------------------------------------
+
+/// Run `kind` twice over the same universe — once under a recording
+/// sink, once untraced — and require byte-identical crawl output. Also
+/// require the traced run to have actually observed something, so the
+/// test cannot pass vacuously against a sink that was never wired in.
+fn assert_observation_is_free(tag: &str, kind: EngineKind) {
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(48));
+    let budget = CrawlBudget::paper_monthly(50).with_cycle_days(6.0);
+    let run = |suffix: &str, obs: Option<&ObsSink>| {
+        let dir = temp_dir(&format!("{tag}-{suffix}"));
+        let mut builder = CrawlSession::builder()
+            .engine(kind)
+            .budget(budget)
+            .universe(&universe)
+            .checkpoint(&dir, 6.0);
+        if let Some(sink) = obs {
+            builder = builder.obs(sink.clone());
+        }
+        let mut session = builder.build().expect("checkpoint dir is writable");
+        session.run(30.0).expect("the crawl runs");
+        let metrics = session.metrics().clone();
+        drop(session);
+        let snapshot = std::fs::read(dir.join(webevo::store::SNAPSHOT_FILE)).expect("snapshot");
+        let wal = std::fs::read(dir.join(webevo::store::WAL_FILE)).expect("wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        (metrics, snapshot, wal)
+    };
+
+    let sink = ObsSink::recording();
+    let (traced, traced_snapshot, traced_wal) = run("traced", Some(&sink));
+    let (plain, plain_snapshot, plain_wal) = run("plain", None);
+
+    assert!(plain.fetches > 0, "the run should actually crawl");
+    assert_metrics_identical(&plain, &traced);
+    assert_eq!(plain_snapshot, traced_snapshot, "snapshot bytes diverged under observation");
+    assert_eq!(plain_wal, traced_wal, "WAL bytes diverged under observation");
+
+    let spans = sink.spans();
+    assert!(!spans.is_empty(), "the traced run recorded no spans");
+    for stage in
+        [Stage::Drive, Stage::Pass, Stage::FetchBatch, Stage::WalFlush, Stage::SnapshotEncode]
+    {
+        assert!(
+            spans.iter().any(|s| s.stage == stage),
+            "no {} span recorded",
+            stage.name()
+        );
+    }
+    let registry = sink.merged_registry().expect("one sink, one edge set");
+    assert!(registry.counter("fetch_ok_total") > 0, "fetch counters never fired");
+    assert!(registry.counter("wal_fsyncs_total") > 0, "fsync counter never fired");
+}
+
+#[test]
+fn incremental_traced_run_is_byte_identical_to_untraced() {
+    assert_observation_is_free("obs-inc", EngineKind::Incremental);
+}
+
+#[test]
+fn periodic_traced_run_is_byte_identical_to_untraced() {
+    assert_observation_is_free("obs-per", EngineKind::Periodic);
+}
+
+#[test]
+fn threaded_traced_run_is_byte_identical_to_untraced() {
+    assert_observation_is_free("obs-thr", EngineKind::Threaded { workers: 4 });
+}
+
+#[test]
+fn fleet_traced_run_is_byte_identical_to_untraced() {
+    // The 4-shard variant: one fleet-wide sink, per-shard views via
+    // `for_shard`. Traced and untraced fleets must agree on the merged
+    // metrics, every per-shard channel, and every shard's checkpoint
+    // bytes; the trace must cover the fleet-only stages too.
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(49));
+    let budget = CrawlBudget::paper_monthly(36).with_cycle_days(6.0);
+    let shards = 4u32;
+    let run = |tag: &str, obs: Option<&ObsSink>| {
+        let dir = temp_dir(tag);
+        let mut builder = FleetSession::builder()
+            .shards(shards)
+            .budget(budget)
+            .universe(&universe)
+            .checkpoint(&dir, 5.0);
+        if let Some(sink) = obs {
+            builder = builder.obs(sink.clone());
+        }
+        let mut fleet = builder.build().expect("a valid fleet");
+        let results = fleet.run(25.0).expect("the fleet runs").clone();
+        drop(fleet);
+        let mut files = Vec::new();
+        for shard in 0..shards {
+            let shard_dir = dir.join(format!("shard-{shard}"));
+            files.push(std::fs::read(shard_dir.join(webevo::store::SNAPSHOT_FILE)).expect("snapshot"));
+            files.push(std::fs::read(shard_dir.join(webevo::store::WAL_FILE)).expect("wal"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        (results, files)
+    };
+
+    let sink = ObsSink::recording();
+    let (traced, traced_files) = run("fleet-obs-traced", Some(&sink));
+    let (plain, plain_files) = run("fleet-obs-plain", None);
+
+    assert!(plain.merged.fetches > 0, "the fleet should actually crawl");
+    assert_fleet_identical(&plain, &traced);
+    assert_eq!(plain_files, traced_files, "shard checkpoint bytes diverged under observation");
+
+    let spans = sink.spans();
+    for stage in [
+        Stage::Drive,
+        Stage::Pass,
+        Stage::FetchBatch,
+        Stage::WalFlush,
+        Stage::SnapshotEncode,
+        Stage::ExchangeBarrier,
+    ] {
+        assert!(
+            spans.iter().any(|s| s.stage == stage),
+            "no {} span recorded",
+            stage.name()
+        );
+    }
+    for shard in 0..shards {
+        assert!(
+            spans.iter().any(|s| s.shard == Some(ShardId(shard))),
+            "shard {shard} recorded no spans"
+        );
+    }
+}
+
 #[test]
 fn fork_streams_independent_of_consumer_ordering() {
     // Stream `s` must yield the same values no matter which other streams
