@@ -13,8 +13,8 @@
 //! ```
 //!
 //! Available targets: `table1 table2 sensitivity fig2 fig4 fig5 fig6 fig7
-//! fig8 fig9 gain crawlers crawl fleet bench all` (`all` excludes `bench`
-//! and `fleet`).
+//! fig8 fig9 gain crawlers crawl fleet serve bench all` (`all` excludes
+//! `bench`, `fleet` and `serve`).
 //!
 //! Flags (for the `crawl` target):
 //! * `--checkpoint-dir DIR` — persist snapshots + WAL under `DIR`.
@@ -44,6 +44,22 @@
 //! `max(0.75, min(shards, cores)/2)` — on a multi-core runner a 4-shard
 //! fleet must beat the single engine ≥ 2×, while a single-core machine
 //! only checks that sharding does not regress throughput.
+//!
+//! Flags (for the `serve` target):
+//! * `--days N` — crawl horizon for every leg (default 15).
+//! * `--readers N` — reader threads hammering the query service during
+//!   the served leg (default 4).
+//! * `--out FILE` — also write the JSON report to `FILE`.
+//!
+//! `serve` measures the epoch-swapped query layer under a live crawl:
+//! an unserved baseline, a served-but-unqueried leg (the boundary
+//! publisher's cost, gated: serving must stay within 10% of the unserved
+//! wall time), and a served leg with `--readers` threads hammering the
+//! [`QueryService`] concurrently (sustained QPS with a conservative
+//! floor, p50/p99 query latency, and a swap-stall gate on the p99 of the
+//! cheapest query — which only stalls when a reader blocks behind an
+//! epoch swap). One JSON document (see `BENCH_serve.json` at the repo
+//! root), non-zero exit on its regression marker.
 //!
 //! Flags (for the `bench` target):
 //! * `--bench-days N` — simulated days for the end-to-end throughput leg
@@ -102,7 +118,12 @@ impl ObsOutputs {
         if let Some(path) = &self.folded {
             write(path, "folded stacks", &|out| obs.write_folded(out));
         }
-        println!("{}", obs.stage_report());
+        // The stage report only means something when a recording sink
+        // actually captured spans — a noop sink would print an empty
+        // "no spans recorded" stub, so skip it.
+        if obs.enabled() {
+            println!("{}", obs.stage_report());
+        }
     }
 }
 
@@ -113,6 +134,7 @@ fn main() {
     let mut resume = false;
     let mut days: Option<f64> = None;
     let mut shards = 4u32;
+    let mut readers = 4usize;
     let mut bench_days = 30.0f64;
     let mut bench_pages: Vec<u64> = vec![10_000, 100_000];
     let mut bench_out: Option<PathBuf> = None;
@@ -153,6 +175,15 @@ fn main() {
                     .ok()
                     .filter(|&v: &u32| v > 0)
                     .expect("--shards must be a positive integer");
+            }
+            "--readers" => {
+                readers = iter
+                    .next()
+                    .expect("--readers needs a count")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &usize| v > 0)
+                    .expect("--readers must be a positive integer");
             }
             "--bench-days" => {
                 bench_days = iter
@@ -549,6 +580,25 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "serve" => {
+                let (report, regression) = run_serve_bench(days.unwrap_or(15.0), readers);
+                println!("{report}");
+                if let Some(path) = bench_out.clone() {
+                    std::fs::write(&path, format!("{report}\n")).unwrap_or_else(|e| {
+                        eprintln!("[repro] cannot write {path:?}: {e}");
+                        std::process::exit(1);
+                    });
+                    eprintln!("[repro] wrote {path:?}");
+                }
+                if regression {
+                    eprintln!(
+                        "[repro] PERF REGRESSION: the serving layer fails its gates — \
+                         boundary-publish overhead, sustained QPS, or swap-stall p99 \
+                         (see the report above)"
+                    );
+                    std::process::exit(1);
+                }
+            }
             "bench" => {
                 let (report, regression) = run_perf_bench(bench_days, &bench_pages);
                 println!("{report}");
@@ -732,6 +782,173 @@ fn run_fleet_bench(days: f64, shards: u32, obs_out: &ObsOutputs) -> (String, boo
     out.push_str(&format!(
         "  \"speedup_floor\": {speedup_floor:.2},\n  \"regression\": {regression}\n}}"
     ));
+    (out, regression)
+}
+
+/// The `serve` target: the epoch-swapped query layer under a live crawl.
+/// Three legs over the same universe and budget:
+///
+/// 1. **unserved** — the plain crawl, median of 3 (the baseline);
+/// 2. **served, unqueried** — `.serve()` attached but no readers, median
+///    of 3: what the boundary publisher itself costs the crawl;
+/// 3. **served + readers** — one run with `readers` threads hammering
+///    the [`QueryService`] (a rotating mix of point lookups, stats,
+///    rollups, and top-k) for the whole crawl, timed once.
+///
+/// The `regression` field (and returned flag) is the CI smoke marker,
+/// `true` when any gate fails:
+///
+/// * overhead — leg 2 costs more than 10% over leg 1 (plus a small
+///   absolute slack so the ratio cannot trip on sub-second timer noise):
+///   "serving is free" in wall-clock terms, not just byte-identical
+///   output (that part is pinned by `tests/determinism.rs`);
+/// * QPS — the readers sustain fewer than 200 queries/second in total, a
+///   floor conservative enough for a single-core runner where the crawl
+///   thread and every reader share one core;
+/// * swap stall — the p99 of the cheapest query (`epoch_info`, a few
+///   field reads off the current view) exceeds 100 ms. That query only
+///   stalls when a reader blocks behind an epoch swap or the scheduler,
+///   so its p99 bounds how long a swap can hold readers up.
+fn run_serve_bench(days: f64, readers: usize) -> (String, bool) {
+    const OVERHEAD_CEILING: f64 = 1.10;
+    const ABSOLUTE_SLACK_SECS: f64 = 0.25;
+    const QPS_FLOOR: f64 = 200.0;
+    const STALL_P99_CEILING_US: u64 = 100_000;
+
+    let universe = repro_universe();
+    let capacity = universe.site_count() * universe.config().pages_per_site;
+    // A 5-day cadence gives run(15) three pass boundaries — three epoch
+    // swaps for the readers to live through.
+    let budget = CrawlBudget::paper_monthly(capacity).with_cycle_days(5.0);
+    fn build_session<'u>(universe: &'u WebUniverse, budget: CrawlBudget) -> CrawlSession<'u> {
+        CrawlSession::builder()
+            .engine(EngineKind::Incremental)
+            .budget(budget)
+            .universe(universe)
+            .build()
+            .expect("a valid session")
+    }
+
+    eprintln!("[repro] serve: unserved baseline ({days} simulated days, median of 3)...");
+    let mut fetches = 0u64;
+    let unserved_secs = median_secs(3, || {
+        let mut s = build_session(&universe, budget);
+        s.run(days).expect("the crawl runs");
+        fetches = s.metrics().fetches;
+    });
+
+    eprintln!("[repro] serve: served leg, no readers (median of 3)...");
+    let mut epochs = 0u64;
+    let mut view_pages = 0usize;
+    let served_secs = median_secs(3, || {
+        let mut s = build_session(&universe, budget);
+        let queries = s.serve();
+        s.run(days).expect("the crawl runs");
+        epochs = queries.epoch();
+        view_pages = queries.epoch_info().pages;
+    });
+    let overhead = served_secs / unserved_secs.max(f64::EPSILON);
+    let overhead_ok =
+        served_secs <= unserved_secs * OVERHEAD_CEILING + ABSOLUTE_SLACK_SECS;
+
+    eprintln!("[repro] serve: served leg with {readers} reader threads...");
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let mut s = build_session(&universe, budget);
+    let queries = s.serve();
+    let start = std::time::Instant::now();
+    let mut lats: Vec<u64> = Vec::new();
+    let mut stalls: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let queries = queries.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut lat: Vec<u64> = Vec::new();
+                    let mut stall: Vec<u64> = Vec::new();
+                    let mut i = r; // stagger the mix across readers
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let t0 = std::time::Instant::now();
+                        match i % 8 {
+                            0 => drop(queries.epoch_info()),
+                            1 => drop(queries.staleness(days)),
+                            2 => drop(queries.lookup(PageId((i as u64 * 7919) % capacity as u64))),
+                            3 => drop(queries.freshness()),
+                            4 => drop(queries.top_k_change_rate(10)),
+                            5 => drop(queries.site_rollups()),
+                            6 => drop(queries.top_k_pagerank(10)),
+                            _ => drop(queries.lookup(PageId(i as u64 % capacity as u64))),
+                        }
+                        let us = t0.elapsed().as_micros() as u64;
+                        lat.push(us);
+                        if i % 8 == 0 {
+                            stall.push(us);
+                        }
+                        i += 1;
+                        // Throttle: cap reader CPU so a single-core runner
+                        // still lets the crawl thread make progress.
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    (lat, stall)
+                })
+            })
+            .collect();
+        s.run(days).expect("the crawl runs");
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for handle in handles {
+            let (lat, stall) = handle.join().expect("reader thread");
+            lats.extend(lat);
+            stalls.extend(stall);
+        }
+    });
+    let reader_secs = start.elapsed().as_secs_f64();
+    lats.sort_unstable();
+    stalls.sort_unstable();
+    let pct = |sorted: &[u64], p: f64| -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+    let queries_total = lats.len() as u64;
+    let qps = queries_total as f64 / reader_secs.max(f64::EPSILON);
+    let (p50, p99) = (pct(&lats, 0.50), pct(&lats, 0.99));
+    let stall_p99 = pct(&stalls, 0.99);
+    let qps_ok = qps >= QPS_FLOOR;
+    let stall_ok = stall_p99 <= STALL_P99_CEILING_US;
+
+    let regression = !(fetches > 0
+        && epochs >= 1
+        && view_pages > 0
+        && queries_total > 0
+        && overhead_ok
+        && qps_ok
+        && stall_ok);
+
+    let mut out = String::from("{\n  \"schema\": \"webevo-repro-serve/1\",\n");
+    out.push_str(&format!(
+        "  \"sim_days\": {days}, \"readers\": {readers}, \"capacity\": {capacity}, \
+         \"fetches\": {fetches},\n"
+    ));
+    out.push_str(&format!(
+        "  \"unserved\": {{\"wall_seconds\": {unserved_secs:.3}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"served\": {{\"wall_seconds\": {served_secs:.3}, \"epochs\": {epochs}, \
+         \"view_pages\": {view_pages}, \"overhead_ratio\": {overhead:.3}, \
+         \"overhead_ceiling\": {OVERHEAD_CEILING}, \
+         \"absolute_slack_seconds\": {ABSOLUTE_SLACK_SECS}, \
+         \"within_budget\": {overhead_ok}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"queries\": {{\"wall_seconds\": {reader_secs:.3}, \"total\": {queries_total}, \
+         \"sustained_qps\": {qps:.1}, \"qps_floor\": {QPS_FLOOR}, \
+         \"p50_us\": {p50}, \"p99_us\": {p99}, \
+         \"swap_stall_p99_us\": {stall_p99}, \
+         \"swap_stall_ceiling_us\": {STALL_P99_CEILING_US}}},\n"
+    ));
+    out.push_str(&format!("  \"regression\": {regression}\n}}"));
     (out, regression)
 }
 

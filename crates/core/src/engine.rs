@@ -75,6 +75,7 @@ use crate::periodic::{PeriodicConfig, PeriodicCrawler};
 use crate::routing::{RoutedBatch, RoutedLink, RoutingState, ShardScope, WalEvent};
 use crate::state::{CrawlerState, EngineClock};
 use crate::threaded::ThreadedCrawler;
+use crate::view::ViewPublisher;
 use serde::{Deserialize, Serialize};
 use webevo_obs::ObsSink;
 use webevo_sim::{FetchError, FetchOutcome, Fetcher, FetcherState, WebUniverse};
@@ -311,6 +312,18 @@ pub trait CrawlEngine {
     /// reads anything back from it. The default keeps the no-op sink.
     fn set_obs(&mut self, obs: ObsSink) {
         let _ = obs;
+    }
+
+    /// Install a serving-view publisher: the engine calls
+    /// [`ViewPublisher::publish`] at every pass/cycle boundary with the
+    /// user-visible pages and the boundary's logical clock. Publishing is
+    /// strictly write-only — the same hard invariant as observation: a
+    /// served run's checkpoints and metrics stay byte-identical to an
+    /// unserved run's, so the publisher never appears in [`CrawlerState`]
+    /// and no engine reads anything back from it. The default drops the
+    /// publisher (no serving).
+    fn set_view_publisher(&mut self, publisher: Box<dyn ViewPublisher>) {
+        let _ = publisher;
     }
 
     /// Record the closing metrics sample a live [`CrawlEngine::drive`]

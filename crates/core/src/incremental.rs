@@ -29,6 +29,7 @@ use crate::modules::{
     CrawlModule, EstimatorKind, RankingConfig, RankingModule, RevisitStrategy, UpdateModule,
 };
 use crate::routing::{RoutedBatch, RoutedLink, RoutingState, ShardScope, WalEvent};
+use crate::view::{BoundaryPages, ViewBoundary, ViewPublisher};
 use crate::state::{
     entries_to_queue, queue_to_entries, CrawlerState, EngineClock, EngineConfig, EngineKind,
 };
@@ -130,6 +131,10 @@ pub struct IncrementalCrawler {
     /// [`CrawlerState`]: spans and counters describe the run, they never
     /// steer it, so a traced run stays byte-identical to an untraced one.
     obs: ObsSink,
+    /// Serving-view publisher, fired at every pass boundary. Write-only
+    /// and absent from [`CrawlerState`] for the same reason as `obs`: a
+    /// served run stays byte-identical to an unserved one.
+    publisher: Option<Box<dyn ViewPublisher>>,
 }
 
 impl IncrementalCrawler {
@@ -155,6 +160,7 @@ impl IncrementalCrawler {
             fetch_seq: 0,
             routing: RoutingState::default(),
             obs: ObsSink::noop(),
+            publisher: None,
             config,
         }
     }
@@ -188,6 +194,7 @@ impl IncrementalCrawler {
             fetch_seq: state.fetch_seq,
             routing: state.routing,
             obs: ObsSink::noop(),
+            publisher: None,
             config,
         };
         Ok((crawler, state.fetcher))
@@ -345,6 +352,20 @@ impl IncrementalCrawler {
                         let mut state = self.export_state();
                         state.fetcher = source.fetcher_state();
                         state
+                    });
+                }
+                if let Some(publisher) = self.publisher.as_mut() {
+                    let _swap =
+                        self.obs.span(Stage::ViewSwap, LogicalClock::new(t, self.fetch_seq));
+                    publisher.publish(ViewBoundary {
+                        t,
+                        fetch_seq: self.fetch_seq,
+                        passes: self.ranking.runs(),
+                        pages: BoundaryPages::Stored {
+                            collection: &self.collection,
+                            update: &self.update,
+                        },
+                        metrics: &self.metrics,
                     });
                 }
             }
@@ -684,6 +705,10 @@ impl CrawlEngine for IncrementalCrawler {
 
     fn set_obs(&mut self, obs: ObsSink) {
         self.obs = obs;
+    }
+
+    fn set_view_publisher(&mut self, publisher: Box<dyn ViewPublisher>) {
+        self.publisher = Some(publisher);
     }
 
     fn set_scope(&mut self, scope: ShardScope) -> Result<(), WebEvoError> {

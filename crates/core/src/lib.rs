@@ -38,6 +38,11 @@
 //!   shared [`CrawlBudget`] both configuration families derive from. The
 //!   application-facing `CrawlSession` builder in `webevo-store` drives
 //!   engines exclusively through this trait.
+//! * [`view`] — the serving surface: a write-only [`ViewPublisher`]
+//!   observer that sees the user-visible pages at every quiescent pass
+//!   boundary, from which `webevo-serve` builds immutable epoch-numbered
+//!   query views. Like observability, publishing never feeds back into
+//!   crawl decisions.
 //! * [`state`] + [`hooks`] — the durability surface: the full serializable
 //!   engine state captured at pass boundaries, and the [`CrawlHook`]
 //!   observer that `webevo-store` implements to persist snapshots and
@@ -59,6 +64,7 @@ pub mod periodic;
 pub mod routing;
 pub mod state;
 pub mod threaded;
+pub mod view;
 
 pub use allurls::AllUrls;
 pub use collection::{Collection, StoredPage};
@@ -76,3 +82,4 @@ pub use routing::{
 };
 pub use state::{CrawlerState, EngineClock, EngineConfig, EngineKind, QueueEntry};
 pub use threaded::ThreadedCrawler;
+pub use view::{BoundaryPages, ViewBoundary, ViewPublisher};

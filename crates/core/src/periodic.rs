@@ -22,6 +22,7 @@ use crate::hooks::{CrawlHook, FetchRecord, NoopHook};
 use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, EstimatorKind, RevisitStrategy, UpdateModule};
 use crate::routing::{RoutedBatch, RoutedLink, RoutingState, ShardScope, WalEvent};
+use crate::view::{BoundaryPages, ViewBoundary, ViewPublisher};
 use crate::state::{CrawlerState, EngineClock, EngineConfig, EngineKind};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -214,6 +215,10 @@ pub struct PeriodicCrawler {
     /// [`CrawlerState`]: a traced run stays byte-identical to an untraced
     /// one.
     obs: ObsSink,
+    /// Serving-view publisher, fired at every shadow swap. Write-only and
+    /// absent from [`CrawlerState`] for the same reason as `obs`: a
+    /// served run stays byte-identical to an unserved one.
+    publisher: Option<Box<dyn ViewPublisher>>,
 }
 
 impl PeriodicCrawler {
@@ -237,6 +242,7 @@ impl PeriodicCrawler {
             window: None,
             routing: RoutingState::default(),
             obs: ObsSink::noop(),
+            publisher: None,
         }
     }
 
@@ -271,6 +277,7 @@ impl PeriodicCrawler {
             window: periodic.window,
             routing: state.routing,
             obs: ObsSink::noop(),
+            publisher: None,
         };
         Ok((crawler, state.fetcher))
     }
@@ -553,6 +560,17 @@ impl PeriodicCrawler {
                 state
             });
         }
+        if let Some(publisher) = self.publisher.as_mut() {
+            let _swap =
+                self.obs.span(Stage::ViewSwap, LogicalClock::new(self.clock.t, self.fetch_seq));
+            publisher.publish(ViewBoundary {
+                t: self.clock.t,
+                fetch_seq: self.fetch_seq,
+                passes: self.cycles,
+                pages: BoundaryPages::Periodic(&self.current),
+                metrics: &self.metrics,
+            });
+        }
     }
 
     /// Evaluation-only freshness/age sampling of the current collection.
@@ -718,6 +736,10 @@ impl CrawlEngine for PeriodicCrawler {
 
     fn set_obs(&mut self, obs: ObsSink) {
         self.obs = obs;
+    }
+
+    fn set_view_publisher(&mut self, publisher: Box<dyn ViewPublisher>) {
+        self.publisher = Some(publisher);
     }
 
     fn set_scope(&mut self, scope: ShardScope) -> Result<(), WebEvoError> {

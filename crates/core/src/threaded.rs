@@ -41,6 +41,7 @@ use crate::incremental::IncrementalConfig;
 use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, RankingModule, UpdateModule};
 use crate::routing::WalEvent;
+use crate::view::{BoundaryPages, ViewBoundary, ViewPublisher};
 use crate::state::{
     entries_to_queue, queue_to_entries, CrawlerState, EngineClock, EngineConfig, EngineKind,
 };
@@ -117,6 +118,11 @@ pub struct ThreadedCrawler {
     /// never alter the deterministic slot schedule that `replay_tail`
     /// mirrors.
     obs: ObsSink,
+    /// Serving-view publisher, fired at every pass boundary on the
+    /// coordinator thread. Write-only and absent from [`CrawlerState`]
+    /// for the same reason as `obs`: a served run stays byte-identical to
+    /// an unserved one.
+    publisher: Option<Box<dyn ViewPublisher>>,
 }
 
 impl ThreadedCrawler {
@@ -141,6 +147,7 @@ impl ThreadedCrawler {
             rank_pending: false,
             unsent_rank_request: None,
             obs: ObsSink::noop(),
+            publisher: None,
             config,
         }
     }
@@ -176,6 +183,7 @@ impl ThreadedCrawler {
             rank_pending: state.rank_pending,
             unsent_rank_request: None,
             obs: ObsSink::noop(),
+            publisher: None,
             config,
         };
         if crawler.rank_pending {
@@ -377,6 +385,21 @@ impl ThreadedCrawler {
                     self.clock.next_ranking += self.config.ranking_interval_days;
                     if hook.active() {
                         hook.on_pass_boundary(t, &mut || self.export_state());
+                    }
+                    if let Some(publisher) = self.publisher.as_mut() {
+                        let _swap = self
+                            .obs
+                            .span(Stage::ViewSwap, LogicalClock::new(t, self.fetch_seq));
+                        publisher.publish(ViewBoundary {
+                            t,
+                            fetch_seq: self.fetch_seq,
+                            passes: self.ranking_applied,
+                            pages: BoundaryPages::Stored {
+                                collection: &self.collection,
+                                update: &self.update,
+                            },
+                            metrics: &self.metrics,
+                        });
                     }
                     let req = RankRequest {
                         collection: self.collection.clone(),
@@ -709,6 +732,10 @@ impl CrawlEngine for ThreadedCrawler {
 
     fn set_obs(&mut self, obs: ObsSink) {
         self.obs = obs;
+    }
+
+    fn set_view_publisher(&mut self, publisher: Box<dyn ViewPublisher>) {
+        self.publisher = Some(publisher);
     }
 
     fn close_sample(&mut self, universe: &WebUniverse, t: f64) {

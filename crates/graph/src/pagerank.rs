@@ -107,6 +107,16 @@ impl PageRankScores {
         v
     }
 
+    /// The `k` highest-scored pages in descending score order, ties broken
+    /// by ascending `PageId`. The ordering is total and input-order
+    /// independent, so serving layers built on it return byte-identical
+    /// top-k lists across runs.
+    pub fn top_k(&self, k: usize) -> Vec<(PageId, f64)> {
+        let mut v = self.ranked();
+        v.truncate(k);
+        v
+    }
+
     /// The lowest-scored page, if any — the RankingModule's discard
     /// candidate (§5.2: "the discarded page should have the lowest
     /// importance in the collection").
@@ -351,6 +361,25 @@ mod tests {
         assert!((none - 0.15).abs() < 1e-12); // teleport only
         assert!(one > none);
         assert!(two > one);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_ascending_page_id() {
+        // A 6-cycle scores every page exactly 1.0: the ordering is decided
+        // entirely by the tie-break, which must be ascending PageId no
+        // matter how the backing HashMap happens to iterate.
+        let g = cycle(6);
+        let s = pagerank(&g, &PageRankConfig::conventional()).unwrap();
+        let top = s.top_k(4);
+        assert_eq!(
+            top.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            [p(0), p(1), p(2), p(3)]
+        );
+        // k past the population clamps; k = 0 is empty.
+        assert_eq!(s.top_k(100).len(), 6);
+        assert!(s.top_k(0).is_empty());
+        // And the full ranked order equals top_k(len) — one ordering, not two.
+        assert_eq!(s.ranked(), s.top_k(s.len()));
     }
 
     #[test]

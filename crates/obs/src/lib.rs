@@ -104,6 +104,9 @@ pub enum Stage {
     ExchangeBarrier,
     /// A fleet rebalance: state migration onto a new shard plan.
     Rebalance,
+    /// Building and publishing one immutable serving view at a pass/cycle
+    /// boundary (the epoch swap of `webevo-serve`).
+    ViewSwap,
 }
 
 impl Stage {
@@ -119,6 +122,7 @@ impl Stage {
             Stage::WalFlush => "wal_flush",
             Stage::ExchangeBarrier => "exchange_barrier",
             Stage::Rebalance => "rebalance",
+            Stage::ViewSwap => "view_swap",
         }
     }
 }
@@ -454,6 +458,7 @@ mod tests {
             Stage::WalFlush,
             Stage::ExchangeBarrier,
             Stage::Rebalance,
+            Stage::ViewSwap,
         ]
         .into_iter()
         .map(Stage::name)
@@ -469,7 +474,8 @@ mod tests {
                 "snapshot_decode",
                 "wal_flush",
                 "exchange_barrier",
-                "rebalance"
+                "rebalance",
+                "view_swap"
             ]
         );
     }

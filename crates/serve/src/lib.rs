@@ -1,0 +1,89 @@
+//! The query layer of the webevo crawl: immutable epoch-swapped views
+//! serving concurrent readers while the crawl keeps writing.
+//!
+//! The paper's incremental crawler exists to keep a collection fresh *for
+//! a search service* (§1: "the incremental crawler may immediately index
+//! the new page, right after it is found"). This crate is that service's
+//! read path:
+//!
+//! ```text
+//!   crawl thread                         reader threads
+//!   ────────────                         ──────────────
+//!   drive … pass boundary ──publish──▶ CollectionView (epoch N)
+//!        │                                   │ atomic epoch swap
+//!        ▼                                   ▼
+//!   keep crawling                      QueryService::view() → Arc<epoch N>
+//!                                      lookups / stats / top-k, lock-free
+//! ```
+//!
+//! * [`CollectionView`] — an immutable snapshot of the user-visible
+//!   collection, built at a pass/cycle boundary from the engine's dense
+//!   `PageId` arenas (publication is one pass over the arena). Derived
+//!   results — PageRank over the view's link graph, change-rate top-k,
+//!   per-site rollups — are memoized lazily, so the first reader pays and
+//!   the crawl thread never does.
+//! * [`ViewHandle`] — the swap point: an atomic epoch counter over a
+//!   `RwLock<Arc<CollectionView>>` held only for an `Arc` clone (readers)
+//!   or an `Arc` store (the publisher), so readers never block writers
+//!   and writers never block readers beyond those two refcount ops.
+//! * [`QueryService`] — the reader API: page lookup by `PageId`/URL,
+//!   freshness and age stats (overall and per-site), top-k by PageRank
+//!   and by estimated change rate, and epoch metadata including staleness
+//!   against the live clock.
+//! * [`ServeHandle`] / [`FleetViewCollector`] — the wiring:
+//!   `CrawlSession::serve()` installs a boundary publisher on its engine;
+//!   a fleet installs per-shard publishers and merges the staged shard
+//!   views into one fleet view at every exchange barrier.
+//!
+//! The hard invariant mirrors observability's: **serving is free**. The
+//! publisher is write-only, absent from every snapshot/WAL format, and a
+//! served run's checkpoints and metrics are byte-identical to an
+//! unserved run's (`tests/determinism.rs` pins this for all three
+//! engines and a sharded fleet).
+//!
+//! # Example: querying a live crawl
+//!
+//! ```
+//! use webevo_core::engine::{CrawlBudget, EngineKind};
+//! use webevo_sim::{UniverseConfig, WebUniverse};
+//! use webevo_store::CrawlSession;
+//!
+//! let universe = WebUniverse::generate(UniverseConfig::test_scale(1));
+//! let mut session = CrawlSession::builder()
+//!     .engine(EngineKind::Incremental)
+//!     .budget(CrawlBudget::paper_monthly(20).with_cycle_days(5.0))
+//!     .universe(&universe)
+//!     .build()
+//!     .expect("a valid session");
+//!
+//! // Attach the serving layer; readers can query from other threads
+//! // while the crawl runs (here: before, concurrently, and after).
+//! let queries = session.serve();
+//! assert_eq!(queries.epoch(), 0, "empty epoch-0 view before the first boundary");
+//!
+//! let reader = std::thread::spawn({
+//!     let queries = queries.clone();
+//!     move || queries.epoch_info().pages // answered from whatever epoch is current
+//! });
+//! session.run(6.0).expect("the crawl runs");
+//! reader.join().expect("reader thread");
+//!
+//! // The crawl crossed pass boundaries, so epochs advanced; one view()
+//! // snapshot answers any number of queries from a single epoch.
+//! let view = queries.view();
+//! assert!(view.epoch() >= 1);
+//! assert!(!view.is_empty());
+//! assert_eq!(view.top_k_pagerank(3).len(), 3.min(view.len()));
+//! assert!(view.staleness(7.0) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod query;
+pub mod view;
+
+pub use fleet::FleetViewCollector;
+pub use query::{QueryService, ServeHandle, ViewHandle};
+pub use view::{CollectionView, EpochInfo, FreshnessStats, SiteRollup, ViewPage};

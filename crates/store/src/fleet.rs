@@ -120,10 +120,11 @@ use crate::codec::StoreError;
 use crate::session::CrawlSession;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use webevo_core::engine::{CrawlBudget, EngineKind};
 use webevo_core::{rebalance_states, route_exchange, CrawlMetrics, RoutedLink, ShardScope, WalEvent};
 use webevo_obs::{LogicalClock, ObsSink, Stage};
+use webevo_serve::{FleetViewCollector, QueryService, ServeHandle};
 use webevo_sim::{ShardedFetcher, SimFetcher, WebUniverse};
 use webevo_types::{ShardFn, ShardId, ShardPlan, WebEvoError};
 
@@ -377,6 +378,7 @@ impl<'a> FleetSessionBuilder<'a> {
             concurrency: self.concurrency,
             failure_rate: self.failure_rate,
             obs: self.obs,
+            serve: None,
             results: None,
         })
     }
@@ -532,6 +534,10 @@ pub struct FleetSession<'a> {
     /// Fleet-level observability sink; shard sessions receive
     /// shard-labelled views of it.
     obs: ObsSink,
+    /// The fleet's view collector, once [`FleetSession::serve`] created
+    /// one: each shard's engine stages boundary views into it, and the
+    /// coordinator merges them into one fleet view at exchange barriers.
+    serve: Option<Arc<FleetViewCollector>>,
     results: Option<FleetMetrics>,
 }
 
@@ -561,6 +567,35 @@ impl<'a> FleetSession<'a> {
     /// The most recent run's results.
     pub fn results(&self) -> Option<&FleetMetrics> {
         self.results.as_ref()
+    }
+
+    /// Attach the serving layer to the fleet: each shard's engine stages
+    /// an immutable view of its collection at every pass boundary, and
+    /// the coordinator merges the staged shard views into **one fleet
+    /// view** at every exchange barrier (and once more after the final
+    /// drive) — shards own disjoint `PageId` sets, so the merge restores
+    /// global page order and pools metrics with the same capacity weights
+    /// the end-of-run merge uses. The returned
+    /// [`QueryService`] serves that merged view to any number of reader
+    /// threads while the fleet crawls. Readers see the empty epoch-0 view
+    /// until the first barrier. Serving is free: a served fleet's
+    /// checkpoints and metrics are byte-identical to an unserved one's
+    /// (`tests/determinism.rs` pins this).
+    ///
+    /// Repeated calls share one epoch lineage, which also survives
+    /// [`FleetSession::resume`].
+    pub fn serve(&mut self) -> QueryService {
+        let collector = match &self.serve {
+            Some(collector) => Arc::clone(collector),
+            None => {
+                let weights = self.capacities.iter().map(|&c| c as f64).collect();
+                let collector =
+                    FleetViewCollector::new(ServeHandle::new(self.obs.clone()), weights);
+                self.serve = Some(Arc::clone(&collector));
+                collector
+            }
+        };
+        collector.service()
     }
 
     /// Run every shard from day 0 to day `days` in lockstep (exchange
@@ -829,6 +864,16 @@ impl<'a> FleetSession<'a> {
                 // first exchange) simply starts fresh from day 0 below.
             }
         }
+        if let Some(collector) = &self.serve {
+            // Serving: every shard's engine stages its boundary views into
+            // the collector; the coordinator merges at barriers below.
+            for (k, session) in sessions.iter_mut().enumerate() {
+                let collector = Arc::clone(collector);
+                session.install_view_publisher(Box::new(move || {
+                    collector.publisher_for(ShardId(k as u32))
+                }));
+            }
+        }
         // Lockstep: segments end at exchange barriers T(b) = b·interval.
         // The next barrier index always equals the applied-exchange
         // counter + 1 — recovery aligned the counters, so one number
@@ -857,9 +902,11 @@ impl<'a> FleetSession<'a> {
             for (k, n) in delivered.into_iter().enumerate() {
                 routed[k] += n;
             }
+            self.merge_views(barrier)?;
             exchanges += 1;
         }
         drive_all(&mut sessions, days, threads)?;
+        self.merge_views(days)?;
         let outcomes: Vec<(CrawlMetrics, usize)> = sessions
             .iter()
             .map(|s| (s.metrics().clone(), s.collection_len()))
@@ -886,6 +933,18 @@ impl<'a> FleetSession<'a> {
         let merged = CrawlMetrics::merge_weighted(&parts)?;
         self.results = Some(FleetMetrics { merged, shards });
         Ok(self.results.as_ref().expect("just stored"))
+    }
+
+    /// Merge the staged shard views into one fleet view and publish it
+    /// as the next epoch (no-op until [`FleetSession::serve`] attached a
+    /// collector, or until every shard has staged a boundary).
+    fn merge_views(&self, t: f64) -> Result<(), WebEvoError> {
+        let Some(collector) = &self.serve else {
+            return Ok(());
+        };
+        let _span = self.obs.span(Stage::ViewSwap, LogicalClock::new(t, 0));
+        collector.merge_and_publish()?;
+        Ok(())
     }
 
     /// The collection capacity shard `k` gets: the budget's capacity

@@ -44,8 +44,9 @@ use webevo_core::{
     PairHook, PeriodicConfig, PeriodicCrawler, RoutedBatch, RoutedLink, RoutingState,
     ShardScope, ThreadedCrawler,
 };
-use webevo_core::{EngineClock, EngineKind};
+use webevo_core::{EngineClock, EngineKind, ViewPublisher};
 use webevo_obs::{LogicalClock, ObsSink, Stage};
+use webevo_serve::{QueryService, ServeHandle};
 use webevo_sim::{Fetcher, SimFetcher, WebUniverse};
 use webevo_types::{ShardId, ShardPlan, WebEvoError};
 
@@ -278,6 +279,8 @@ impl<'a> CrawlSessionBuilder<'a> {
             scope: self.scope,
             barrier_snapshots: false,
             obs: self.obs,
+            serve: None,
+            view_publisher: None,
         })
     }
 }
@@ -355,6 +358,13 @@ pub struct CrawlSession<'a> {
     /// The observability sink shared by the engine and the checkpointer
     /// (a noop unless [`CrawlSessionBuilder::obs`] installed one).
     obs: ObsSink,
+    /// The serving attachment, once [`CrawlSession::serve`] created one.
+    /// Held so repeated `serve()` calls share one epoch lineage.
+    serve: Option<ServeHandle>,
+    /// Factory for the engine's boundary view publisher, re-invoked after
+    /// [`CrawlSession::adopt`] replaces the engine — serving survives
+    /// recovery the same way observability does.
+    view_publisher: Option<Box<dyn Fn() -> Box<dyn ViewPublisher> + Send>>,
 }
 
 impl<'a> CrawlSession<'a> {
@@ -474,6 +484,9 @@ impl<'a> CrawlSession<'a> {
         if self.obs.enabled() {
             self.engine.set_obs(self.obs.clone());
         }
+        if let Some(factory) = &self.view_publisher {
+            self.engine.set_view_publisher(factory());
+        }
         if let Some(state) = fetcher_state {
             self.fetcher.get().restore_state(state);
         }
@@ -526,6 +539,47 @@ impl<'a> CrawlSession<'a> {
         ckpt.barrier_snapshot(t, &state).map_err(|e| {
             WebEvoError::InvalidState(format!("barrier snapshot failed: {e}"))
         })
+    }
+
+    /// Attach the serving layer: at every pass/cycle boundary the engine
+    /// publishes an immutable epoch-numbered
+    /// [`CollectionView`](webevo_serve::CollectionView), and the returned
+    /// [`QueryService`] answers concurrent queries against the latest one
+    /// — from any number of reader threads, without ever blocking the
+    /// crawl. Before the first boundary, readers see the empty epoch-0
+    /// view. Serving is write-only and free: a served run's checkpoints
+    /// and metrics are byte-identical to an unserved run's
+    /// (`tests/determinism.rs` pins this).
+    ///
+    /// Repeated calls share one epoch lineage, and the attachment
+    /// survives [`CrawlSession::resume`] — epochs keep counting across a
+    /// recovery. With [`CrawlSessionBuilder::obs`] configured, the
+    /// publisher records `serve_epoch`/`serve_view_pages` gauges and the
+    /// service records `serve_query_us` latency histograms.
+    pub fn serve(&mut self) -> QueryService {
+        let handle = match &self.serve {
+            Some(handle) => handle.clone(),
+            None => {
+                let handle = ServeHandle::new(self.obs.clone());
+                self.serve = Some(handle.clone());
+                let factory = handle.clone();
+                self.install_view_publisher(Box::new(move || factory.publisher()));
+                handle
+            }
+        };
+        handle.service()
+    }
+
+    /// Install a boundary view-publisher factory on the engine, keeping
+    /// it for re-installation whenever `adopt()` rebuilds the engine.
+    /// The fleet uses this directly to stage per-shard views into its
+    /// merge collector.
+    pub(crate) fn install_view_publisher(
+        &mut self,
+        factory: Box<dyn Fn() -> Box<dyn ViewPublisher> + Send>,
+    ) {
+        self.engine.set_view_publisher(factory());
+        self.view_publisher = Some(factory);
     }
 
     /// The engine's routing state (shard scope, outbox, applied-exchange

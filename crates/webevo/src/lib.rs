@@ -49,6 +49,7 @@
 //! | [`core`] | §5 | all three crawl engines behind one `CrawlEngine` trait |
 //! | [`store`] | §5 | durable crawl state, the `CrawlSession` entry point, sharded `FleetSession`s |
 //! | [`obs`] | — | structured tracing, metrics registry, stage profiling |
+//! | [`serve`] | §1, §5 | epoch-swapped query layer serving concurrent readers under a live crawl |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +61,7 @@ pub use webevo_freshness as freshness;
 pub use webevo_graph as graph;
 pub use webevo_obs as obs;
 pub use webevo_schedule as schedule;
+pub use webevo_serve as serve;
 pub use webevo_sim as sim;
 pub use webevo_stats as stats;
 pub use webevo_store as store;
@@ -92,6 +94,10 @@ pub mod prelude {
     pub use webevo_schedule::{
         evaluate_allocation, optimal_allocation, optimal_frequency_curve,
         proportional_allocation, uniform_allocation, RevisitPolicy,
+    };
+    pub use webevo_serve::{
+        CollectionView, EpochInfo, FleetViewCollector, FreshnessStats, QueryService,
+        ServeHandle, SiteRollup, ViewHandle, ViewPage,
     };
     pub use webevo_sim::{
         FetchError, FetchOutcome, Fetcher, FetcherState, Politeness, SimFetcher,

@@ -800,3 +800,217 @@ fn fork_streams_independent_of_consumer_ordering() {
     let mut other = root_a.fork(6);
     assert_ne!(a, draw(&mut other), "fork(5) and fork(6) should diverge");
 }
+
+// --------------------------------------------------------------------
+// The serving extension of the replay contract: attaching the
+// epoch-swapped query layer (`CrawlSession::serve` /
+// `FleetSession::serve`) must not perturb the crawl by a single byte.
+// The boundary publisher is write-only — it reads the arenas at a pass
+// boundary and nothing it computes feeds back into a crawl decision —
+// so a served run and an unserved run must agree on every metric
+// channel AND on the raw checkpoint bytes they leave on disk, even with
+// reader threads hammering the service for the whole run.
+// --------------------------------------------------------------------
+
+/// Run `kind` twice over the same universe — once with the serving layer
+/// attached and a reader thread querying throughout, once unserved — and
+/// require byte-identical crawl output. Also require the served run to
+/// have actually published epochs and answered queries, so the test
+/// cannot pass vacuously against a publisher that was never wired in.
+fn assert_serving_is_free(tag: &str, kind: EngineKind) {
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(48));
+    let budget = CrawlBudget::paper_monthly(50).with_cycle_days(6.0);
+    let run = |suffix: &str, serve: bool| {
+        let dir = temp_dir(&format!("{tag}-{suffix}"));
+        let mut session = CrawlSession::builder()
+            .engine(kind)
+            .budget(budget)
+            .universe(&universe)
+            .checkpoint(&dir, 6.0)
+            .build()
+            .expect("checkpoint dir is writable");
+        let mut served = None;
+        if serve {
+            let queries = session.serve();
+            assert_eq!(queries.epoch(), 0, "readers start on the empty epoch-0 view");
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let reader = std::thread::spawn({
+                let queries = queries.clone();
+                let stop = std::sync::Arc::clone(&stop);
+                move || {
+                    let mut answered = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let view = queries.view();
+                        assert_eq!(view.info().pages, view.len());
+                        let _ = view.freshness();
+                        answered += 1;
+                    }
+                    answered
+                }
+            });
+            session.run(30.0).expect("the crawl runs");
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let answered = reader.join().expect("reader thread");
+            served = Some((queries, answered));
+        } else {
+            session.run(30.0).expect("the crawl runs");
+        }
+        let metrics = session.metrics().clone();
+        drop(session);
+        if let Some((queries, answered)) = &served {
+            assert!(queries.epoch() >= 1, "no epoch was ever published");
+            assert!(!queries.view().is_empty(), "the published view is empty");
+            assert!(*answered > 0, "the reader thread answered nothing");
+        }
+        let snapshot = std::fs::read(dir.join(webevo::store::SNAPSHOT_FILE)).expect("snapshot");
+        let wal = std::fs::read(dir.join(webevo::store::WAL_FILE)).expect("wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        (metrics, snapshot, wal)
+    };
+
+    let (served, served_snapshot, served_wal) = run("served", true);
+    let (plain, plain_snapshot, plain_wal) = run("plain", false);
+
+    assert!(plain.fetches > 0, "the run should actually crawl");
+    assert_metrics_identical(&plain, &served);
+    assert_eq!(plain_snapshot, served_snapshot, "snapshot bytes diverged under serving");
+    assert_eq!(plain_wal, served_wal, "WAL bytes diverged under serving");
+}
+
+#[test]
+fn incremental_served_run_is_byte_identical_to_unserved() {
+    assert_serving_is_free("serve-inc", EngineKind::Incremental);
+}
+
+#[test]
+fn periodic_served_run_is_byte_identical_to_unserved() {
+    assert_serving_is_free("serve-per", EngineKind::Periodic);
+}
+
+#[test]
+fn threaded_served_run_is_byte_identical_to_unserved() {
+    assert_serving_is_free("serve-thr", EngineKind::Threaded { workers: 4 });
+}
+
+#[test]
+fn fleet_served_run_is_byte_identical_to_unserved() {
+    // The 4-shard variant: per-shard publishers stage views, the
+    // coordinator merges them into one fleet view at every exchange
+    // barrier. Served and unserved fleets must agree on the merged
+    // metrics, every per-shard channel, and every shard's checkpoint
+    // bytes — and the served fleet must have published a merged view
+    // spanning all shards' pages.
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(49));
+    let budget = CrawlBudget::paper_monthly(36).with_cycle_days(6.0);
+    let shards = 4u32;
+    let run = |tag: &str, serve: bool| {
+        let dir = temp_dir(tag);
+        let mut fleet = FleetSession::builder()
+            .shards(shards)
+            .budget(budget)
+            .universe(&universe)
+            .checkpoint(&dir, 5.0)
+            .build()
+            .expect("a valid fleet");
+        let queries = serve.then(|| fleet.serve());
+        let results = fleet.run(25.0).expect("the fleet runs").clone();
+        if let Some(queries) = &queries {
+            assert!(queries.epoch() >= 1, "no fleet view was ever merged");
+            let view = queries.view();
+            assert_eq!(
+                view.len(),
+                results.collection_len(),
+                "the merged view must span every shard's collection"
+            );
+            let fleet_fetches: u64 = view.info().fetch_seq;
+            assert!(fleet_fetches > 0, "the merged view carries no fetch progress");
+        }
+        drop(fleet);
+        let mut files = Vec::new();
+        for shard in 0..shards {
+            let shard_dir = dir.join(format!("shard-{shard}"));
+            files.push(std::fs::read(shard_dir.join(webevo::store::SNAPSHOT_FILE)).expect("snapshot"));
+            files.push(std::fs::read(shard_dir.join(webevo::store::WAL_FILE)).expect("wal"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        (results, files)
+    };
+
+    let (served, served_files) = run("fleet-serve-on", true);
+    let (plain, plain_files) = run("fleet-serve-off", false);
+
+    assert!(plain.merged.fetches > 0, "the fleet should actually crawl");
+    assert_fleet_identical(&plain, &served);
+    assert_eq!(plain_files, served_files, "shard checkpoint bytes diverged under serving");
+}
+
+#[test]
+fn concurrent_readers_always_see_one_consistent_epoch() {
+    // N reader threads hammer the service across every epoch swap of a
+    // live crawl. Each reader snapshots the view and checks internal
+    // consistency — the stamp, the page count, the freshness stats, and
+    // the memoized rollups must all describe the same epoch — and that
+    // epochs only ever move forward. The crawl must cross at least 3
+    // boundaries so swaps actually happen under the readers' feet.
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(50));
+    let mut session = CrawlSession::builder()
+        .engine(EngineKind::Incremental)
+        .budget(CrawlBudget::paper_monthly(60).with_cycle_days(5.0))
+        .universe(&universe)
+        .build()
+        .expect("a valid session");
+    let queries = session.serve();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let queries = queries.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut checks = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let view = queries.view();
+                    let info = view.info();
+                    // One snapshot, one epoch: every number below comes
+                    // from the same immutable view.
+                    assert_eq!(info.epoch, view.epoch());
+                    assert_eq!(info.pages, view.len());
+                    assert!(
+                        info.epoch >= last_epoch,
+                        "epoch went backwards: {} after {last_epoch}",
+                        info.epoch
+                    );
+                    last_epoch = info.epoch;
+                    let freshness = view.freshness();
+                    assert!(freshness.fetches <= info.fetch_seq);
+                    let rollup_pages: usize =
+                        view.site_rollups().iter().map(|r| r.pages).sum();
+                    assert!(rollup_pages <= info.pages);
+                    if let Some(first) = view.pages().first() {
+                        // Point lookups answer from the same epoch too.
+                        assert_eq!(
+                            view.get(first.page).expect("first page resolves").page,
+                            first.page
+                        );
+                    }
+                    checks += 1;
+                }
+                (last_epoch, checks)
+            })
+        })
+        .collect();
+    session.run(20.0).expect("the crawl runs");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut max_epoch = 0u64;
+    for reader in readers {
+        let (epoch, checks) = reader.join().expect("reader thread");
+        assert!(checks > 0, "a reader thread never ran a check");
+        max_epoch = max_epoch.max(epoch);
+    }
+    assert!(
+        queries.epoch() >= 3,
+        "the crawl crossed fewer than 3 epoch swaps ({})",
+        queries.epoch()
+    );
+    assert!(max_epoch >= 1, "no reader ever saw a published epoch");
+}
