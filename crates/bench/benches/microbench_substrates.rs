@@ -15,8 +15,11 @@ fn bench(c: &mut Criterion) {
     g.bench_function("pagerank_snapshot", |b| {
         b.iter(|| black_box(pagerank(&graph, &PageRankConfig::conventional()).unwrap()))
     });
+    // The default 1e-10 tolerance stalls in float noise on this snapshot
+    // and never converges; bench the solver at a tolerance it can reach.
+    let hits_cfg = webevo::graph::HitsConfig { tolerance: 1e-8, max_iterations: 500 };
     g.bench_function("hits_snapshot", |b| {
-        b.iter(|| black_box(webevo::graph::hits(&graph, &Default::default()).unwrap()))
+        b.iter(|| black_box(webevo::graph::hits(&graph, &hits_cfg).unwrap()))
     });
 
     // Poisson process generation + queries.
@@ -96,6 +99,87 @@ fn bench(c: &mut Criterion) {
                 let mut sum = 0.0;
                 for (_, v) in tree.iter() {
                     sum += v;
+                }
+                black_box(sum)
+            })
+        });
+    }
+
+    // Precomputed change schedules (the event arena) vs deriving the
+    // schedule on the fly: the crawl's checksum path queries a page's
+    // events thousands of times, so materializing each schedule once and
+    // binary-searching a shared arena beats regenerating the Poisson
+    // realization per query by orders of magnitude.
+    {
+        let pages: Vec<PageId> = universe
+            .pages()
+            .iter()
+            .step_by(universe.page_count() / 256)
+            .map(|p| p.id)
+            .collect();
+        let times = [3.0, 31.0, 67.0, 113.0];
+        g.bench_function("checksum_queries_arena", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &p in &pages {
+                    for t in times {
+                        acc ^= universe.checksum_at(p, black_box(t)).0;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_function("checksum_queries_on_the_fly", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (i, &p) in pages.iter().enumerate() {
+                    let page = universe.page(p);
+                    let span = (page.death.min(universe.config().horizon_days)
+                        - page.birth)
+                        .max(0.0);
+                    for t in times {
+                        // What the pre-arena path amounts to per query:
+                        // realize the page's schedule, then search it.
+                        let mut rng = SimRng::seed_from_u64(i as u64);
+                        let process =
+                            PoissonProcess::generate(&mut rng, page.rate.per_day(), span);
+                        acc ^= Checksum::of_version(
+                            p.0,
+                            process.version_at(black_box(t) - page.birth),
+                        )
+                        .0;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    // Politeness bookkeeping, dense per-SiteId arena vs the `HashMap` it
+    // replaced: the fetcher consults and updates a per-site next-allowed
+    // time on every single fetch slot.
+    {
+        use std::collections::HashMap;
+        let n_sites = 4_096u32;
+        let dense: Vec<f64> = (0..n_sites).map(|i| i as f64 * 0.25).collect();
+        let map: HashMap<SiteId, f64> =
+            (0..n_sites).map(|i| (SiteId(i), i as f64 * 0.25)).collect();
+        let probes: Vec<SiteId> =
+            (0..n_sites).map(|i| SiteId((i * 7919) % n_sites)).collect();
+        g.bench_function("politeness_lookup_dense", |b| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for &s in &probes {
+                    sum += dense[s.0 as usize];
+                }
+                black_box(sum)
+            })
+        });
+        g.bench_function("politeness_lookup_hashmap", |b| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for &s in &probes {
+                    sum += map.get(&s).copied().unwrap_or(0.0);
                 }
                 black_box(sum)
             })

@@ -536,9 +536,8 @@ impl IncrementalCrawler {
                 fresh += 1;
             } else {
                 let page = universe.page(p);
-                let staled_at = page
-                    .process
-                    .first_event_after(stored.last_crawl)
+                let staled_at = universe
+                    .first_change_after(p, stored.last_crawl)
                     .unwrap_or(page.death)
                     .min(page.death);
                 age_sum += (t - staled_at).max(0.0);

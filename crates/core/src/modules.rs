@@ -397,19 +397,13 @@ impl RankingModule {
         for (p, stored) in collection.iter() {
             graph.add_page(p, stored.url.site);
         }
-        let links: Vec<(PageId, PageId)> = collection
-            .iter()
-            .flat_map(|(p, stored)| {
-                stored
-                    .links
-                    .iter()
-                    .filter(|l| collection.contains(l.page))
-                    .map(move |l| (p, l.page))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        for (from, to) in links {
-            graph.add_link(from, to);
+        // Two passes (membership first, then edges) so no intermediate
+        // edge list is materialized: the old per-page `collect` meant one
+        // heap allocation per collection page, every ranking pass.
+        for (p, stored) in collection.iter() {
+            for l in stored.links.iter().filter(|l| collection.contains(l.page)) {
+                graph.add_link(p, l.page);
+            }
         }
         let Ok(scores) = pagerank(&graph, &self.config.pagerank) else {
             return RankingOutcome::default();

@@ -587,9 +587,8 @@ impl PeriodicCrawler {
                 fresh += 1;
             } else {
                 let page = universe.page(p);
-                let staled_at = page
-                    .process
-                    .first_event_after(snap.crawl_time)
+                let staled_at = universe
+                    .first_change_after(p, snap.crawl_time)
                     .unwrap_or(page.death)
                     .min(page.death);
                 age_sum += (t - staled_at).max(0.0);

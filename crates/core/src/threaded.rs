@@ -40,7 +40,7 @@ use crate::hooks::{CrawlHook, FetchRecord, NoopHook};
 use crate::incremental::IncrementalConfig;
 use crate::metrics::CrawlMetrics;
 use crate::modules::{CrawlModule, RankingModule, UpdateModule};
-use crate::routing::WalEvent;
+use crate::routing::{RoutedBatch, RoutedLink, RoutingState, ShardScope, WalEvent};
 use crate::view::{BoundaryPages, ViewBoundary, ViewPublisher};
 use crate::state::{
     entries_to_queue, queue_to_entries, CrawlerState, EngineClock, EngineConfig, EngineKind,
@@ -123,6 +123,11 @@ pub struct ThreadedCrawler {
     /// for the same reason as `obs`: a served run stays byte-identical to
     /// an unserved one.
     publisher: Option<Box<dyn ViewPublisher>>,
+    /// Cross-shard routing: scope, outbox of foreign discoveries, and the
+    /// applied-exchange counter. Scoping is enforced entirely on the
+    /// coordinator (the queue never dispatches a foreign URL to a
+    /// worker), so worker parallelism composes with fleet sharding.
+    routing: RoutingState,
 }
 
 impl ThreadedCrawler {
@@ -148,6 +153,7 @@ impl ThreadedCrawler {
             unsent_rank_request: None,
             obs: ObsSink::noop(),
             publisher: None,
+            routing: RoutingState::default(),
             config,
         }
     }
@@ -184,6 +190,7 @@ impl ThreadedCrawler {
             unsent_rank_request: None,
             obs: ObsSink::noop(),
             publisher: None,
+            routing: state.routing,
             config,
         };
         if crawler.rank_pending {
@@ -222,6 +229,11 @@ impl ThreadedCrawler {
             next_sample: start,
         };
         for site in universe.sites() {
+            // A scoped (fleet-shard) engine seeds only the sites it owns;
+            // foreign sites are other shards' seeds.
+            if self.routing.is_foreign(site.id) {
+                continue;
+            }
             if let Some(root) = universe.occupant(site.id, 0, start) {
                 let url = Url::new(site.id, root);
                 self.all_urls.discover(url, start);
@@ -231,20 +243,89 @@ impl ThreadedCrawler {
         self.seeded = true;
     }
 
+    /// Apply one routed-link delivery: the outbox the coordinator drained
+    /// to build this exchange is cleared, each link enters `AllUrls` (and
+    /// the frontier, collection permitting) exactly as a locally
+    /// discovered link would, one sequence number is consumed, and the
+    /// exchange counter advances. Runs on the frozen coordinator between
+    /// drives, and during WAL replay at the matching slot, so a replayed
+    /// shard is bit-identical to the live one.
+    fn apply_routed(&mut self, batch: RoutedBatch) {
+        self.routing.outbox.clear();
+        self.fetch_seq = batch.seq;
+        self.routing.exchanges += 1;
+        let t = batch.t;
+        for link in batch.links {
+            let first_sighting = !self.all_urls.contains(link.url);
+            self.all_urls.add_in_link(link.url, link.from, t);
+            if !self.collection.is_full() && !self.collection.contains(link.url.page) {
+                if first_sighting {
+                    if self.queued.insert(link.url.page) {
+                        self.queue.push_front(link.url);
+                    }
+                } else {
+                    self.enqueue(link.url, t);
+                }
+            }
+        }
+    }
+
+    /// Reconstruct everything a live drive ending at `barrier` performs
+    /// after its batch loop breaks: apply the in-flight ranking response
+    /// (the replay equivalent is the rebuilt-but-unsent request) and emit
+    /// the pending grid samples plus the closing sample. Called from
+    /// [`ThreadedCrawler::replay_tail`] when a routed record marks an
+    /// exchange barrier — the only place a fleet shard's drive ends
+    /// mid-log.
+    fn replay_drive_end(
+        &mut self,
+        universe: &WebUniverse,
+        ranking: &mut RankingModule,
+        barrier: f64,
+    ) {
+        if let Some(req) = self.unsent_rank_request.take() {
+            let res = rank(ranking, req);
+            self.apply_ranking(res);
+            self.rank_pending = false;
+        }
+        self.flush_samples(universe, barrier);
+    }
+
     /// The replay inner loop. This deliberately mirrors `advance_live`'s
     /// slot scheduling (boundary order, horizon, batch dispatch,
     /// empty-slot burning) without the channels. Any change to the live
     /// coordinator's scheduling MUST be mirrored here — the
     /// `WAL replay diverged` asserts and the recovery determinism tests
     /// will catch a missed mirror loudly.
-    fn replay_tail(&mut self, universe: &WebUniverse, tail: &[FetchRecord]) {
+    fn replay_tail(&mut self, universe: &WebUniverse, tail: &[WalEvent]) {
         let step = 1.0 / self.config.crawl_rate_per_day;
         let mut ranking = RankingModule::new(self.config.ranking.clone());
         let mut pos = 0usize;
         while pos < tail.len() {
+            // Routed batches re-inject before anything else: live
+            // injection happens while the engine is frozen *between*
+            // drives, i.e. before the boundary handlers of the slot the
+            // clock froze on. The seq/t match is exact — slot times are
+            // multiples of `step` and batches record the frozen clock.
+            if let WalEvent::Routed(batch) = &tail[pos] {
+                if batch.t.to_bits() == self.clock.t.to_bits()
+                    && batch.seq == self.fetch_seq + 1
+                {
+                    // The routed record marks the end of a live drive
+                    // call — the exchange barrier the coordinator drove
+                    // to. Reconstruct that drive's closing work first.
+                    let barrier = (self.routing.exchanges + 1) as f64
+                        * self.config.ranking_interval_days;
+                    self.replay_drive_end(universe, &mut ranking, barrier);
+                    self.apply_routed(batch.clone());
+                    pos += 1;
+                    continue;
+                }
+            }
             let t = self.clock.t;
-            if t >= self.clock.next_sample {
-                self.sample_metrics(universe, t);
+            while self.clock.next_sample <= t {
+                let ts = self.clock.next_sample;
+                self.sample_metrics(universe, ts);
                 self.clock.next_sample += self.config.sample_interval_days;
             }
             if t >= self.clock.next_ranking {
@@ -261,11 +342,19 @@ impl ThreadedCrawler {
             }
             let horizon = self.clock.next_sample.min(self.clock.next_ranking);
             let mut batch: Vec<CrawlDone> = Vec::new();
-            while batch.len() < self.workers && self.clock.t < horizon && pos < tail.len() {
+            let mut progressed = false;
+            while batch.len() < self.workers && self.clock.t < horizon {
+                let Some(WalEvent::Fetch(record)) = tail.get(pos) else { break };
                 let Some(visit) = self.queue.pop() else { break };
                 self.queued.remove(visit.url.page);
+                if self.routing.is_foreign(visit.url.site) {
+                    // Residual foreign entry (see `advance_live`): burn
+                    // the slot without consuming a record.
+                    self.clock.t += step;
+                    progressed = true;
+                    continue;
+                }
                 self.fetch_seq += 1;
-                let record = &tail[pos];
                 pos += 1;
                 assert_eq!(record.seq, self.fetch_seq, "WAL replay out of sync");
                 assert_eq!(
@@ -288,9 +377,12 @@ impl ThreadedCrawler {
                     result: record.result.clone(),
                 });
                 self.clock.t += step;
+                progressed = true;
             }
             if batch.is_empty() {
-                self.clock.t += step;
+                if !progressed {
+                    self.clock.t += step;
+                }
                 continue;
             }
             for done in batch {
@@ -359,8 +451,13 @@ impl ThreadedCrawler {
                 if t >= end {
                     break;
                 }
-                if t >= self.clock.next_sample {
-                    self.sample_metrics(universe, t);
+                // Sample at the grid instant, not the slot that crossed
+                // it: slot times depend on the crawl rate, and fleet
+                // shards run at ownership-apportioned rates yet must
+                // sample on one shared grid to merge.
+                while self.clock.next_sample <= t {
+                    let ts = self.clock.next_sample;
+                    self.sample_metrics(universe, ts);
                     self.clock.next_sample += self.config.sample_interval_days;
                 }
                 if t >= self.clock.next_ranking {
@@ -419,19 +516,33 @@ impl ThreadedCrawler {
                     );
                 }
                 let mut dispatched = 0usize;
+                let mut progressed = false;
                 while dispatched < workers && self.clock.t < horizon {
                     let Some(visit) = self.queue.pop() else { break };
                     self.queued.remove(visit.url.page);
+                    if self.routing.is_foreign(visit.url.site) {
+                        // Residual foreign entry (only possible in a
+                        // frontier inherited from a pre-routing
+                        // checkpoint): routed links, not fetches, cross
+                        // shard boundaries — burn the slot without
+                        // spending a fetch or a sequence number.
+                        self.clock.t += step;
+                        progressed = true;
+                        continue;
+                    }
                     self.fetch_seq += 1;
                     work_tx
                         .send((self.fetch_seq, visit.url, self.clock.t))
                         .expect("workers alive");
                     dispatched += 1;
                     self.clock.t += step;
+                    progressed = true;
                 }
                 if dispatched == 0 {
                     // Nothing to crawl this slot.
-                    self.clock.t += step;
+                    if !progressed {
+                        self.clock.t += step;
+                    }
                     continue;
                 }
                 let mut batch: Vec<CrawlDone> = (0..dispatched)
@@ -497,6 +608,19 @@ impl ThreadedCrawler {
                     }
                 }
                 for link in &outcome.links {
+                    if self.routing.is_foreign(link.site) {
+                        // Another shard owns this site: queue the sighting
+                        // for the next fleet exchange instead of entering
+                        // the local frontier. Every sighting is routed
+                        // (no dedup), mirroring the per-sighting
+                        // `add_in_link` evidence a single node collects.
+                        self.routing.outbox.push(RoutedLink {
+                            seq,
+                            from: url.page,
+                            url: *link,
+                        });
+                        continue;
+                    }
                     let first_sighting = !self.all_urls.contains(*link);
                     self.all_urls.add_in_link(*link, url.page, t);
                     if !self.collection.is_full() && !self.collection.contains(link.page) {
@@ -567,15 +691,29 @@ impl ThreadedCrawler {
                 fresh += 1;
             } else {
                 let page = universe.page(p);
-                let staled_at = page
-                    .process
-                    .first_event_after(stored.last_crawl)
+                let staled_at = universe
+                    .first_change_after(p, stored.last_crawl)
                     .unwrap_or(page.death)
                     .min(page.death);
                 age_sum += (t - staled_at).max(0.0);
             }
         }
         self.metrics.sample(t, fresh as f64 / n as f64, age_sum / n as f64);
+    }
+
+    /// Emit every pending grid sample up to `until`, then the closing
+    /// sample at `until` itself (a no-op when `until` sits on the grid —
+    /// [`CrawlMetrics::sample`] dedups the identical instant). Every
+    /// drive boundary flushes through here, so the sampled instants are a
+    /// pure function of the drive horizons and the sampling cadence —
+    /// never of the crawl rate, whose slot times vary per fleet shard.
+    fn flush_samples(&mut self, universe: &WebUniverse, until: f64) {
+        while self.clock.next_sample <= until {
+            let ts = self.clock.next_sample;
+            self.sample_metrics(universe, ts);
+            self.clock.next_sample += self.config.sample_interval_days;
+        }
+        self.sample_metrics(universe, until);
     }
 }
 
@@ -632,7 +770,7 @@ impl CrawlEngine for ThreadedCrawler {
         self.metrics.observe_speed(self.config.crawl_rate_per_day);
         let _drive = self.obs.span(Stage::Drive, LogicalClock::new(self.clock.t, self.fetch_seq));
         self.advance_live(universe, until, hook);
-        self.sample_metrics(universe, until);
+        self.flush_samples(universe, until);
         Ok(&self.metrics)
     }
 
@@ -640,9 +778,10 @@ impl CrawlEngine for ThreadedCrawler {
     /// deterministic batch schedule is re-derived from the restored state
     /// and each slot consumes its logged outcome instead of fetching.
     /// Ranking passes crossed during replay run synchronously (same
-    /// request/response pipeline, no thread). Records already covered by
-    /// the snapshot are skipped. `fetcher` is ignored, as in
-    /// [`CrawlEngine::drive`].
+    /// request/response pipeline, no thread), and routed batches
+    /// re-inject at the exchange barrier they were logged at. Records
+    /// already covered by the snapshot are skipped. `fetcher` is ignored,
+    /// as in [`CrawlEngine::drive`].
     fn replay(
         &mut self,
         universe: &WebUniverse,
@@ -659,26 +798,16 @@ impl CrawlEngine for ThreadedCrawler {
             self.begin_run(universe);
         }
         let skip = events.partition_point(|e| e.seq() <= self.fetch_seq);
-        let records: Vec<FetchRecord> = events[skip..]
-            .iter()
-            .map(|event| match event {
-                WalEvent::Fetch(record) => Ok(record.clone()),
-                WalEvent::Routed(batch) => Err(WebEvoError::InvalidState(format!(
-                    "the threaded engine cannot replay routed batch at seq {} — \
-                     shard routing is not supported for this engine",
-                    batch.seq
-                ))),
-            })
-            .collect::<Result<_, _>>()?;
-        if let Some(first) = records.first() {
-            if first.seq != self.fetch_seq + 1 {
+        if let Some(first) = events[skip..].first() {
+            if first.seq() != self.fetch_seq + 1 {
                 return Err(WebEvoError::InvalidState(format!(
                     "WAL gap: snapshot ends at seq {} but the log resumes at {}",
-                    self.fetch_seq, first.seq
+                    self.fetch_seq,
+                    first.seq()
                 )));
             }
         }
-        self.replay_tail(universe, &records);
+        self.replay_tail(universe, &events[skip..]);
         Ok(())
     }
 
@@ -706,7 +835,7 @@ impl CrawlEngine for ThreadedCrawler {
             periodic: None,
             metrics: self.metrics.clone(),
             fetcher: None,
-            routing: crate::routing::RoutingState::default(),
+            routing: self.routing.clone(),
         }
     }
 
@@ -738,9 +867,34 @@ impl CrawlEngine for ThreadedCrawler {
         self.publisher = Some(publisher);
     }
 
+    fn set_scope(&mut self, scope: ShardScope) -> Result<(), WebEvoError> {
+        if self.seeded {
+            return Err(WebEvoError::InvalidState(
+                "shard scope must be set before the run starts".into(),
+            ));
+        }
+        self.routing.scope = Some(scope);
+        Ok(())
+    }
+
+    fn routing(&self) -> Option<&RoutingState> {
+        Some(&self.routing)
+    }
+
+    fn inject_links(&mut self, links: Vec<RoutedLink>) -> Result<RoutedBatch, WebEvoError> {
+        if !self.seeded {
+            return Err(WebEvoError::InvalidState(
+                "cannot inject routed links before the run starts".into(),
+            ));
+        }
+        let batch = RoutedBatch { seq: self.fetch_seq + 1, t: self.clock.t, links };
+        self.apply_routed(batch.clone());
+        Ok(batch)
+    }
+
     fn close_sample(&mut self, universe: &WebUniverse, t: f64) {
         if self.seeded {
-            self.sample_metrics(universe, t);
+            self.flush_samples(universe, t);
         }
     }
 }

@@ -75,6 +75,57 @@ impl UniverseConfig {
         }
     }
 
+    /// A universe scaled to roughly `total_pages` page slots across
+    /// `total_sites` sites, preserving the Table 1 domain ratio
+    /// (132:78:30:30). The horizon is set to `horizon_days` so change
+    /// schedules are materialized only as far as the run needs them —
+    /// at millions of pages the event arena is the dominant allocation,
+    /// and a 128-day horizon for a 12-day run would waste most of it.
+    pub fn scaled(
+        seed: u64,
+        total_sites: usize,
+        total_pages: usize,
+        horizon_days: f64,
+    ) -> UniverseConfig {
+        assert!(total_sites > 0, "need at least one site");
+        assert!(total_pages >= total_sites, "need at least one page per site");
+        // Largest-remainder apportionment of the Table 1 mix; every
+        // domain keeps at least one site once the count allows it.
+        let weights = [
+            (Domain::Com, 132usize),
+            (Domain::Edu, 78),
+            (Domain::NetOrg, 30),
+            (Domain::Gov, 30),
+        ];
+        let mut counts = PerDomain::from_fn(|_| 0usize);
+        let mut assigned = 0usize;
+        for &(d, w) in &weights {
+            let n = total_sites * w / 270;
+            *counts.get_mut(d) = n;
+            assigned += n;
+        }
+        // Distribute the rounding remainder in weight order.
+        for &(d, _) in weights.iter().cycle().take(4 * 270) {
+            if assigned == total_sites {
+                break;
+            }
+            *counts.get_mut(d) += 1;
+            assigned += 1;
+        }
+        let pages_per_site = total_pages.div_ceil(total_sites);
+        UniverseConfig {
+            sites_per_domain: counts,
+            pages_per_site,
+            window_size: pages_per_site,
+            horizon_days,
+            seed,
+            branching: 8,
+            extra_links_per_page: 2,
+            cross_link_probability: 0.05,
+            churn: true,
+        }
+    }
+
     /// A tiny universe for unit tests.
     pub fn test_scale(seed: u64) -> UniverseConfig {
         UniverseConfig {
@@ -146,6 +197,21 @@ mod tests {
         let mut c = UniverseConfig::test_scale(1);
         c.window_size = c.pages_per_site + 1;
         c.validate();
+    }
+
+    #[test]
+    fn scaled_hits_requested_totals() {
+        let c = UniverseConfig::scaled(7, 270, 1_000_000, 12.0);
+        c.validate();
+        assert_eq!(c.total_sites(), 270);
+        assert!(c.total_sites() * c.pages_per_site >= 1_000_000);
+        let com = *c.sites_per_domain.get(Domain::Com) as f64 / 270.0;
+        assert!((com - 132.0 / 270.0).abs() < 0.01);
+        // Tiny site counts still apportion every site somewhere.
+        let tiny = UniverseConfig::scaled(7, 3, 90, 30.0);
+        tiny.validate();
+        assert_eq!(tiny.total_sites(), 3);
+        assert_eq!(tiny.pages_per_site, 30);
     }
 
     #[test]

@@ -2,22 +2,73 @@
 //! truth queries, and link structure.
 
 use crate::config::UniverseConfig;
-use crate::page::{SimPage, SimSite};
+use crate::page::{EventRange, SimPage, SimSite};
 use crate::profile::DomainProfile;
 use webevo_graph::PageGraph;
-use webevo_stats::{PoissonProcess, SimRng};
+use webevo_stats::{event_slice, generate_poisson_into, SimRng};
 use webevo_types::{Checksum, Domain, PageId, PageVersion, SiteId, Url};
+
+/// Flat occupancy index: for every `(site, slot)` pair, the birth/death
+/// times and ids of its successive incarnations, packed contiguously and
+/// birth-ordered.
+///
+/// [`WebUniverse::occupant`] sits on the fetch hot path (one probe per BFS
+/// child of every fetched page); resolving it against these parallel
+/// arrays is a binary search that never touches the page table, instead of
+/// chasing `PageId → SimPage` per probe.
+#[derive(Clone, Debug)]
+struct SlotIndex {
+    /// `starts[g]..starts[g+1]` is global slot `g`'s range in the arrays
+    /// below, with `g = site.index() * pages_per_site + slot`.
+    starts: Vec<usize>,
+    /// Incarnation birth times, ascending within each slot's range.
+    births: Vec<f64>,
+    /// Matching death times.
+    deaths: Vec<f64>,
+    /// Matching page ids.
+    pages: Vec<PageId>,
+}
+
+impl SlotIndex {
+    fn build(sites: &[SimSite], pages: &[SimPage]) -> SlotIndex {
+        let total: usize = sites.iter().map(SimSite::slot_count).sum();
+        let mut index = SlotIndex {
+            starts: Vec::with_capacity(total + 1),
+            births: Vec::with_capacity(pages.len()),
+            deaths: Vec::with_capacity(pages.len()),
+            pages: Vec::with_capacity(pages.len()),
+        };
+        index.starts.push(0);
+        for site in sites {
+            for slot in &site.slots {
+                for &p in slot {
+                    let page = &pages[p.index()];
+                    index.births.push(page.birth);
+                    index.deaths.push(page.death);
+                    index.pages.push(p);
+                }
+                index.starts.push(index.pages.len());
+            }
+        }
+        index
+    }
+}
 
 /// The whole simulated web.
 ///
 /// Generation is fully deterministic from `config.seed`; two universes with
 /// equal configs are identical. Pages are stored in one table indexed by
-/// `PageId`, sites in another indexed by `SiteId`.
+/// `PageId`, sites in another indexed by `SiteId`. Change schedules are
+/// packed into one shared event arena (each page holds a range into it),
+/// so ground-truth queries are binary searches over contiguous memory.
 #[derive(Clone, Debug)]
 pub struct WebUniverse {
     config: UniverseConfig,
     sites: Vec<SimSite>,
     pages: Vec<SimPage>,
+    /// Every page's change events, concatenated in page-id order.
+    events: Vec<f64>,
+    slot_index: SlotIndex,
 }
 
 impl WebUniverse {
@@ -26,6 +77,7 @@ impl WebUniverse {
         config.validate();
         let root = SimRng::seed_from_u64(config.seed);
         let mut pages: Vec<SimPage> = Vec::new();
+        let mut events: Vec<f64> = Vec::new();
         let mut sites: Vec<SimSite> = Vec::with_capacity(config.total_sites());
 
         let mut site_id = 0u32;
@@ -40,14 +92,18 @@ impl WebUniverse {
                     &config,
                     &site_rng,
                     &mut pages,
+                    &mut events,
                 );
                 sites.push(site);
                 site_id += 1;
             }
         }
-        WebUniverse { config, sites, pages }
+        events.shrink_to_fit();
+        let slot_index = SlotIndex::build(&sites, &pages);
+        WebUniverse { config, sites, pages, events, slot_index }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn generate_site(
         id: SiteId,
         domain: Domain,
@@ -55,6 +111,7 @@ impl WebUniverse {
         config: &UniverseConfig,
         site_rng: &SimRng,
         pages: &mut Vec<SimPage>,
+        arena: &mut Vec<f64>,
     ) -> SimSite {
         let horizon = config.horizon_days;
         let mut slots: Vec<Vec<PageId>> = Vec::with_capacity(config.pages_per_site);
@@ -85,22 +142,24 @@ impl WebUniverse {
                 let rate = behavior.rate;
                 let end = death.min(horizon);
                 let rel_span = (end - birth).max(0.0);
-                let events: Vec<f64> = if behavior.ticker {
+                let start = arena.len();
+                if behavior.ticker {
                     // Deterministic sub-daily changer (the paper's
                     // "changed whenever we visited" pages).
                     let period = crate::profile::TICKER_PERIOD_DAYS;
                     let n = (rel_span / period).ceil() as usize;
-                    (1..=n)
-                        .map(|k| birth + k as f64 * period)
-                        .filter(|&t| t < end)
-                        .collect()
+                    arena.extend(
+                        (1..=n)
+                            .map(|k| birth + k as f64 * period)
+                            .filter(|&t| t < end),
+                    );
                 } else {
-                    let rel = PoissonProcess::generate(&mut page_rng, rate.per_day(), rel_span);
-                    rel.events().iter().map(|e| e + birth).collect()
-                };
-                let process = PoissonProcess::from_sorted_events(events, horizon + 1.0);
+                    generate_poisson_into(&mut page_rng, rate.per_day(), rel_span, birth, arena);
+                }
+                let events = EventRange { start, len: arena.len() - start };
+                debug_assert!(arena[start..].windows(2).all(|w| w[0] <= w[1]));
                 let pid = PageId(pages.len() as u64);
-                pages.push(SimPage { id: pid, site: id, slot, birth, death, rate, process });
+                pages.push(SimPage { id: pid, site: id, slot, birth, death, rate, events });
                 occupants.push(pid);
                 if immortal || death >= horizon {
                     break;
@@ -153,20 +212,49 @@ impl WebUniverse {
         Url::new(self.page(p).site, p)
     }
 
+    /// A page's change schedule: sorted absolute event times within the
+    /// shared arena.
+    #[inline]
+    pub fn events_of(&self, p: PageId) -> &[f64] {
+        self.pages[p.index()].events.slice(&self.events)
+    }
+
+    /// The whole change-event arena (all pages' schedules concatenated in
+    /// page-id order).
+    pub fn event_arena(&self) -> &[f64] {
+        &self.events
+    }
+
+    /// Bytes held by the precomputed ground-truth structures (event arena
+    /// plus occupancy index) — the memory-footprint proxy the scale bench
+    /// reports.
+    pub fn arena_bytes(&self) -> usize {
+        let idx = &self.slot_index;
+        self.events.len() * std::mem::size_of::<f64>()
+            + idx.starts.len() * std::mem::size_of::<usize>()
+            + idx.births.len() * std::mem::size_of::<f64>()
+            + idx.deaths.len() * std::mem::size_of::<f64>()
+            + idx.pages.len() * std::mem::size_of::<PageId>()
+    }
+
     /// The page currently occupying `slot` of `site` at time `t`, if any.
     ///
     /// `out_links` and `window` call this per BFS child on the fetch hot
     /// path, so it must not scan: a slot's incarnations are birth-ordered
     /// and contiguous (each birth equals the previous death, pinned by
     /// `slots_have_contiguous_occupancy`), so the only candidate is the
-    /// last incarnation born at or before `t` — found by binary search and
-    /// checked for liveness (`t` past the final death, or before time
-    /// zero, yields `None`).
+    /// last incarnation born at or before `t` — found by binary search
+    /// over the flat `SlotIndex` (no page-table chasing) and checked for
+    /// liveness (`t` past the final death, or before time zero, yields
+    /// `None`).
     pub fn occupant(&self, site: SiteId, slot: usize, t: f64) -> Option<PageId> {
-        let occupants = &self.sites[site.index()].slots[slot];
-        let idx = occupants.partition_point(|&p| self.pages[p.index()].birth <= t);
-        let p = occupants[idx.checked_sub(1)?];
-        self.pages[p.index()].alive(t).then_some(p)
+        let g = site.index() * self.config.pages_per_site + slot;
+        let lo = self.slot_index.starts[g];
+        let hi = self.slot_index.starts[g + 1];
+        let births = &self.slot_index.births[lo..hi];
+        let off = births.partition_point(|&b| b <= t);
+        let k = lo + off.checked_sub(1)?;
+        (t < self.slot_index.deaths[k]).then(|| self.slot_index.pages[k])
     }
 
     /// §2.1's page window at time `t`: the alive occupants of the leading
@@ -185,24 +273,36 @@ impl WebUniverse {
 
     /// Ground truth: content version at `t`.
     pub fn version_at(&self, p: PageId, t: f64) -> PageVersion {
-        self.page(p).version_at(t)
+        self.page(p).version_at(self.events_of(p), t)
     }
 
     /// Content checksum at `t` — also what [`crate::SimFetcher`] reports.
     pub fn checksum_at(&self, p: PageId, t: f64) -> Checksum {
-        self.page(p).checksum_at(t)
+        self.page(p).checksum_at(self.events_of(p), t)
     }
 
     /// Ground truth: did the page change in `[a, b)`?
     pub fn changed_between(&self, p: PageId, a: f64, b: f64) -> bool {
-        self.page(p).changed_between(a, b)
+        event_slice::any_in(self.events_of(p), a, b)
+    }
+
+    /// Ground truth: the first change strictly after `t`, if any before
+    /// the horizon.
+    pub fn first_change_after(&self, p: PageId, t: f64) -> Option<f64> {
+        event_slice::first_after(self.events_of(p), t)
+    }
+
+    /// The last-modified date a well-behaved server would report at `t`
+    /// (birth time if the page has not changed yet).
+    pub fn last_modified(&self, p: PageId, t: f64) -> f64 {
+        self.page(p).last_modified(self.events_of(p), t)
     }
 
     /// Ground truth: a stored copy crawled at `crawl_time` is fresh at `t`
     /// iff the page is still alive and did not change in between.
     pub fn copy_is_fresh(&self, p: PageId, crawl_time: f64, t: f64) -> bool {
         let page = self.page(p);
-        page.alive(t) && !page.changed_between(crawl_time, t)
+        page.alive(t) && !event_slice::any_in(self.events_of(p), crawl_time, t)
     }
 
     /// Out-links of a page at time `t`, as URLs of currently alive targets.
@@ -214,12 +314,21 @@ impl WebUniverse {
     /// skew (low-numbered sites are linked more — giving site-level
     /// PageRank something to rank).
     pub fn out_links(&self, p: PageId, t: f64) -> Vec<Url> {
+        let mut links = Vec::new();
+        self.out_links_into(p, t, &mut links);
+        links
+    }
+
+    /// [`Self::out_links`] into a caller-owned buffer (cleared first) — the
+    /// fetch hot path reuses one scratch vector instead of allocating per
+    /// fetch.
+    pub fn out_links_into(&self, p: PageId, t: f64, links: &mut Vec<Url>) {
+        links.clear();
         let page = self.page(p);
         if !page.alive(t) {
-            return Vec::new();
+            return;
         }
         let site = &self.sites[page.site.index()];
-        let mut links = Vec::new();
         // BFS tree children.
         let b = self.config.branching;
         let first_child = page.slot * b + 1;
@@ -229,7 +338,7 @@ impl WebUniverse {
             }
         }
         // Version-dependent pseudo-random extras.
-        let version = page.process.version_at(t);
+        let version = event_slice::version_at(self.events_of(p), t);
         let mut rng = SimRng::seed_from_u64(
             self.config
                 .seed
@@ -259,7 +368,6 @@ impl WebUniverse {
                 }
             }
         }
-        links
     }
 
     /// Build a [`PageGraph`] snapshot of every page alive at `t` (all
@@ -320,7 +428,7 @@ mod tests {
             assert_eq!(pa.birth, pb.birth);
             assert_eq!(pa.death, pb.death);
             assert_eq!(pa.rate, pb.rate);
-            assert_eq!(pa.process.events(), pb.process.events());
+            assert_eq!(a.events_of(pa.id), b.events_of(pb.id));
         }
     }
 
@@ -459,9 +567,9 @@ mod tests {
         let page = u
             .pages()
             .iter()
-            .find(|p| p.process.count() > 0)
+            .find(|p| p.events.len > 0)
             .expect("some page changes");
-        let e = page.process.events()[0];
+        let e = u.events_of(page.id)[0];
         assert_ne!(
             u.checksum_at(page.id, e - 1e-9),
             u.checksum_at(page.id, e + 1e-9)
@@ -513,9 +621,9 @@ mod tests {
         let page = u
             .pages()
             .iter()
-            .find(|p| p.process.count() > 0 && p.death.is_infinite() && p.slot < 3)
+            .find(|p| p.events.len > 0 && p.death.is_infinite() && p.slot < 3)
             .expect("a changing long-lived page near the root");
-        let e = page.process.events()[0];
+        let e = u.events_of(page.id)[0];
         let before = u.out_links(page.id, e - 1e-9);
         let after = u.out_links(page.id, e + 1e-9);
         // Not asserting inequality for every page (extras may collide), but

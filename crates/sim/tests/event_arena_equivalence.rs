@@ -1,0 +1,174 @@
+//! The event-arena equivalence contract.
+//!
+//! PR 9 moved page change schedules out of per-page `PoissonProcess`
+//! allocations into one universe-wide event arena: a page carries only an
+//! `[start, start+len)` window and every content query is a binary search
+//! over the shared buffer. The owned `PoissonProcess` path stays in
+//! `webevo-stats` as the oracle, and these properties pin the two
+//! implementations against each other — generation draw-for-draw, and
+//! every query (`checksum_at`, `changed_between`, `alive`,
+//! `last_modified`) on a dense time grid *and* at each event boundary
+//! nudged by ±1 ulp, where half-open-interval and `<= t` tie-breaking
+//! bugs would hide.
+
+use proptest::prelude::*;
+use webevo_sim::page::EventRange;
+use webevo_sim::{SimPage, UniverseConfig, WebUniverse};
+use webevo_stats::{generate_poisson_into, PoissonProcess, SimRng};
+use webevo_types::{ChangeRate, Checksum, PageId, SiteId};
+
+/// Next representable `f64` above `x` (`f64::next_up` needs rustc 1.86;
+/// the workspace MSRV is 1.75). Event times are positive and finite, so
+/// the bit-increment form is exact.
+fn ulp_up(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x > 0.0);
+    f64::from_bits(x.to_bits() + 1)
+}
+
+/// Next representable `f64` below `x` (see [`ulp_up`]).
+fn ulp_down(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x > 0.0);
+    f64::from_bits(x.to_bits() - 1)
+}
+
+/// Query instants that stress the binary searches: a dense grid over
+/// `[lo, hi]` plus each event time and its ±1 ulp neighbours.
+fn probe_times(events: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    let steps = 48;
+    let mut ts: Vec<f64> =
+        (0..=steps).map(|i| lo + (hi - lo) * i as f64 / steps as f64).collect();
+    for &e in events {
+        ts.push(ulp_down(e));
+        ts.push(e);
+        ts.push(ulp_up(e));
+    }
+    ts
+}
+
+proptest! {
+    /// `generate_poisson_into` (the arena writer) is draw-for-draw and
+    /// rounding-for-rounding identical to `PoissonProcess::generate`
+    /// followed by an `e + birth` shift — same RNG state in, bitwise the
+    /// same schedule out.
+    #[test]
+    fn arena_generation_matches_owned_process(
+        seed in 0u64..u64::MAX,
+        lambda in 0.0f64..4.0,
+        birth in 0.0f64..60.0,
+        span in 0.0f64..90.0,
+    ) {
+        let mut rng_owned = SimRng::seed_from_u64(seed);
+        let mut rng_arena = SimRng::seed_from_u64(seed);
+        let owned = PoissonProcess::generate(&mut rng_owned, lambda, span);
+        let mut arena = Vec::new();
+        generate_poisson_into(&mut rng_arena, lambda, span, birth, &mut arena);
+        prop_assert_eq!(arena.len(), owned.count());
+        for (a, &e) in arena.iter().zip(owned.events()) {
+            prop_assert_eq!(a.to_bits(), (e + birth).to_bits());
+        }
+    }
+
+    /// Every `SimPage` content query agrees with the owned-process oracle
+    /// at every probe instant, boundaries ±1 ulp included.
+    #[test]
+    fn page_queries_match_owned_oracle(
+        seed in 0u64..u64::MAX,
+        lambda in 0.0f64..3.0,
+        birth in 0.0f64..40.0,
+        life in 1.0f64..80.0,
+    ) {
+        let horizon = 128.0;
+        let death = birth + life;
+        let span = (death.min(horizon) - birth).max(0.0);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut arena = Vec::new();
+        generate_poisson_into(&mut rng, lambda, span, birth, &mut arena);
+        let page = SimPage {
+            id: PageId(11),
+            site: SiteId(2),
+            slot: 1,
+            birth,
+            death,
+            rate: ChangeRate(lambda),
+            events: EventRange { start: 0, len: arena.len() },
+        };
+        // The oracle holds the same absolute event times as an owned
+        // process, the way pages stored them before the arena.
+        let oracle = PoissonProcess::from_sorted_events(arena.clone(), horizon);
+        let events = page.events.slice(&arena);
+
+        let ts = probe_times(events, birth - 1.0, horizon + 1.0);
+        for &t in &ts {
+            prop_assert_eq!(page.version_at(events, t).0, oracle.version_at(t));
+            prop_assert_eq!(
+                page.checksum_at(events, t),
+                Checksum::of_version(page.id.0, oracle.version_at(t)),
+                "checksum diverged at t={}", t
+            );
+            let lm = oracle.last_event_at_or_before(t).unwrap_or(birth);
+            prop_assert_eq!(
+                page.last_modified(events, t).to_bits(),
+                lm.to_bits(),
+                "last_modified diverged at t={}", t
+            );
+            prop_assert_eq!(page.alive(t), t >= birth && t < death);
+        }
+
+        // `changed_between` over ordered pairs: the grid against itself,
+        // and the ±1 ulp brackets around each of the leading events
+        // (where an off-by-one in the half-open interval would flip the
+        // answer).
+        let grid: Vec<f64> = ts.iter().copied().take(49).collect();
+        for (i, &a) in grid.iter().enumerate() {
+            for &b in &grid[i..] {
+                prop_assert_eq!(
+                    page.changed_between(events, a, b),
+                    oracle.any_in(a, b),
+                    "changed_between diverged on [{}, {})", a, b
+                );
+            }
+        }
+        for &e in events.iter().take(8) {
+            prop_assert!(page.changed_between(events, ulp_down(e), ulp_up(e)));
+            prop_assert_eq!(
+                page.changed_between(events, e, ulp_up(e)),
+                oracle.any_in(e, ulp_up(e))
+            );
+            prop_assert_eq!(
+                page.changed_between(events, ulp_up(e), ulp_up(e)),
+                oracle.any_in(ulp_up(e), ulp_up(e))
+            );
+        }
+    }
+
+    /// The integration point: a generated universe's arena-backed queries
+    /// match an oracle rebuilt from each page's arena slice, across every
+    /// page and incarnation.
+    #[test]
+    fn universe_schedules_match_owned_oracle(seed in 0u64..1u64 << 32) {
+        let universe = WebUniverse::generate(UniverseConfig::test_scale(seed));
+        let horizon = universe.config().horizon_days;
+        for page in universe.pages() {
+            let events = universe.events_of(page.id);
+            let oracle = PoissonProcess::from_sorted_events(events.to_vec(), horizon);
+            let ts = probe_times(events, page.birth - 0.5, page.death.min(horizon) + 0.5);
+            for &t in &ts {
+                prop_assert_eq!(
+                    universe.checksum_at(page.id, t),
+                    Checksum::of_version(page.id.0, oracle.version_at(t))
+                );
+                prop_assert_eq!(
+                    universe.last_modified(page.id, t).to_bits(),
+                    oracle.last_event_at_or_before(t).unwrap_or(page.birth).to_bits()
+                );
+                prop_assert_eq!(universe.alive(page.id, t), t >= page.birth && t < page.death);
+            }
+            for w in ts.windows(2) {
+                prop_assert_eq!(
+                    universe.changed_between(page.id, w[0], w[1]),
+                    oracle.any_in(w[0], w[1])
+                );
+            }
+        }
+    }
+}

@@ -35,6 +35,6 @@ pub use dist::{sample_exponential, sample_poisson_count};
 pub use ecdf::{Ecdf, SurvivalCurve};
 pub use gof::{chi_square_exponential_fit, ks_test_exponential, GofResult};
 pub use histogram::{Histogram, IntervalBin, IntervalHistogram, LifespanBin, LifespanHistogram};
-pub use process::PoissonProcess;
+pub use process::{event_slice, generate_poisson_into, PoissonProcess};
 pub use rng::SimRng;
 pub use summary::Summary;

@@ -112,6 +112,77 @@ impl PoissonProcess {
     }
 }
 
+/// Append a realization with rate `lambda` (events/day) on `[0, horizon)`,
+/// with each event shifted by `offset`, to `out`.
+///
+/// Draw-for-draw and rounding-for-rounding identical to
+/// [`PoissonProcess::generate`] followed by an `e + offset` shift — the
+/// building block for arena-based schedules that pack every page's events
+/// into one shared buffer instead of a `Vec` per page.
+pub fn generate_poisson_into(
+    rng: &mut SimRng,
+    lambda: f64,
+    horizon: f64,
+    offset: f64,
+    out: &mut Vec<f64>,
+) {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "rate must be finite and >= 0");
+    assert!(horizon >= 0.0 && horizon.is_finite(), "horizon must be finite and >= 0");
+    if lambda > 0.0 {
+        out.reserve((lambda * horizon * 1.2) as usize + 4);
+        let mut t = sample_exponential(rng, lambda);
+        while t < horizon {
+            out.push(t + offset);
+            t += sample_exponential(rng, lambda);
+        }
+    }
+}
+
+/// Binary-search queries over a sorted event slice — the arena-backed
+/// equivalents of the [`PoissonProcess`] accessors, for callers that hold
+/// event times as a range of a shared buffer rather than an owned process.
+/// Semantics (half-open intervals, inclusive `<= t` version counting) are
+/// pinned against the owned implementation by the equivalence tests in
+/// `webevo-sim`.
+pub mod event_slice {
+    /// Number of events in `[a, b)`.
+    pub fn count_in(events: &[f64], a: f64, b: f64) -> usize {
+        if b <= a {
+            return 0;
+        }
+        let lo = events.partition_point(|&t| t < a);
+        let hi = events.partition_point(|&t| t < b);
+        hi - lo
+    }
+
+    /// True if at least one event falls in `[a, b)`.
+    #[inline]
+    pub fn any_in(events: &[f64], a: f64, b: f64) -> bool {
+        count_in(events, a, b) > 0
+    }
+
+    /// The time of the last event at or before `t`, if any.
+    pub fn last_at_or_before(events: &[f64], t: f64) -> Option<f64> {
+        let idx = events.partition_point(|&e| e <= t);
+        if idx == 0 {
+            None
+        } else {
+            Some(events[idx - 1])
+        }
+    }
+
+    /// The time of the first event strictly after `t`, if any.
+    pub fn first_after(events: &[f64], t: f64) -> Option<f64> {
+        let idx = events.partition_point(|&e| e <= t);
+        events.get(idx).copied()
+    }
+
+    /// Number of events at or before `t` — the version at `t`.
+    pub fn version_at(events: &[f64], t: f64) -> u64 {
+        events.partition_point(|&e| e <= t) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,6 +25,24 @@
 //! I/O failures inside the hook panic: the hook signature is infallible by
 //! design (the engines cannot meaningfully continue a run whose durability
 //! contract just broke), and every panic message names the failing path.
+//!
+//! # Off-thread snapshot encoding
+//!
+//! Cadence snapshots taken at pass boundaries do **not** block the crawl
+//! thread on encode + fsync. The boundary exports an owned
+//! [`CrawlerState`] (the immutable pass-boundary view) and hands it to a
+//! background encoder thread, which performs the same atomic
+//! temp-file + rename + directory-sync sequence as the synchronous path.
+//! The WAL reset that makes the snapshot authoritative is **deferred to
+//! the join** — the start of the next boundary (or an exchange barrier,
+//! or drop), before anything new is flushed — because the log must keep
+//! covering the old lineage until the rename has durably landed. The
+//! crash-consistency argument is unchanged: between spawn and join the
+//! directory holds either the previous snapshot plus a WAL that replays
+//! past it, or the new snapshot plus a WAL whose records recovery skips
+//! by sequence number. [`Checkpointer::barrier_snapshot`] stays
+//! synchronous: the fleet's exchange protocol needs the snapshot on disk
+//! before the barrier releases.
 
 use crate::codec::{decode_snapshot, encode_snapshot, StoreError};
 use crate::wal::{read_wal, WalWriter};
@@ -104,6 +122,11 @@ pub struct Checkpointer {
     /// Simulated day of the most recent hook callback — the logical-clock
     /// stamp for WAL-flush and snapshot spans.
     clock_t: f64,
+    /// In-flight background snapshot encoder, if any. Invariant: while a
+    /// snapshot is pending, nothing is flushed to the WAL — the pending
+    /// snapshot therefore covers every record the log holds, which is
+    /// what makes the deferred [`WalWriter::reset`] at the join safe.
+    pending: Option<std::thread::JoinHandle<io::Result<u64>>>,
 }
 
 impl Checkpointer {
@@ -133,6 +156,7 @@ impl Checkpointer {
             barrier_only: false,
             obs: ObsSink::noop(),
             fsyncs_seen: 0,
+            pending: None,
         })
     }
 
@@ -157,6 +181,7 @@ impl Checkpointer {
             barrier_only: false,
             obs: ObsSink::noop(),
             fsyncs_seen: 0,
+            pending: None,
         })
     }
 
@@ -185,6 +210,7 @@ impl Checkpointer {
     /// inside the snapshot.
     pub fn barrier_snapshot(&mut self, t: f64, state: &CrawlerState) -> io::Result<()> {
         self.clock_t = t;
+        self.join_pending_snapshot()?;
         self.flush()?;
         let snapshot_due = match self.last_snapshot_t {
             None => true,
@@ -231,7 +257,7 @@ impl Checkpointer {
     }
 
     /// Take `state`'s snapshot under a [`Stage::SnapshotEncode`] span and
-    /// record its size. Shared by cadence and barrier snapshots.
+    /// record its size. Used by the synchronous barrier path.
     fn traced_snapshot(&mut self, state: &CrawlerState) -> io::Result<u64> {
         let _span =
             self.obs.span(Stage::SnapshotEncode, LogicalClock::new(self.clock_t, self.last_seq));
@@ -239,6 +265,39 @@ impl Checkpointer {
         self.obs.add("snapshots_total", 1);
         self.obs.observe("snapshot_bytes", bytes as f64);
         Ok(bytes)
+    }
+
+    /// Hand `state` to a background encoder thread. The caller must have
+    /// flushed already and must not flush again until the join; see the
+    /// `pending` field invariant.
+    fn spawn_snapshot(&mut self, state: CrawlerState) {
+        debug_assert!(self.pending.is_none(), "at most one snapshot in flight");
+        let config = self.config.clone();
+        let obs = self.obs.clone();
+        let clock = LogicalClock::new(self.clock_t, self.last_seq);
+        self.pending = Some(std::thread::spawn(move || {
+            let _span = obs.span(Stage::SnapshotEncode, clock);
+            write_snapshot_atomically(&config, &state)
+        }));
+    }
+
+    /// Wait for the in-flight snapshot (if any) to land, then perform the
+    /// bookkeeping the synchronous path did right after its rename: reset
+    /// the WAL — every record it holds is at or below the snapshot's
+    /// `fetch_seq`, so recovery would skip them anyway — and count the
+    /// snapshot. A panic on the encoder thread is propagated.
+    fn join_pending_snapshot(&mut self) -> io::Result<()> {
+        let Some(handle) = self.pending.take() else { return Ok(()) };
+        let bytes = match handle.join() {
+            Ok(result) => result?,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        self.wal.reset()?;
+        self.sync_fsync_counter();
+        self.stats.snapshots += 1;
+        self.obs.add("snapshots_total", 1);
+        self.obs.observe("snapshot_bytes", bytes as f64);
+        Ok(())
     }
 
     /// Report WAL fsyncs accrued since the last report, so the registry's
@@ -263,9 +322,15 @@ impl CrawlHook for Checkpointer {
 
     fn on_pass_boundary(&mut self, t: f64, export: &mut dyn FnMut() -> CrawlerState) {
         self.clock_t = t;
-        // Flush first: should the snapshot below tear, the WAL still
-        // carries everything up to this boundary on top of the *previous*
-        // snapshot.
+        // Join the previous boundary's encoder before anything else: its
+        // WAL reset must precede this boundary's flush, or the reset
+        // would discard records the snapshot does not cover.
+        self.join_pending_snapshot().unwrap_or_else(|e| {
+            panic!("background snapshot write to {:?} failed: {e}", self.config.snapshot_path())
+        });
+        // Flush next: should the pending snapshot below tear, the WAL
+        // still carries everything up to this boundary on top of the
+        // previous snapshot.
         self.flush()
             .unwrap_or_else(|e| panic!("WAL append to {:?} failed: {e}", self.wal.path()));
         let snapshot_due = !self.barrier_only
@@ -274,20 +339,31 @@ impl CrawlHook for Checkpointer {
                 Some(last) => t - last >= self.config.snapshot_every_days,
             };
         if snapshot_due {
+            // Export the immutable boundary view and encode it off-thread;
+            // the crawl thread resumes immediately. `last_snapshot_t`
+            // advances now (cadence is measured from the state's time, not
+            // the encoder's completion), `stats.snapshots` at the join.
             let state = export();
-            self.traced_snapshot(&state).unwrap_or_else(|e| {
-                panic!("snapshot write to {:?} failed: {e}", self.config.snapshot_path())
-            });
-            // Records at or below the snapshot's fetch_seq are now
-            // redundant; if the process dies between the rename above and
-            // this reset, recovery skips them by sequence number.
-            self.wal
-                .reset()
-                .unwrap_or_else(|e| panic!("WAL reset of {:?} failed: {e}", self.wal.path()));
-            self.sync_fsync_counter();
             self.last_snapshot_t = Some(t);
-            self.stats.snapshots += 1;
+            self.spawn_snapshot(state);
         }
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Best effort while unwinding: wait for the encoder so its
+            // file I/O cannot race whatever comes next, but never
+            // double-panic.
+            if let Some(handle) = self.pending.take() {
+                let _ = handle.join();
+            }
+            return;
+        }
+        self.join_pending_snapshot().unwrap_or_else(|e| {
+            panic!("background snapshot write to {:?} failed: {e}", self.config.snapshot_path())
+        });
     }
 }
 

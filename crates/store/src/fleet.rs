@@ -85,10 +85,13 @@
 //! the new plan; resuming a stale pre-rebalance shard directory against
 //! the rewritten manifest is the `ShardPlanMismatch` error above.
 //!
-//! The per-shard engine is [`EngineKind::Incremental`] or
-//! [`EngineKind::Periodic`]; the threaded engine is rejected at build
-//! time, because its workers spawn their own unfiltered fetchers — in a
-//! fleet, the shards *are* the parallelism.
+//! Any [`EngineKind`] runs per shard, including the threaded engine:
+//! its seq-tagged deterministic coordinator enforces the shard scope at
+//! its dispatch queue (workers never see a foreign URL) and speaks the
+//! same outbox/exchange protocol as the single-threaded engines, so
+//! worker parallelism composes with sharding. The one restriction is
+//! [`FleetSessionBuilder::failure_rate`], which needs the session
+//! fetcher the threaded engine does not use.
 //!
 //! ```
 //! use webevo_core::engine::{CrawlBudget, EngineKind};
@@ -255,8 +258,9 @@ impl<'a> FleetSessionBuilder<'a> {
     }
 
     /// The per-shard engine kind (default: incremental). The threaded
-    /// engine is a build error — shards are the fleet's parallelism, and
-    /// the threaded engine's workers would bypass the site filter.
+    /// engine composes with sharding — each shard runs its own worker
+    /// pool, scoped at the coordinator's dispatch queue — but cannot be
+    /// combined with [`FleetSessionBuilder::failure_rate`].
     pub fn engine(mut self, kind: EngineKind) -> Self {
         self.engine = kind;
         self
@@ -326,12 +330,11 @@ impl<'a> FleetSessionBuilder<'a> {
         if self.shards == 0 {
             return Err(WebEvoError::invalid("a fleet needs at least one shard"));
         }
-        if matches!(self.engine, EngineKind::Threaded { .. }) {
+        if matches!(self.engine, EngineKind::Threaded { .. }) && self.failure_rate > 0.0 {
             return Err(WebEvoError::invalid(
-                "the threaded engine cannot run inside a fleet: its workers spawn \
-                 unfiltered fetchers that would bypass the shard routing — use \
-                 EngineKind::Incremental or EngineKind::Periodic per shard (the fleet's \
-                 shards are the parallelism)",
+                "failure injection needs the session fetcher, but the threaded engine's \
+                 workers spawn their own — use EngineKind::Incremental or \
+                 EngineKind::Periodic to combine a fleet with .failure_rate(…)",
             ));
         }
         if budget.capacity < self.shards as usize {
@@ -742,8 +745,13 @@ impl<'a> FleetSession<'a> {
         let mut builder = CrawlSession::builder()
             .engine(self.engine)
             .universe(self.universe)
-            .scope(self.plan, shard)
-            .fetcher(fetcher);
+            .scope(self.plan, shard);
+        // The threaded engine spawns its own worker fetchers (scoping is
+        // enforced at its coordinator's dispatch queue); handing it the
+        // session fetcher is a build error.
+        if !matches!(self.engine, EngineKind::Threaded { .. }) {
+            builder = builder.fetcher(fetcher);
+        }
         builder = match self.engine {
             EngineKind::Periodic => {
                 let mut config = self.budget.periodic_config();
@@ -1270,7 +1278,8 @@ mod tests {
                 .budget(budget)
                 .universe(&u)
                 .shards(2)
-                .engine(EngineKind::Threaded { workers: 2 }),
+                .engine(EngineKind::Threaded { workers: 2 })
+                .failure_rate(0.1),
         );
         invalid(
             FleetSession::builder()

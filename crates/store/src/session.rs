@@ -153,9 +153,10 @@ impl<'a> CrawlSessionBuilder<'a> {
     /// Scope the session to the sites one fleet shard owns under `plan`:
     /// foreign link discoveries divert into the routing outbox (drained by
     /// the fleet coordinator at exchange barriers) instead of burning
-    /// fetches, and seeds on foreign sites are skipped. Only the
-    /// single-threaded engines support scoping; the threaded engine makes
-    /// this a build error.
+    /// fetches, and seeds on foreign sites are skipped. Every engine
+    /// supports scoping — the threaded engine enforces it at its
+    /// coordinator's dispatch queue, so its workers never fetch a foreign
+    /// URL.
     pub fn scope(mut self, plan: ShardPlan, shard: ShardId) -> Self {
         self.scope = Some(ShardScope { plan, shard });
         self

@@ -527,6 +527,125 @@ fn fleet_rebalance_then_resume_matches_uninterrupted() {
 }
 
 #[test]
+fn threaded_fleet_identical_across_concurrency() {
+    // Worker parallelism now composes with sharding: each shard runs its
+    // own seq-tagged threaded coordinator, and the coordinator enforces
+    // the shard scope at its dispatch queue. Neither the fleet's shard
+    // concurrency nor the per-shard worker pool may leak into results.
+    let run = |concurrency: usize| {
+        let universe = WebUniverse::generate(UniverseConfig::test_scale(48));
+        let mut fleet = FleetSession::builder()
+            .shards(2)
+            .engine(EngineKind::Threaded { workers: 2 })
+            .budget(CrawlBudget::paper_monthly(48).with_cycle_days(6.0))
+            .universe(&universe)
+            .concurrency(concurrency)
+            .build()
+            .expect("a valid fleet");
+        fleet.run(25.0).expect("the fleet runs").clone()
+    };
+    let baseline = run(1);
+    assert!(baseline.merged.fetches > 0, "the fleet should actually crawl");
+    assert!(
+        baseline.shards.iter().all(|s| s.metrics.fetches > 0),
+        "every shard should actually crawl"
+    );
+    assert!(baseline.routed_links() > 0, "cross-shard links were exchanged");
+    assert!(
+        baseline.shards.iter().all(|s| s.foreign_rejects == 0),
+        "the coordinator must keep every dispatched fetch on an owned site"
+    );
+    for other in [run(2), run(4)] {
+        assert_fleet_identical(&baseline, &other);
+        for (sa, sb) in baseline.shards.iter().zip(&other.shards) {
+            assert_eq!(
+                sa.routed_links, sb.routed_links,
+                "{} exchange deliveries diverged across concurrency",
+                sa.shard
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_fleet_agrees_with_single_shard_threaded_run() {
+    // Sharding apportions the budget and splits the frontier, so the
+    // 2-shard merged series cannot be byte-identical to a 1-shard run —
+    // but on merged metrics the fleet must land where the single threaded
+    // crawler lands, the same statistical contract the threaded engine
+    // itself is held to against the sequential one.
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(49));
+    let budget = CrawlBudget::paper_monthly(48).with_cycle_days(6.0);
+    let run = |shards: u32| {
+        let mut fleet = FleetSession::builder()
+            .shards(shards)
+            .engine(EngineKind::Threaded { workers: 2 })
+            .budget(budget)
+            .universe(&universe)
+            .build()
+            .expect("a valid fleet");
+        fleet.run(36.0).expect("the fleet runs").clone()
+    };
+    let single = run(1);
+    let sharded = run(2);
+    assert!(single.merged.fetches > 0, "the single shard should actually crawl");
+    let f_single = single.merged.average_freshness_from(12.0);
+    let f_sharded = sharded.merged.average_freshness_from(12.0);
+    assert!(
+        (f_single - f_sharded).abs() < 0.08,
+        "single-shard {f_single} vs 2-shard merged {f_sharded}"
+    );
+    let n_single = single.collection_len();
+    let n_sharded = sharded.collection_len();
+    assert!(
+        n_sharded >= n_single * 9 / 10,
+        "2-shard collection {n_sharded} lags single-shard {n_single}"
+    );
+}
+
+#[test]
+fn threaded_fleet_kill_one_shard_resume_matches_uninterrupted() {
+    // The threaded engine's WAL mixes seq-tagged fetch records with the
+    // fleet's routed-batch records; recovery replays the committed prefix
+    // through the same drive-end reconstruction the live loop uses, then
+    // re-enters the barrier protocol in lockstep with the surviving
+    // shards. Tear one shard's WAL mid-record and the resumed fleet must
+    // still match an uninterrupted one bit for bit.
+    let dir = temp_dir("thr-fleet-kill-one");
+    let universe = WebUniverse::generate(UniverseConfig::test_scale(50));
+    let budget = CrawlBudget::paper_monthly(48).with_cycle_days(6.0);
+    let build = |checkpoint: bool| {
+        let mut builder = FleetSession::builder()
+            .shards(2)
+            .engine(EngineKind::Threaded { workers: 2 })
+            .budget(budget)
+            .universe(&universe);
+        if checkpoint {
+            builder = builder.checkpoint(&dir, 4.0);
+        }
+        builder.build().expect("a valid fleet")
+    };
+
+    let mut killed = build(true);
+    killed.run(23.0).expect("the fleet runs");
+    drop(killed);
+    let wal_path = dir.join("shard-1").join(webevo::store::WAL_FILE);
+    let bytes = std::fs::read(&wal_path).expect("shard 1 has a WAL");
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 31]).expect("wal writable");
+
+    let mut resumed = build(true);
+    let resumed_results = resumed.resume(40.0).expect("the fleet recovers").clone();
+
+    let mut reference = build(false);
+    let reference_results = reference.run(40.0).expect("the fleet runs").clone();
+
+    assert!(reference_results.merged.fetches > 0, "the fleet should actually crawl");
+    assert!(reference_results.routed_links() > 0, "cross-shard links were exchanged");
+    assert_fleet_identical(&reference_results, &resumed_results);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn session_killed_before_first_cadence_snapshot_recovers_from_base() {
     // The recovery bugfix pinned end to end: with a snapshot cadence the
     // run never reaches, the only snapshot on disk is the base (day-0)

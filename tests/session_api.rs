@@ -294,12 +294,23 @@ fn fleet_misconfigurations_are_typed_errors() {
         FleetSession::builder().budget(budget).universe(&u).shards(11).build(),
         "capacity",
     );
+    // Threaded shards are supported; what stays a typed error is pairing
+    // them with failure injection, which needs the session fetcher the
+    // threaded engine's workers bypass.
+    FleetSession::builder()
+        .budget(budget)
+        .universe(&u)
+        .shards(2)
+        .engine(EngineKind::Threaded { workers: 4 })
+        .build()
+        .expect("a threaded fleet builds");
     assert_fleet_invalid(
         FleetSession::builder()
             .budget(budget)
             .universe(&u)
             .shards(2)
             .engine(EngineKind::Threaded { workers: 4 })
+            .failure_rate(0.1)
             .build(),
         "threaded",
     );
