@@ -13,8 +13,14 @@
 //! ```
 //!
 //! Available targets: `table1 table2 sensitivity fig2 fig4 fig5 fig6 fig7
-//! fig8 fig9 gain crawlers crawl fleet serve bench e2e all` (`all`
-//! excludes `bench`, `fleet`, `serve` and `e2e`).
+//! fig8 fig9 gain crawlers crawl fleet serve bench e2e analyze all` (`all`
+//! excludes `bench`, `fleet`, `serve`, `e2e` and `analyze`).
+//!
+//! Flags (for the `analyze` target — the static-analysis gate):
+//! * `--deny-warnings` — also fail on warnings (the CI mode).
+//! * `--update-schema` — regenerate `SCHEMA.lock` from the sources.
+//! * `--root DIR` — scan a different workspace root.
+//! * `--out FILE` — also write the findings as JSON to `FILE`.
 //!
 //! Flags (for the `crawl` target):
 //! * `--checkpoint-dir DIR` — persist snapshots + WAL under `DIR`.
@@ -157,6 +163,9 @@ fn main() {
     let mut bench_pages: Vec<u64> = vec![10_000, 100_000];
     let mut bench_out: Option<PathBuf> = None;
     let mut obs_out = ObsOutputs::default();
+    let mut deny_warnings = false;
+    let mut update_schema = false;
+    let mut analyze_root: Option<PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -258,6 +267,11 @@ fn main() {
             "--folded" => {
                 obs_out.folded =
                     Some(PathBuf::from(iter.next().expect("--folded needs a path")));
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--update-schema" => update_schema = true,
+            "--root" => {
+                analyze_root = Some(PathBuf::from(iter.next().expect("--root needs a path")));
             }
             other => positional.push(other.to_string()),
         }
@@ -692,8 +706,76 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "analyze" => {
+                run_analyze(
+                    analyze_root.clone(),
+                    deny_warnings,
+                    update_schema,
+                    bench_out.clone(),
+                );
+            }
             other => eprintln!("[repro] unknown target: {other}"),
         }
+    }
+}
+
+/// The `analyze` target: the static-analysis gate. Scans the workspace
+/// sources, checks `SCHEMA.lock`, prints findings, and exits non-zero on
+/// errors (or on warnings too, under `--deny-warnings` — the CI mode).
+/// `--update-schema` regenerates `SCHEMA.lock` instead of just checking it.
+fn run_analyze(
+    root: Option<PathBuf>,
+    deny_warnings: bool,
+    update_schema: bool,
+    out: Option<PathBuf>,
+) {
+    use webevo::analyze::{analyze, render_json, schema, scan_workspace, AnalyzeConfig, Severity};
+
+    // Default to the workspace this binary was built from; `--root`
+    // overrides (used by the fixture tests and for scanning checkouts).
+    let root = root
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+    let ws = scan_workspace(&root).unwrap_or_else(|e| {
+        eprintln!("[repro] cannot scan {root:?}: {e}");
+        std::process::exit(1);
+    });
+    let lock_path = root.join("SCHEMA.lock");
+    if update_schema {
+        let lock = schema::render_lock(&ws);
+        std::fs::write(&lock_path, &lock).unwrap_or_else(|e| {
+            eprintln!("[repro] cannot write {lock_path:?}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[repro] wrote {lock_path:?}");
+    }
+    let lock_text = std::fs::read_to_string(&lock_path).ok();
+    let findings = analyze(&ws, &AnalyzeConfig::workspace_default(), lock_text.as_deref());
+
+    let file_count: usize = ws.crates.iter().map(|c| c.files.len()).sum();
+    for f in &findings {
+        println!("{f}");
+    }
+    let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
+    let warnings = findings.iter().filter(|f| f.severity == Severity::Warning).count();
+    let notes = findings.len() - errors - warnings;
+    println!(
+        "[repro] analyze: {file_count} files in {} crates — {errors} error(s), \
+         {warnings} warning(s), {notes} note(s)",
+        ws.crates.len()
+    );
+    if let Some(path) = out {
+        std::fs::write(&path, render_json(&findings)).unwrap_or_else(|e| {
+            eprintln!("[repro] cannot write {path:?}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[repro] wrote {path:?}");
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        eprintln!(
+            "[repro] ANALYZE FAILED: fix the findings above, or add a justified \
+             ANALYZE.allow entry / regenerate SCHEMA.lock where the report says so"
+        );
+        std::process::exit(1);
     }
 }
 

@@ -6,8 +6,7 @@
 
 use crate::pagegraph::PageGraph;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use webevo_types::{Error, PageId, Result};
+use webevo_types::{DenseMap, Error, PageId, Result};
 
 /// Parameters for the HITS iteration.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -27,20 +26,20 @@ impl Default for HitsConfig {
 /// Hub and authority scores per page, each vector L2-normalized.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct HitsScores {
-    hubs: HashMap<PageId, f64>,
-    authorities: HashMap<PageId, f64>,
+    hubs: DenseMap<f64>,
+    authorities: DenseMap<f64>,
     iterations: usize,
 }
 
 impl HitsScores {
     /// Hub score of a page (0 for unknown).
     pub fn hub(&self, p: PageId) -> f64 {
-        self.hubs.get(&p).copied().unwrap_or(0.0)
+        self.hubs.get(p).copied().unwrap_or(0.0)
     }
 
     /// Authority score of a page (0 for unknown).
     pub fn authority(&self, p: PageId) -> f64 {
-        self.authorities.get(&p).copied().unwrap_or(0.0)
+        self.authorities.get(p).copied().unwrap_or(0.0)
     }
 
     /// Number of iterations the solve took.
@@ -50,14 +49,14 @@ impl HitsScores {
 
     /// Pages sorted by descending authority.
     pub fn ranked_authorities(&self) -> Vec<(PageId, f64)> {
-        let mut v: Vec<_> = self.authorities.iter().map(|(&p, &s)| (p, s)).collect();
+        let mut v: Vec<_> = self.authorities.iter().map(|(p, &s)| (p, s)).collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
         v
     }
 
     /// Pages sorted by descending hub score.
     pub fn ranked_hubs(&self) -> Vec<(PageId, f64)> {
-        let mut v: Vec<_> = self.hubs.iter().map(|(&p, &s)| (p, s)).collect();
+        let mut v: Vec<_> = self.hubs.iter().map(|(p, &s)| (p, s)).collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
         v
     }
@@ -72,15 +71,17 @@ pub fn hits(graph: &PageGraph, config: &HitsConfig) -> Result<HitsScores> {
     }
     let mut pages: Vec<PageId> = graph.pages().collect();
     pages.sort_unstable();
-    let index: HashMap<PageId, usize> =
+    let index: DenseMap<usize> =
         pages.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let resolve =
+        |q: PageId| *index.get(q).expect("link endpoint is in the graph");
     let out_edges: Vec<Vec<usize>> = pages
         .iter()
-        .map(|&p| graph.out_links(p).iter().map(|q| index[q]).collect())
+        .map(|&p| graph.out_links(p).iter().map(|&q| resolve(q)).collect())
         .collect();
     let in_edges: Vec<Vec<usize>> = pages
         .iter()
-        .map(|&p| graph.in_links(p).iter().map(|q| index[q]).collect())
+        .map(|&p| graph.in_links(p).iter().map(|&q| resolve(q)).collect())
         .collect();
 
     let norm = |v: &mut [f64]| {

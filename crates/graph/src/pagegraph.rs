@@ -7,9 +7,7 @@
 //! and link extraction (needs out-links) are both cheap.
 
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-use webevo_types::{PageId, SiteId};
+use webevo_types::{DenseMap, PageId, SiteId};
 
 /// A node's adjacency record.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -26,7 +24,7 @@ struct NodeLinks {
 /// matches how link extraction de-duplicates URLs found in a page.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct PageGraph {
-    nodes: HashMap<PageId, NodeLinks>,
+    nodes: DenseMap<NodeLinks>,
     edge_count: usize,
 }
 
@@ -48,25 +46,25 @@ impl PageGraph {
 
     /// True if the page is present.
     pub fn contains(&self, p: PageId) -> bool {
-        self.nodes.contains_key(&p)
+        self.nodes.contains(p)
     }
 
     /// Add a page attributed to `site`. Re-adding an existing page is a
     /// no-op that keeps its links (the page's site may not change).
     pub fn add_page(&mut self, p: PageId, site: SiteId) {
-        match self.nodes.entry(p) {
-            Entry::Occupied(e) => {
-                debug_assert_eq!(e.get().site, site, "a page cannot move between sites");
+        match self.nodes.get(p) {
+            Some(existing) => {
+                debug_assert_eq!(existing.site, site, "a page cannot move between sites");
             }
-            Entry::Vacant(e) => {
-                e.insert(NodeLinks { out: Vec::new(), inc: Vec::new(), site });
+            None => {
+                self.nodes.insert(p, NodeLinks { out: Vec::new(), inc: Vec::new(), site });
             }
         }
     }
 
     /// Remove a page and every link touching it. Returns true if present.
     pub fn remove_page(&mut self, p: PageId) -> bool {
-        let Some(node) = self.nodes.remove(&p) else {
+        let Some(node) = self.nodes.remove(p) else {
             return false;
         };
         // Detach forward links from their targets' in-lists.
@@ -74,7 +72,7 @@ impl PageGraph {
             if *target == p {
                 continue; // self-link, already removed with the node
             }
-            if let Some(t) = self.nodes.get_mut(target) {
+            if let Some(t) = self.nodes.get_mut(*target) {
                 if let Some(pos) = t.inc.iter().position(|&q| q == p) {
                     t.inc.swap_remove(pos);
                 }
@@ -85,7 +83,7 @@ impl PageGraph {
             if *source == p {
                 continue;
             }
-            if let Some(s) = self.nodes.get_mut(source) {
+            if let Some(s) = self.nodes.get_mut(*source) {
                 if let Some(pos) = s.out.iter().position(|&q| q == p) {
                     s.out.swap_remove(pos);
                 }
@@ -101,30 +99,30 @@ impl PageGraph {
     /// Add a directed link `from → to`. Both endpoints must exist. Returns
     /// true if the link was new.
     pub fn add_link(&mut self, from: PageId, to: PageId) -> bool {
-        assert!(self.nodes.contains_key(&from), "link source {from} not in graph");
-        assert!(self.nodes.contains_key(&to), "link target {to} not in graph");
+        assert!(self.nodes.contains(from), "link source {from} not in graph");
+        assert!(self.nodes.contains(to), "link target {to} not in graph");
         {
-            let src = self.nodes.get_mut(&from).expect("checked above");
+            let src = self.nodes.get_mut(from).expect("checked above");
             if src.out.contains(&to) {
                 return false;
             }
             src.out.push(to);
         }
-        self.nodes.get_mut(&to).expect("checked above").inc.push(from);
+        self.nodes.get_mut(to).expect("checked above").inc.push(from);
         self.edge_count += 1;
         true
     }
 
     /// Remove a directed link. Returns true if it existed.
     pub fn remove_link(&mut self, from: PageId, to: PageId) -> bool {
-        let Some(src) = self.nodes.get_mut(&from) else {
+        let Some(src) = self.nodes.get_mut(from) else {
             return false;
         };
         let Some(pos) = src.out.iter().position(|&q| q == to) else {
             return false;
         };
         src.out.swap_remove(pos);
-        let dst = self.nodes.get_mut(&to).expect("link invariant: target exists");
+        let dst = self.nodes.get_mut(to).expect("link invariant: target exists");
         let pos = dst
             .inc
             .iter()
@@ -139,7 +137,7 @@ impl PageGraph {
     /// unknown targets skipped). This is what happens when a changed page is
     /// re-crawled: its old link set is dropped and the new one installed.
     pub fn set_out_links(&mut self, from: PageId, targets: &[PageId]) {
-        let old: Vec<PageId> = match self.nodes.get(&from) {
+        let old: Vec<PageId> = match self.nodes.get(from) {
             Some(n) => n.out.clone(),
             None => return,
         };
@@ -147,7 +145,7 @@ impl PageGraph {
             self.remove_link(from, t);
         }
         for &t in targets {
-            if self.nodes.contains_key(&t) {
+            if self.nodes.contains(t) {
                 self.add_link(from, t);
             }
         }
@@ -155,12 +153,12 @@ impl PageGraph {
 
     /// Out-links of a page (empty if absent).
     pub fn out_links(&self, p: PageId) -> &[PageId] {
-        self.nodes.get(&p).map(|n| n.out.as_slice()).unwrap_or(&[])
+        self.nodes.get(p).map(|n| n.out.as_slice()).unwrap_or(&[])
     }
 
     /// In-links of a page (empty if absent).
     pub fn in_links(&self, p: PageId) -> &[PageId] {
-        self.nodes.get(&p).map(|n| n.inc.as_slice()).unwrap_or(&[])
+        self.nodes.get(p).map(|n| n.inc.as_slice()).unwrap_or(&[])
     }
 
     /// Out-degree.
@@ -175,36 +173,36 @@ impl PageGraph {
 
     /// Owning site of a page.
     pub fn site_of(&self, p: PageId) -> Option<SiteId> {
-        self.nodes.get(&p).map(|n| n.site)
+        self.nodes.get(p).map(|n| n.site)
     }
 
-    /// Iterate all pages (arbitrary order).
+    /// Iterate all pages in ascending id order.
     pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
-        self.nodes.keys().copied()
+        self.nodes.keys()
     }
 
-    /// Iterate all links as `(from, to)` pairs.
+    /// Iterate all links as `(from, to)` pairs, ascending by source id.
     pub fn links(&self) -> impl Iterator<Item = (PageId, PageId)> + '_ {
         self.nodes
             .iter()
-            .flat_map(|(&p, n)| n.out.iter().map(move |&t| (p, t)))
+            .flat_map(|(p, n)| n.out.iter().map(move |&t| (p, t)))
     }
 
     /// Debug-check internal invariants (forward/reverse lists consistent,
     /// edge count correct). Used by property tests.
     pub fn check_invariants(&self) {
         let mut count = 0;
-        for (&p, n) in &self.nodes {
+        for (p, n) in self.nodes.iter() {
             for &t in &n.out {
                 count += 1;
-                let target = self.nodes.get(&t).expect("out-link target exists");
+                let target = self.nodes.get(t).expect("out-link target exists");
                 assert!(
                     target.inc.contains(&p),
                     "missing reverse edge for {p}->{t}"
                 );
             }
             for &s in &n.inc {
-                let source = self.nodes.get(&s).expect("in-link source exists");
+                let source = self.nodes.get(s).expect("in-link source exists");
                 assert!(source.out.contains(&p), "missing forward edge for {s}->{p}");
             }
         }

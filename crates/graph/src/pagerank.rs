@@ -19,8 +19,7 @@
 
 use crate::pagegraph::PageGraph;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use webevo_types::{Error, PageId, Result};
+use webevo_types::{DenseMap, Error, PageId, Result};
 
 /// Parameters for the PageRank iteration.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -79,14 +78,14 @@ impl webevo_types::BinDecode for PageRankConfig {
 /// preserves the mean).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PageRankScores {
-    scores: HashMap<PageId, f64>,
+    scores: DenseMap<f64>,
     iterations: usize,
 }
 
 impl PageRankScores {
     /// Score of a page (0 for unknown pages).
     pub fn get(&self, p: PageId) -> f64 {
-        self.scores.get(&p).copied().unwrap_or(0.0)
+        self.scores.get(p).copied().unwrap_or(0.0)
     }
 
     /// Number of iterations the solve took.
@@ -94,9 +93,9 @@ impl PageRankScores {
         self.iterations
     }
 
-    /// All `(page, score)` pairs, arbitrary order.
+    /// All `(page, score)` pairs in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (PageId, f64)> + '_ {
-        self.scores.iter().map(|(&p, &s)| (p, s))
+        self.scores.iter().map(|(p, &s)| (p, s))
     }
 
     /// Pages sorted by descending score (ties broken by id for
@@ -154,8 +153,8 @@ pub fn pagerank(graph: &PageGraph, config: &PageRankConfig) -> Result<PageRankSc
     // Stable page order for deterministic iteration.
     let mut pages: Vec<PageId> = graph.pages().collect();
     pages.sort_unstable();
-    let index: HashMap<PageId, usize> =
-        pages.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let index: DenseMap<u32> =
+        pages.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
 
     let out_degree: Vec<usize> = pages.iter().map(|&p| graph.out_degree(p)).collect();
     // Pre-resolve in-link indices per page, CSR-style: one flat edge
@@ -167,7 +166,12 @@ pub fn pagerank(graph: &PageGraph, config: &PageRankConfig) -> Result<PageRankSc
     in_offsets.push(0);
     let mut in_edges: Vec<u32> = Vec::with_capacity(graph.link_count());
     for &p in &pages {
-        in_edges.extend(graph.in_links(p).iter().map(|q| index[q] as u32));
+        in_edges.extend(
+            graph
+                .in_links(p)
+                .iter()
+                .map(|&q| *index.get(q).expect("in-link source is in the graph")),
+        );
         in_offsets.push(in_edges.len());
     }
     let dangling_pages: Vec<usize> =
@@ -384,7 +388,7 @@ mod tests {
     fn top_k_breaks_ties_by_ascending_page_id() {
         // A 6-cycle scores every page exactly 1.0: the ordering is decided
         // entirely by the tie-break, which must be ascending PageId no
-        // matter how the backing HashMap happens to iterate.
+        // matter how the backing map iterates.
         let g = cycle(6);
         let s = pagerank(&g, &PageRankConfig::conventional()).unwrap();
         let top = s.top_k(4);

@@ -11,14 +11,16 @@
 use crate::pagegraph::PageGraph;
 use crate::pagerank::PageRankConfig;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use webevo_types::{Error, Result, SiteId};
 
-/// A directed graph over sites, collapsed from a page graph.
+/// A directed graph over sites, collapsed from a page graph. Adjacency is
+/// kept in ordered maps so neighbor iteration is deterministic by
+/// construction.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct SiteGraph {
-    out: HashMap<SiteId, HashSet<SiteId>>,
-    inc: HashMap<SiteId, HashSet<SiteId>>,
+    out: BTreeMap<SiteId, BTreeSet<SiteId>>,
+    inc: BTreeMap<SiteId, BTreeSet<SiteId>>,
     sites: Vec<SiteId>,
 }
 
@@ -27,7 +29,7 @@ impl SiteGraph {
     /// dropped; inter-site page links become (de-duplicated) site edges.
     pub fn from_page_graph(graph: &PageGraph) -> SiteGraph {
         let mut sg = SiteGraph::default();
-        let mut seen: HashSet<SiteId> = HashSet::new();
+        let mut seen: BTreeSet<SiteId> = BTreeSet::new();
         for p in graph.pages() {
             let s = graph.site_of(p).expect("iterating existing pages");
             if seen.insert(s) {
@@ -81,19 +83,21 @@ impl SiteGraph {
 /// measure the paper used to pick the 400 candidate sites.
 ///
 /// Scores average to 1 across sites. Dangling sites redistribute uniformly.
-pub fn site_pagerank(sg: &SiteGraph, config: &PageRankConfig) -> Result<HashMap<SiteId, f64>> {
+pub fn site_pagerank(sg: &SiteGraph, config: &PageRankConfig) -> Result<BTreeMap<SiteId, f64>> {
     let n = sg.site_count();
     if n == 0 {
-        return Ok(HashMap::new());
+        return Ok(BTreeMap::new());
     }
-    let index: HashMap<SiteId, usize> =
-        sg.sites.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    // `sites` is sorted, so a binary search replaces a site→slot map.
+    let index = |q: SiteId| {
+        sg.sites.binary_search(&q).expect("neighbor is a known site")
+    };
     let out_degree: Vec<usize> = sg.sites.iter().map(|&s| sg.out_degree(s)).collect();
     let in_edges: Vec<Vec<usize>> = sg
         .sites
         .iter()
         .map(|&s| {
-            let mut v: Vec<usize> = sg.in_neighbors(s).map(|q| index[&q]).collect();
+            let mut v: Vec<usize> = sg.in_neighbors(s).map(index).collect();
             v.sort_unstable();
             v
         })
@@ -137,7 +141,7 @@ pub fn site_pagerank(sg: &SiteGraph, config: &PageRankConfig) -> Result<HashMap<
 
 /// Rank sites by popularity, descending (ties by id). This is the ordering
 /// from which the paper took its "top 400 candidate sites".
-pub fn rank_sites(scores: &HashMap<SiteId, f64>) -> Vec<(SiteId, f64)> {
+pub fn rank_sites(scores: &BTreeMap<SiteId, f64>) -> Vec<(SiteId, f64)> {
     let mut v: Vec<(SiteId, f64)> = scores.iter().map(|(&s, &r)| (s, r)).collect();
     v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
     v

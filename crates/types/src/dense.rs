@@ -147,6 +147,17 @@ impl<V> DenseMap<V> {
     }
 }
 
+// Equality is over the stored entries, not the slot vector: two maps with
+// the same entries compare equal even when one has grown further (trailing
+// vacant slots are invisible).
+impl<V: PartialEq> PartialEq for DenseMap<V> {
+    fn eq(&self, other: &DenseMap<V>) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<V: Eq> Eq for DenseMap<V> {}
+
 impl<V> FromIterator<(PageId, V)> for DenseMap<V> {
     fn from_iter<I: IntoIterator<Item = (PageId, V)>>(iter: I) -> DenseMap<V> {
         let mut map = DenseMap::new();

@@ -50,10 +50,12 @@
 //! | [`store`] | §5 | durable crawl state, the `CrawlSession` entry point, sharded `FleetSession`s |
 //! | [`obs`] | — | structured tracing, metrics registry, stage profiling |
 //! | [`serve`] | §1, §5 | epoch-swapped query layer serving concurrent readers under a live crawl |
+//! | [`analyze`] | — | static-analysis gate: determinism lints, `SCHEMA.lock` drift, panic budgets |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use webevo_analyze as analyze;
 pub use webevo_core as core;
 pub use webevo_estimate as estimate;
 pub use webevo_experiment as experiment;
